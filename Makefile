@@ -1,0 +1,45 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples fig4 clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/experiments all
+
+# Full-scale (Table I) headline numbers; slow.
+experiments-paper:
+	$(GO) run ./cmd/experiments -paper -windows 1 -seeds 3 table3
+
+fig4:
+	$(GO) run ./cmd/experiments -svg fig4.svg fig4
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/attack_defense
+	$(GO) run ./examples/policy_comparison
+	$(GO) run ./examples/flooding
+	$(GO) run ./examples/corruption
+	$(GO) run ./examples/custom_mitigation
+
+clean:
+	$(GO) clean ./...
+	rm -f fig4.svg

@@ -1,0 +1,228 @@
+package tivapromi
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// per-activation micro-benchmarks of every mitigation's decision path.
+// The macro benches report the paper's metrics (overhead %, FPR %, cycle
+// counts, LUTs, flood medians) via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates the numbers alongside the
+// usual time/op costs. cmd/experiments renders the same data as the
+// paper's tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"tivapromi/internal/dram"
+	"tivapromi/internal/fsm"
+	"tivapromi/internal/hwmodel"
+	"tivapromi/internal/mitigation"
+	"tivapromi/internal/sim"
+)
+
+// benchConfig is the shared simulation configuration for the macro
+// benches: one scaled refresh window of mixed load plus attacker.
+func benchConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Windows = 1
+	return cfg
+}
+
+// BenchmarkTableI_TraceGeneration measures the workload/attacker/device
+// substrate producing the Table I trace and reports its statistics
+// (average activations per bank-interval ≈ 40 in the paper).
+func BenchmarkTableI_TraceGeneration(b *testing.B) {
+	cfg := benchConfig()
+	var r sim.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		r, err = sim.Run(cfg, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.AvgActsPerInterval, "acts/interval")
+	b.ReportMetric(float64(r.MaxActsPerInterval), "max-acts/interval")
+	b.ReportMetric(float64(r.TotalActs)/float64(b.Elapsed().Seconds()+1e-9), "acts/s")
+}
+
+// BenchmarkTableII_FSMCycles runs the structural worst-case analysis of
+// the Fig. 2/3 state machines and reports the Table II cycle counts.
+func BenchmarkTableII_FSMCycles(b *testing.B) {
+	machines := map[string]*fsm.Machine{
+		"CaPRoMi":   fsm.Fig3("CaPRoMi", fsm.DefaultCounterConfig()),
+		"LoLiPRoMi": fsm.Fig2("LoLiPRoMi", fsm.LinearConfig{HistoryEntries: 32, OverlappedUpdate: true}),
+		"LoPRoMi":   fsm.Fig2("LoPRoMi", fsm.LinearConfig{HistoryEntries: 32}),
+		"LiPRoMi":   fsm.Fig2("LiPRoMi", fsm.LinearConfig{HistoryEntries: 32}),
+	}
+	for name, m := range machines {
+		b.Run(name, func(b *testing.B) {
+			var act, ref int
+			for i := 0; i < b.N; i++ {
+				var err error
+				act, _, err = m.WorstCase("act")
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref, _, err = m.WorstCase("ref")
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(act), "act-cycles")
+			b.ReportMetric(float64(ref), "ref-cycles")
+		})
+	}
+}
+
+// BenchmarkTableIII runs the full comparison per technique: activation
+// overhead, FPR and flips from simulation, LUTs from the cost model.
+func BenchmarkTableIII(b *testing.B) {
+	cfg := benchConfig()
+	geo := hwmodel.PaperGeometry()
+	model := hwmodel.DefaultCostModel()
+	resources := map[string]hwmodel.Resources{}
+	for _, r := range hwmodel.AllResources(geo) {
+		resources[r.Name] = r
+	}
+	for _, name := range sim.TechniqueNames() {
+		b.Run(name, func(b *testing.B) {
+			var res sim.Result
+			var err error
+			flips := 0
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err = sim.Run(cfg, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				flips += res.Flips
+			}
+			b.ReportMetric(res.OverheadPct, "overhead-%")
+			b.ReportMetric(res.FPRPct, "FPR-%")
+			b.ReportMetric(float64(flips), "flips")
+			b.ReportMetric(float64(model.Estimate(resources[name], hwmodel.DDR4Target()).LUTs), "LUTs-DDR4")
+			b.ReportMetric(float64(model.Estimate(resources[name], hwmodel.DDR3Target()).LUTs), "LUTs-DDR3")
+		})
+	}
+}
+
+// BenchmarkFig4_TradeOff produces the Fig. 4 data points: per-bank table
+// storage (at paper scale) against measured activation overhead.
+func BenchmarkFig4_TradeOff(b *testing.B) {
+	cfg := benchConfig()
+	paperTarget := mitigation.Target{
+		Banks: 16, RowsPerBank: 131072, RefInt: 8192, FlipThreshold: 139000,
+	}
+	for _, name := range sim.TechniqueNames() {
+		b.Run(name, func(b *testing.B) {
+			factory, err := mitigation.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			bytes := factory(paperTarget, 1).TableBytesPerBank()
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err = sim.Run(cfg, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(bytes), "table-B")
+			b.ReportMetric(res.OverheadPct, "overhead-%")
+		})
+	}
+}
+
+// BenchmarkFlooding reproduces the Section IV flooding experiment per
+// TiVaPRoMi variant and reports the acts-to-first-protection median.
+func BenchmarkFlooding(b *testing.B) {
+	p := dram.PaperParams()
+	for _, name := range []string{"LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"} {
+		b.Run(name, func(b *testing.B) {
+			var res sim.FloodResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = sim.Flood(name, p, p.MaxActsPerRI, 5, uint64(i+1))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.MedianActs, "median-acts")
+			b.ReportMetric(float64(res.Unprotected), "unprotected")
+		})
+	}
+}
+
+// BenchmarkRefreshPolicies runs LoLiPRoMi under the four refresh-address
+// policies of Section IV; the overhead metric should barely move.
+func BenchmarkRefreshPolicies(b *testing.B) {
+	for _, pol := range sim.Policies() {
+		b.Run(pol.String(), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Policy = pol
+			var res sim.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				res, err = sim.Run(cfg, "LoLiPRoMi")
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.OverheadPct, "overhead-%")
+			b.ReportMetric(float64(res.Flips), "flips")
+		})
+	}
+}
+
+// BenchmarkAggressorSweep runs the 1→20 aggressors-per-bank campaign at
+// fixed counts, reporting unmitigated flips vs. LoLiPRoMi flips.
+func BenchmarkAggressorSweep(b *testing.B) {
+	for _, k := range []int{1, 2, 8, 20} {
+		b.Run(fmt.Sprintf("aggressors-%d", k), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.MinAggressors, cfg.MaxAggressors = k, k
+			var unmitigated, mitigated int
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				r0, err := sim.Run(cfg, "")
+				if err != nil {
+					b.Fatal(err)
+				}
+				r1, err := sim.Run(cfg, "LoLiPRoMi")
+				if err != nil {
+					b.Fatal(err)
+				}
+				unmitigated += r0.Flips
+				mitigated += r1.Flips
+			}
+			b.ReportMetric(float64(unmitigated), "flips-unmitigated")
+			b.ReportMetric(float64(mitigated), "flips-mitigated")
+		})
+	}
+}
+
+// BenchmarkMitigationDecision measures the per-activation software cost
+// of each technique's decision path (the hot loop of the whole simulator).
+func BenchmarkMitigationDecision(b *testing.B) {
+	target := mitigation.Target{
+		Banks: 4, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384,
+	}
+	for _, name := range sim.TechniqueNames() {
+		b.Run(name, func(b *testing.B) {
+			factory, err := mitigation.Lookup(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := factory(target, 1)
+			var cmds []mitigation.Command
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cmds = m.OnActivate(i&3, i&16383, i&1023, cmds[:0])
+			}
+			_ = cmds
+		})
+	}
+}

@@ -1,0 +1,252 @@
+// Command tracegen produces DRAM activation traces.
+//
+// Two front-ends are available: the fast statistical workload generators
+// (default, what the experiments use), and the cycle-less CPU/cache
+// front-end (-frontend), which executes SPEC-like programs plus a
+// flush+reload attacker through 64 KB L1 / 256 KB L2 caches — the
+// substitute for the paper's gem5 capture.
+//
+//	tracegen -o trace.bin -windows 2
+//	tracegen -o trace.bin -frontend -ops 2000000
+//	tracegen -info trace.bin
+//	tracegen -analyze trace.bin           # activation-concentration profile
+//	tracegen -totext trace.bin -o t.txt   # export for external tools
+//	tracegen -fromtext t.txt -o t.bin     # import (e.g. converted Ramulator traces)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tivapromi/internal/addr"
+	"tivapromi/internal/cache"
+	"tivapromi/internal/cpu"
+	"tivapromi/internal/dram"
+	"tivapromi/internal/sim"
+	"tivapromi/internal/trace"
+)
+
+var (
+	out      = flag.String("o", "", "output trace file")
+	info     = flag.String("info", "", "print a summary of an existing trace file")
+	analyze  = flag.String("analyze", "", "print the activation profile of an existing trace file")
+	toText   = flag.String("totext", "", "convert a binary trace to the text format (writes to -o)")
+	fromText = flag.String("fromtext", "", "convert a text trace to the binary format (writes to -o)")
+	windows  = flag.Int("windows", 2, "refresh windows (statistical front-end)")
+	frontend = flag.Bool("frontend", false, "use the CPU/cache front-end")
+	ops      = flag.Uint64("ops", 4_000_000, "instruction-level operations (cache front-end)")
+	paper    = flag.Bool("paper", false, "full Table I scale")
+	seed     = flag.Uint64("seed", 1, "seed")
+)
+
+func main() {
+	flag.Parse()
+	if *info != "" {
+		if err := printInfo(*info); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *analyze != "" {
+		if err := printProfile(*analyze); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *toText != "" || *fromText != "" {
+		if err := convert(*toText, *fromText, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	cfg := sim.DefaultConfig()
+	cfg.Windows = *windows
+	cfg.Seed = *seed
+	if *paper {
+		cfg.Params = dram.PaperParams()
+	}
+	w, err := trace.NewWriter(f, trace.Header{
+		Banks:       cfg.Params.Banks,
+		RowsPerBank: cfg.Params.RowsPerBank,
+		RefInt:      cfg.Params.RefInt,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *frontend {
+		err = generateWithFrontend(cfg.Params, w, *ops, *seed)
+	} else {
+		err = sim.RecordTrace(cfg, w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d events to %s\n", w.Events(), *out)
+}
+
+// generateWithFrontend runs four programs (three SPEC-like, one attacker)
+// through the cache hierarchy; surviving DRAM operations become trace
+// activations with a row-buffer filter, and refresh-interval boundaries
+// are inserted on a service-time clock.
+func generateWithFrontend(p dram.Params, w *trace.Writer, nops, seed uint64) error {
+	g := addr.Geometry{
+		Channels: 1, Ranks: 1, Banks: p.Banks,
+		Rows: p.RowsPerBank, Cols: p.RowBytes / 64, BusBytes: 64,
+	}
+	mapper, err := addr.NewMapper(g, addr.RowBankCol)
+	if err != nil {
+		return err
+	}
+	// The attacker hammers two aggressor rows in bank 1.
+	agg := []uint64{mapper.RowAddress(1, 5000), mapper.RowAddress(1, 5002)}
+	programs := []cpu.Program{
+		cpu.NewStreamProgram(0, 64<<20, 64, seed+1),
+		cpu.NewChaseProgram(1<<30, 32<<20, seed+2),
+		cpu.NewHammerProgram(agg),
+		cpu.NewStreamProgram(1<<31, 64<<20, 8, seed+3),
+	}
+
+	openRows := make([]int32, g.TotalBanks())
+	for i := range openRows {
+		openRows[i] = -1
+	}
+	var werr error
+	timeNs := 0.0
+	nextRef := p.TRefIntNs
+	sys, err := cpu.NewSystem(programs, cpu.DefaultL1(), cpu.DefaultL2(), func(m cache.MemOp) {
+		if werr != nil {
+			return
+		}
+		c := mapper.Decode(m.Addr)
+		fb := c.FlatBank(g)
+		if openRows[fb] == int32(c.Row) {
+			timeNs += 15
+		} else {
+			openRows[fb] = int32(c.Row)
+			timeNs += p.TRCNs
+			werr = w.WriteAct(fb, c.Row)
+		}
+		for timeNs >= nextRef && werr == nil {
+			werr = w.WriteIntervalEnd()
+			nextRef += p.TRefIntNs
+			for i := range openRows {
+				openRows[i] = -1
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	sys.Run(nops)
+	if werr != nil {
+		return werr
+	}
+	return w.Flush()
+}
+
+func printInfo(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	h := r.Header()
+	acts, intervals := uint64(0), uint64(0)
+	perBank := make([]uint64, h.Banks)
+	err = r.ForEach(func(ev trace.Event) error {
+		switch ev.Kind {
+		case trace.KindAct:
+			acts++
+			perBank[ev.Bank]++
+		case trace.KindIntervalEnd:
+			intervals++
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s\n", path)
+	fmt.Printf("  geometry: %d banks x %d rows, RefInt %d\n", h.Banks, h.RowsPerBank, h.RefInt)
+	fmt.Printf("  activations: %d over %d refresh intervals", acts, intervals)
+	if intervals > 0 {
+		fmt.Printf(" (avg %.1f per bank-interval)", float64(acts)/float64(intervals)/float64(h.Banks))
+	}
+	fmt.Println()
+	for b, n := range perBank {
+		fmt.Printf("  bank %d: %d activations\n", b, n)
+	}
+	return nil
+}
+
+func printProfile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	p, err := trace.Analyze(r)
+	if err != nil {
+		return err
+	}
+	return p.Render(os.Stdout)
+}
+
+// convert moves a trace between the binary and text formats.
+func convert(toTextPath, fromTextPath, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("conversion needs -o")
+	}
+	dst, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	if toTextPath != "" {
+		src, err := os.Open(toTextPath)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		r, err := trace.NewReader(src)
+		if err != nil {
+			return err
+		}
+		return trace.WriteText(r, dst)
+	}
+	src, err := os.Open(fromTextPath)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	_, n, err := trace.ReadText(src, dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events to %s\n", n, outPath)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// attack_defense walks through a double-sided Row-Hammer attack at the
+// device level: it hammers both neighbors of a victim row at full rate
+// and reports, window by window, how far the victim's disturbance climbs
+// under each TiVaPRoMi variant — and how quickly it climbs to a bit flip
+// with no mitigation. This is the microscope view of what the harness
+// measures in aggregate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tivapromi"
+)
+
+func main() {
+	params := tivapromi.ScaledParams()
+	victim := params.RowsPerBank / 2
+	fmt.Printf("double-sided attack on victim row %d (flip threshold %d, %d intervals per window)\n\n",
+		victim, params.FlipThreshold, params.RefInt)
+
+	for _, technique := range []string{"none", "LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"} {
+		runAttack(params, victim, technique)
+	}
+}
+
+func runAttack(params tivapromi.Params, victim int, technique string) {
+	dev, err := tivapromi.NewDevice(params, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mit tivapromi.Mitigator
+	if technique != "none" {
+		mit, err = tivapromi.NewMitigation(technique, tivapromi.Target{
+			Banks:         params.Banks,
+			RowsPerBank:   params.RowsPerBank,
+			RefInt:        params.RefInt,
+			FlipThreshold: params.FlipThreshold,
+		}, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctl, err := tivapromi.NewController(dev, mit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hammer loop: alternate the two aggressors as fast as the bank
+	// timing allows; the controller clock fires refresh intervals.
+	const bank = 0
+	aggressors := [2]int{victim - 1, victim + 1}
+	peak := uint32(0)
+	for i := 0; dev.Window() < 1; i++ {
+		ctl.AccessRow(bank, aggressors[i&1], false)
+		if d := dev.Disturbance(bank, victim); d > peak {
+			peak = d
+		}
+	}
+
+	extra := ctl.Stats().ActN + ctl.Stats().ActNOne + ctl.Stats().RefreshRow
+	fmt.Printf("%-10s peak victim disturbance %6d (%.0f%% of threshold), extra activation commands %3d, flips %d\n",
+		technique, peak, 100*float64(peak)/float64(params.FlipThreshold),
+		extra, len(dev.Flips()))
+}

@@ -1,0 +1,102 @@
+// custom_mitigation is the extensibility tutorial: it implements a new
+// Row-Hammer mitigation from scratch against the library's Mitigator
+// interface and runs it through the full experiment harness next to the
+// paper's techniques — using only the public façade.
+//
+// The technique here ("SampledPARA") is deliberately simple: PARA's
+// static probabilistic refresh, but evaluated only on every Nth
+// activation with an N-times-higher probability. Same expected overhead,
+// 1/Nth the random-number draws — the kind of micro-variant a hardware
+// team might prototype. The harness tells us whether it still protects.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"tivapromi"
+)
+
+// SampledPARA evaluates PARA's coin only on every Nth activation, with
+// the probability scaled by N to keep the expected refresh rate.
+type SampledPARA struct {
+	every int
+	p     float64
+	count int
+	src   *rand.Rand
+	seed  uint64
+}
+
+// NewSampledPARA builds the technique; every is the sampling period. The
+// base probability is PARA's 9.77e-4 (RefInt * Pbase), scaled by the
+// sampling period to keep the expected refresh rate.
+func NewSampledPARA(every, refInt int, seed uint64) *SampledPARA {
+	_ = refInt // the effective probability is tied to PARA's, not RefInt
+	s := &SampledPARA{
+		every: every,
+		p:     float64(every) * 9.77e-4,
+		seed:  seed,
+	}
+	s.Reset()
+	return s
+}
+
+// The Mitigator contract: observe act/ref commands, emit maintenance
+// commands, clear per-window state, reproduce from a seed.
+
+func (s *SampledPARA) Name() string { return "SampledPARA" }
+
+func (s *SampledPARA) OnActivate(bank, row, _ int, cmds []tivapromi.Command) []tivapromi.Command {
+	s.count++
+	if s.count%s.every != 0 {
+		return cmds
+	}
+	if s.src.Float64() >= s.p {
+		return cmds
+	}
+	side := int8(1)
+	if s.src.Intn(2) == 0 {
+		side = -1
+	}
+	return append(cmds, tivapromi.Command{
+		Kind: tivapromi.ActNOne, Bank: bank, Row: row, Side: side,
+	})
+}
+
+func (s *SampledPARA) OnRefreshInterval(_ int, cmds []tivapromi.Command) []tivapromi.Command {
+	return cmds
+}
+
+func (s *SampledPARA) OnNewWindow() {}
+
+func (s *SampledPARA) Reset() {
+	s.count = 0
+	s.src = rand.New(rand.NewSource(int64(s.seed)))
+}
+
+func (s *SampledPARA) TableBytesPerBank() int { return 0 }
+
+func main() {
+	cfg := tivapromi.DefaultSimConfig()
+	cfg.Windows = 2
+	cfg.MinAggressors, cfg.MaxAggressors = 2, 2
+
+	fmt.Println("SampledPARA (every Nth activation, N-times probability) vs PARA:")
+	for _, every := range []int{1, 4, 16, 64} {
+		every := every
+		cfg.Factory = func(t tivapromi.Target, seed uint64) tivapromi.Mitigator {
+			return NewSampledPARA(every, t.RefInt, seed)
+		}
+		sum, err := tivapromi.RunSeeds(cfg, "custom", tivapromi.Seeds(3, 3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  N=%-3d overhead %.4f%%  flips %d\n",
+			every, sum.Overhead.Mean(), sum.TotalFlips)
+	}
+	fmt.Println()
+	fmt.Println("the harness answers the design question directly: sampling keeps the")
+	fmt.Println("expected overhead constant while the flips column shows where (or")
+	fmt.Println("whether) protection breaks as the coin flips get coarser.")
+}

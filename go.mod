@@ -1,0 +1,3 @@
+module tivapromi
+
+go 1.22

@@ -1,0 +1,214 @@
+// Package addr maps physical byte addresses to DRAM coordinates
+// (channel, rank, bank, row, column) and back.
+//
+// The mitigation techniques operate on (bank, row) pairs; the CPU/cache
+// substrate produces physical addresses. This package is the bridge and
+// supports the interleaving schemes a DDR4 controller would offer, so
+// experiments can check that mitigation quality does not depend on a
+// particular mapping.
+package addr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Scheme selects the bit order of the physical-address decomposition.
+type Scheme int
+
+const (
+	// RowBankCol is the classic open-page mapping: low bits column,
+	// middle bits bank (and rank/channel), high bits row. Consecutive
+	// addresses stay in one row.
+	RowBankCol Scheme = iota
+	// BankInterleaved ("close-page"): low bits column, then row, then
+	// bank, so consecutive rows map to the same bank. Used to stress
+	// per-bank mitigation tables.
+	BankInterleaved
+	// PermutedBank XORs row bits into the bank index
+	// (Zhang et al. style permutation) to spread row conflicts.
+	PermutedBank
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case RowBankCol:
+		return "row-bank-col"
+	case BankInterleaved:
+		return "bank-interleaved"
+	case PermutedBank:
+		return "permuted-bank"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Geometry describes the DRAM organization. All counts must be powers of
+// two; Validate reports violations.
+type Geometry struct {
+	Channels int // number of memory channels
+	Ranks    int // ranks per channel
+	Banks    int // banks per rank
+	Rows     int // rows per bank
+	Cols     int // column addresses per row
+	BusBytes int // bytes per column access (bus width * burst), e.g. 64
+}
+
+// Validate checks that every dimension is a positive power of two.
+func (g Geometry) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"Channels", g.Channels}, {"Ranks", g.Ranks}, {"Banks", g.Banks},
+		{"Rows", g.Rows}, {"Cols", g.Cols}, {"BusBytes", g.BusBytes},
+	} {
+		if d.v <= 0 || d.v&(d.v-1) != 0 {
+			return fmt.Errorf("addr: %s = %d is not a positive power of two", d.name, d.v)
+		}
+	}
+	return nil
+}
+
+// Capacity returns the total byte capacity described by the geometry.
+func (g Geometry) Capacity() uint64 {
+	return uint64(g.Channels) * uint64(g.Ranks) * uint64(g.Banks) *
+		uint64(g.Rows) * uint64(g.Cols) * uint64(g.BusBytes)
+}
+
+// TotalBanks returns channels*ranks*banks, the number of independently
+// attackable banks.
+func (g Geometry) TotalBanks() int { return g.Channels * g.Ranks * g.Banks }
+
+// Coord is a fully decoded DRAM coordinate.
+type Coord struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+	Col     int
+}
+
+// FlatBank returns a single index in [0, TotalBanks) identifying the bank
+// across channels and ranks. Mitigation state is instantiated per flat bank.
+func (c Coord) FlatBank(g Geometry) int {
+	return (c.Channel*g.Ranks+c.Rank)*g.Banks + c.Bank
+}
+
+// Mapper decodes physical addresses for a fixed geometry and scheme.
+type Mapper struct {
+	g      Geometry
+	scheme Scheme
+
+	colBits, bankBits, rankBits, chBits, rowBits, busBits uint
+}
+
+// NewMapper builds a Mapper. It returns an error if the geometry is
+// invalid.
+func NewMapper(g Geometry, scheme Scheme) (*Mapper, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mapper{
+		g:        g,
+		scheme:   scheme,
+		busBits:  log2(g.BusBytes),
+		colBits:  log2(g.Cols),
+		bankBits: log2(g.Banks),
+		rankBits: log2(g.Ranks),
+		chBits:   log2(g.Channels),
+		rowBits:  log2(g.Rows),
+	}, nil
+}
+
+func log2(v int) uint { return uint(bits.TrailingZeros64(uint64(v))) }
+
+// Geometry returns the mapper's geometry.
+func (m *Mapper) Geometry() Geometry { return m.g }
+
+// Scheme returns the mapper's interleaving scheme.
+func (m *Mapper) Scheme() Scheme { return m.scheme }
+
+// Decode maps a physical byte address to a DRAM coordinate. Addresses
+// beyond the capacity wrap (the top bits are ignored), matching what a
+// hardware decoder does.
+func (m *Mapper) Decode(pa uint64) Coord {
+	a := pa >> m.busBits
+	take := func(bits uint) int {
+		v := int(a & ((1 << bits) - 1))
+		a >>= bits
+		return v
+	}
+	var c Coord
+	switch m.scheme {
+	case RowBankCol:
+		c.Col = take(m.colBits)
+		c.Channel = take(m.chBits)
+		c.Bank = take(m.bankBits)
+		c.Rank = take(m.rankBits)
+		c.Row = take(m.rowBits)
+	case BankInterleaved:
+		c.Col = take(m.colBits)
+		c.Channel = take(m.chBits)
+		c.Row = take(m.rowBits)
+		c.Rank = take(m.rankBits)
+		c.Bank = take(m.bankBits)
+	case PermutedBank:
+		c.Col = take(m.colBits)
+		c.Channel = take(m.chBits)
+		c.Bank = take(m.bankBits)
+		c.Rank = take(m.rankBits)
+		c.Row = take(m.rowBits)
+		// XOR the low row bits into the bank index. The inverse mapping
+		// applies the same XOR, so Encode(Decode(pa)) == pa still holds.
+		c.Bank ^= c.Row & (m.g.Banks - 1)
+	default:
+		panic(fmt.Sprintf("addr: unknown scheme %v", m.scheme))
+	}
+	return c
+}
+
+// Encode maps a DRAM coordinate back to the physical byte address of its
+// first byte. It is the exact inverse of Decode for in-range coordinates.
+func (m *Mapper) Encode(c Coord) uint64 {
+	var a uint64
+	put := func(v int, bits uint) {
+		a = a<<bits | uint64(v)&((1<<bits)-1)
+	}
+	switch m.scheme {
+	case RowBankCol:
+		put(c.Row, m.rowBits)
+		put(c.Rank, m.rankBits)
+		put(c.Bank, m.bankBits)
+		put(c.Channel, m.chBits)
+		put(c.Col, m.colBits)
+	case BankInterleaved:
+		put(c.Bank, m.bankBits)
+		put(c.Rank, m.rankBits)
+		put(c.Row, m.rowBits)
+		put(c.Channel, m.chBits)
+		put(c.Col, m.colBits)
+	case PermutedBank:
+		bank := c.Bank ^ (c.Row & (m.g.Banks - 1))
+		put(c.Row, m.rowBits)
+		put(c.Rank, m.rankBits)
+		put(bank, m.bankBits)
+		put(c.Channel, m.chBits)
+		put(c.Col, m.colBits)
+	default:
+		panic(fmt.Sprintf("addr: unknown scheme %v", m.scheme))
+	}
+	return a << m.busBits
+}
+
+// RowAddress returns the physical byte address of (flat bank, row, col 0),
+// convenient for workload generators that think in rows.
+func (m *Mapper) RowAddress(flatBank, row int) uint64 {
+	tb := m.g.TotalBanks()
+	fb := ((flatBank % tb) + tb) % tb
+	bank := fb % m.g.Banks
+	rank := (fb / m.g.Banks) % m.g.Ranks
+	ch := fb / (m.g.Banks * m.g.Ranks)
+	return m.Encode(Coord{Channel: ch, Rank: rank, Bank: bank, Row: row & (m.g.Rows - 1)})
+}

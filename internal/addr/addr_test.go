@@ -1,0 +1,183 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testGeometry() Geometry {
+	return Geometry{Channels: 2, Ranks: 2, Banks: 8, Rows: 1 << 12, Cols: 1 << 7, BusBytes: 64}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := testGeometry().Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	bad := testGeometry()
+	bad.Rows = 3000
+	if bad.Validate() == nil {
+		t.Fatal("non-power-of-two rows accepted")
+	}
+	bad = testGeometry()
+	bad.Banks = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero banks accepted")
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	g := testGeometry()
+	want := uint64(2*2*8) * uint64(1<<12) * uint64(1<<7) * 64
+	if g.Capacity() != want {
+		t.Fatalf("capacity = %d, want %d", g.Capacity(), want)
+	}
+	if g.TotalBanks() != 32 {
+		t.Fatalf("total banks = %d, want 32", g.TotalBanks())
+	}
+}
+
+func TestRoundTripAllSchemes(t *testing.T) {
+	g := testGeometry()
+	for _, scheme := range []Scheme{RowBankCol, BankInterleaved, PermutedBank} {
+		m, err := NewMapper(g, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(raw uint64) bool {
+			pa := (raw % g.Capacity()) &^ uint64(g.BusBytes-1)
+			c := m.Decode(pa)
+			return m.Encode(c) == pa
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("scheme %v: %v", scheme, err)
+		}
+	}
+}
+
+func TestDecodeInRange(t *testing.T) {
+	g := testGeometry()
+	for _, scheme := range []Scheme{RowBankCol, BankInterleaved, PermutedBank} {
+		m, _ := NewMapper(g, scheme)
+		f := func(raw uint64) bool {
+			c := m.Decode(raw % g.Capacity())
+			return c.Channel >= 0 && c.Channel < g.Channels &&
+				c.Rank >= 0 && c.Rank < g.Ranks &&
+				c.Bank >= 0 && c.Bank < g.Banks &&
+				c.Row >= 0 && c.Row < g.Rows &&
+				c.Col >= 0 && c.Col < g.Cols
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("scheme %v: %v", scheme, err)
+		}
+	}
+}
+
+func TestConsecutiveAddressesStayInRow(t *testing.T) {
+	g := testGeometry()
+	m, _ := NewMapper(g, RowBankCol)
+	base := m.Decode(0)
+	for off := uint64(64); off < uint64(g.Cols*g.BusBytes); off += 64 {
+		c := m.Decode(off)
+		if c.Row != base.Row || c.Bank != base.Bank {
+			t.Fatalf("offset %d left the row: %+v vs %+v", off, c, base)
+		}
+	}
+}
+
+func TestBankInterleavedConsecutiveRowsSameBank(t *testing.T) {
+	g := testGeometry()
+	m, _ := NewMapper(g, BankInterleaved)
+	// With bank bits above row bits, incrementing the row index while
+	// keeping everything else fixed must not change the bank.
+	c0 := Coord{Row: 10}
+	c1 := Coord{Row: 11}
+	d0 := m.Decode(m.Encode(c0))
+	d1 := m.Decode(m.Encode(c1))
+	if d0.Bank != d1.Bank {
+		t.Fatalf("adjacent rows in different banks: %d vs %d", d0.Bank, d1.Bank)
+	}
+	if d1.Row != 11 || d0.Row != 10 {
+		t.Fatalf("rows corrupted: %d, %d", d0.Row, d1.Row)
+	}
+}
+
+func TestPermutedBankSpreadsRows(t *testing.T) {
+	g := testGeometry()
+	m, _ := NewMapper(g, PermutedBank)
+	// Physical addresses with an identical raw bank field but consecutive
+	// rows must decode to different banks (the row bits are XORed in).
+	// Row bits sit above bus+col+channel+bank+rank bits.
+	rowShift := uint(6 + 7 + 1 + 3 + 1)
+	banks := map[int]bool{}
+	for row := 0; row < g.Banks; row++ {
+		banks[m.Decode(uint64(row)<<rowShift).Bank] = true
+	}
+	if len(banks) < 2 {
+		t.Fatal("permutation did not spread banks")
+	}
+}
+
+func TestFlatBankBijective(t *testing.T) {
+	g := testGeometry()
+	seen := map[int]bool{}
+	for ch := 0; ch < g.Channels; ch++ {
+		for rk := 0; rk < g.Ranks; rk++ {
+			for b := 0; b < g.Banks; b++ {
+				fb := Coord{Channel: ch, Rank: rk, Bank: b}.FlatBank(g)
+				if fb < 0 || fb >= g.TotalBanks() {
+					t.Fatalf("flat bank %d out of range", fb)
+				}
+				if seen[fb] {
+					t.Fatalf("flat bank %d duplicated", fb)
+				}
+				seen[fb] = true
+			}
+		}
+	}
+}
+
+func TestRowAddressRoundTrip(t *testing.T) {
+	g := testGeometry()
+	for _, scheme := range []Scheme{RowBankCol, BankInterleaved, PermutedBank} {
+		m, _ := NewMapper(g, scheme)
+		for fb := 0; fb < g.TotalBanks(); fb++ {
+			for _, row := range []int{0, 1, 17, g.Rows - 1} {
+				pa := m.RowAddress(fb, row)
+				c := m.Decode(pa)
+				if c.Row != row {
+					t.Fatalf("scheme %v fb %d: row %d decoded as %d", scheme, fb, row, c.Row)
+				}
+				if got := c.FlatBank(g); got != fb {
+					t.Fatalf("scheme %v: flat bank %d decoded as %d", scheme, fb, got)
+				}
+				if c.Col != 0 {
+					t.Fatalf("RowAddress col = %d, want 0", c.Col)
+				}
+			}
+		}
+	}
+}
+
+func TestNewMapperRejectsBadGeometry(t *testing.T) {
+	bad := testGeometry()
+	bad.Cols = 100
+	if _, err := NewMapper(bad, RowBankCol); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	for _, tc := range []struct {
+		s    Scheme
+		want string
+	}{
+		{RowBankCol, "row-bank-col"},
+		{BankInterleaved, "bank-interleaved"},
+		{PermutedBank, "permuted-bank"},
+		{Scheme(99), "Scheme(99)"},
+	} {
+		if tc.s.String() != tc.want {
+			t.Errorf("String() = %q, want %q", tc.s.String(), tc.want)
+		}
+	}
+}

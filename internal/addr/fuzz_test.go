@@ -1,0 +1,24 @@
+package addr
+
+import "testing"
+
+// FuzzRoundTrip checks Decode/Encode inversion for arbitrary addresses
+// and scheme/geometry combinations.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(0))
+	f.Add(uint64(0xdeadbeef), uint8(1))
+	f.Add(uint64(1)<<40, uint8(2))
+	f.Fuzz(func(t *testing.T, pa uint64, schemeRaw uint8) {
+		g := Geometry{Channels: 2, Ranks: 2, Banks: 8, Rows: 1 << 12, Cols: 1 << 7, BusBytes: 64}
+		scheme := Scheme(int(schemeRaw) % 3)
+		m, err := NewMapper(g, scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := (pa % g.Capacity()) &^ uint64(g.BusBytes-1)
+		c := m.Decode(in)
+		if out := m.Encode(c); out != in {
+			t.Fatalf("scheme %v: %x -> %+v -> %x", scheme, in, c, out)
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package cache implements the set-associative write-back cache hierarchy
+// the trace front-end uses as a stand-in for the paper's gem5 setup
+// (64 KB L1 per core, shared 256 KB L2, Table I).
+//
+// The Row-Hammer-relevant property of a cache is what it lets THROUGH:
+// only misses and write-backs reach DRAM, and an attacker defeats it with
+// CLFLUSH — which is why the package models flush precisely. Replacement
+// is LRU.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line (block) size
+	Ways      int // associativity
+}
+
+// Validate reports structural problems.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0:
+		return fmt.Errorf("cache: non-positive dimension in %+v", c)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	case c.SizeBytes%(c.LineBytes*c.Ways) != 0:
+		return fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.LineBytes * c.Ways) }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	WriteBacks uint64
+	Flushes    uint64
+}
+
+// HitRate returns hits / (hits + misses), 0 when idle.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is one level. It is not safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	stats    Stats
+	tick     uint64 // LRU clock
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64
+}
+
+// New builds a cache, returning an error for invalid configurations.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		sets:     make([][]line, cfg.Sets()),
+		setMask:  uint64(cfg.Sets() - 1),
+		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Evicted reports a dirty eviction; EvictedAddr is the byte address
+	// of the written-back line.
+	Evicted     bool
+	EvictedAddr uint64
+}
+
+// Access looks up addr, filling on miss and evicting LRU. write marks the
+// line dirty.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.tick++
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			set[i].used = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+	// Choose victim: first invalid way, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	res := Result{}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.WriteBacks++
+		res.Evicted = true
+		res.EvictedAddr = set[victim].tag << c.lineBits
+	}
+	set[victim] = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	return res
+}
+
+// Flush invalidates addr's line (CLFLUSH semantics) and returns whether a
+// dirty line was written back.
+func (c *Cache) Flush(addr uint64) (wroteBack bool) {
+	c.stats.Flushes++
+	tag := addr >> c.lineBits
+	set := c.sets[tag&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			wroteBack = set[i].dirty
+			if wroteBack {
+				c.stats.WriteBacks++
+			}
+			set[i] = line{}
+			return wroteBack
+		}
+	}
+	return false
+}
+
+// Contains reports whether addr's line is cached (for tests).
+func (c *Cache) Contains(addr uint64) bool {
+	tag := addr >> c.lineBits
+	for _, l := range c.sets[tag&c.setMask] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// MemOp is a DRAM-level operation produced by the hierarchy.
+type MemOp struct {
+	Addr  uint64
+	Write bool
+}
+
+// Hierarchy is a two-level private-L1 / shared-L2 cache system. Accesses
+// that miss everywhere (plus dirty write-backs) come out as MemOps.
+type Hierarchy struct {
+	l1 []*Cache // one per core
+	l2 *Cache
+}
+
+// NewHierarchy builds the hierarchy with one private L1 per core.
+func NewHierarchy(cores int, l1, l2 Config) (*Hierarchy, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("cache: cores = %d", cores)
+	}
+	h := &Hierarchy{l1: make([]*Cache, cores)}
+	for i := range h.l1 {
+		c, err := New(l1)
+		if err != nil {
+			return nil, err
+		}
+		h.l1[i] = c
+	}
+	c, err := New(l2)
+	if err != nil {
+		return nil, err
+	}
+	h.l2 = c
+	return h, nil
+}
+
+// L1 returns core's private L1 (for stats and tests).
+func (h *Hierarchy) L1(core int) *Cache { return h.l1[core] }
+
+// L2 returns the shared L2.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Access runs one CPU access through the hierarchy and appends the
+// resulting DRAM operations (line fill and/or write-backs) to out.
+func (h *Hierarchy) Access(core int, addr uint64, write bool, out []MemOp) []MemOp {
+	r1 := h.l1[core].Access(addr, write)
+	if r1.Evicted {
+		// L1 write-back lands in L2.
+		r2 := h.l2.Access(r1.EvictedAddr, true)
+		if !r2.Hit {
+			out = append(out, MemOp{Addr: r1.EvictedAddr})
+		}
+		if r2.Evicted {
+			out = append(out, MemOp{Addr: r2.EvictedAddr, Write: true})
+		}
+	}
+	if r1.Hit {
+		return out
+	}
+	r2 := h.l2.Access(addr, write)
+	if r2.Hit {
+		return out
+	}
+	out = append(out, MemOp{Addr: addr})
+	if r2.Evicted {
+		out = append(out, MemOp{Addr: r2.EvictedAddr, Write: true})
+	}
+	return out
+}
+
+// Flush applies CLFLUSH for addr across the whole hierarchy and appends
+// the write-back (if any line was dirty) to out. This is the attacker's
+// tool: after Flush, the next Access to addr is guaranteed to reach DRAM.
+func (h *Hierarchy) Flush(core int, addr uint64, out []MemOp) []MemOp {
+	dirty := false
+	for _, c := range h.l1 {
+		if c.Flush(addr) {
+			dirty = true
+		}
+	}
+	if h.l2.Flush(addr) {
+		dirty = true
+	}
+	if dirty {
+		out = append(out, MemOp{Addr: addr, Write: true})
+	}
+	return out
+}

@@ -1,0 +1,224 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func l1Config() Config { return Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8} }
+func l2Config() Config { return Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 16} }
+
+func TestConfigValidate(t *testing.T) {
+	if err := l1Config().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 8},
+		{SizeBytes: 64 << 10, LineBytes: 60, Ways: 8},
+		{SizeBytes: 100, LineBytes: 64, Ways: 8},
+		{SizeBytes: 64 << 10, LineBytes: 64, Ways: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if got := l1Config().Sets(); got != 128 {
+		t.Fatalf("64KB/8way/64B = %d sets, want 128", got)
+	}
+}
+
+func mustCache(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := mustCache(t, l1Config())
+	if r := c.Access(0x1000, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0x1000, false); !r.Hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if r := c.Access(0x103f, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line misses.
+	if r := c.Access(0x1040, false); r.Hit {
+		t.Fatal("different line hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Fill one set beyond associativity; the least recently used line
+	// must be the one evicted.
+	cfg := Config{SizeBytes: 4 * 64, LineBytes: 64, Ways: 4} // 1 set
+	c := mustCache(t, cfg)
+	for i := uint64(0); i < 4; i++ {
+		c.Access(i*64, false)
+	}
+	c.Access(0, false) // touch line 0: now line 1 is LRU
+	c.Access(4*64, false)
+	if c.Contains(64) {
+		t.Fatal("LRU line survived")
+	}
+	if !c.Contains(0) {
+		t.Fatal("recently used line evicted")
+	}
+}
+
+func TestDirtyEvictionReportsWriteBack(t *testing.T) {
+	cfg := Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2}
+	c := mustCache(t, cfg)
+	c.Access(0, true) // dirty
+	c.Access(64, false)
+	r := c.Access(128, false) // evicts line 0 (dirty)
+	if !r.Evicted || r.EvictedAddr != 0 {
+		t.Fatalf("dirty eviction not reported: %+v", r)
+	}
+	if c.Stats().WriteBacks != 1 {
+		t.Fatalf("WriteBacks = %d", c.Stats().WriteBacks)
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	cfg := Config{SizeBytes: 2 * 64, LineBytes: 64, Ways: 2}
+	c := mustCache(t, cfg)
+	c.Access(0, false)
+	c.Access(64, false)
+	if r := c.Access(128, false); r.Evicted {
+		t.Fatal("clean eviction reported a write-back")
+	}
+}
+
+func TestFlushInvalidates(t *testing.T) {
+	c := mustCache(t, l1Config())
+	c.Access(0x2000, false)
+	if wb := c.Flush(0x2000); wb {
+		t.Fatal("clean flush reported write-back")
+	}
+	if c.Contains(0x2000) {
+		t.Fatal("flush left the line")
+	}
+	// Dirty flush writes back.
+	c.Access(0x3000, true)
+	if wb := c.Flush(0x3000); !wb {
+		t.Fatal("dirty flush lost the data")
+	}
+	// Flushing an absent line is a no-op.
+	if wb := c.Flush(0x9999000); wb {
+		t.Fatal("phantom write-back")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := mustCache(t, l1Config())
+	if c.Stats().HitRate() != 0 {
+		t.Fatal("idle hit rate not 0")
+	}
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	c.Access(0, false)
+	if got := c.Stats().HitRate(); got != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", got)
+	}
+}
+
+func TestHierarchyMissPath(t *testing.T) {
+	h, err := NewHierarchy(2, l1Config(), l2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := h.Access(0, 0x5000, false, nil)
+	if len(ops) != 1 || ops[0].Addr != 0x5000 || ops[0].Write {
+		t.Fatalf("cold miss ops = %+v", ops)
+	}
+	// Now cached in both levels: no DRAM traffic.
+	if ops := h.Access(0, 0x5000, false, nil); len(ops) != 0 {
+		t.Fatalf("warm access produced %+v", ops)
+	}
+	// Other core misses L1 but hits shared L2.
+	if ops := h.Access(1, 0x5000, false, nil); len(ops) != 0 {
+		t.Fatalf("cross-core access produced %+v (L2 should hit)", ops)
+	}
+}
+
+func TestHierarchyFlushForcesDRAMAccess(t *testing.T) {
+	h, err := NewHierarchy(1, l1Config(), l2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0x7000, false, nil)
+	h.Flush(0, 0x7000, nil)
+	ops := h.Access(0, 0x7000, false, nil)
+	if len(ops) != 1 {
+		t.Fatalf("post-flush access produced %d DRAM ops, want 1", len(ops))
+	}
+	// This is the attack loop: flush+access always reaches DRAM.
+	for i := 0; i < 100; i++ {
+		h.Flush(0, 0x7000, nil)
+		if ops := h.Access(0, 0x7000, false, nil); len(ops) != 1 {
+			t.Fatalf("hammer iteration %d filtered by cache", i)
+		}
+	}
+}
+
+func TestHierarchyDirtyFlushWritesBack(t *testing.T) {
+	h, err := NewHierarchy(1, l1Config(), l2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Access(0, 0x8000, true, nil)
+	ops := h.Flush(0, 0x8000, nil)
+	if len(ops) != 1 || !ops[0].Write {
+		t.Fatalf("dirty flush ops = %+v", ops)
+	}
+}
+
+func TestHierarchyRejectsBadInputs(t *testing.T) {
+	if _, err := NewHierarchy(0, l1Config(), l2Config()); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewHierarchy(1, Config{}, l2Config()); err == nil {
+		t.Fatal("bad L1 accepted")
+	}
+	if _, err := NewHierarchy(1, l1Config(), Config{}); err == nil {
+		t.Fatal("bad L2 accepted")
+	}
+}
+
+func TestInclusionLikeBehaviorProperty(t *testing.T) {
+	// Property: after any access sequence, re-accessing the most recent
+	// address never generates a line fill (it must be in L1).
+	h, err := NewHierarchy(1, Config{SizeBytes: 1 << 10, LineBytes: 64, Ways: 2},
+		Config{SizeBytes: 4 << 10, LineBytes: 64, Ways: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(addrs []uint32) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		var last uint64
+		for _, a := range addrs {
+			last = uint64(a) &^ 63
+			h.Access(0, last, a&1 == 1, nil)
+		}
+		for _, op := range h.Access(0, last, false, nil) {
+			if !op.Write && op.Addr == last {
+				return false // refetch of a just-accessed line
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func testCaConfig() CaConfig {
+	return DefaultCaConfig(16384, 1024)
+}
+
+func TestCaConfigValidate(t *testing.T) {
+	if err := testCaConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCaConfig()
+	bad.CounterEntries = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero counter entries accepted")
+	}
+	bad = testCaConfig()
+	bad.LockThreshold = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero lock threshold accepted")
+	}
+	bad = testCaConfig()
+	bad.MaxActsPerInterval = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero max acts accepted")
+	}
+}
+
+func TestCaStorageAccounting(t *testing.T) {
+	cfg := DefaultCaConfig(131072, 8192)
+	// History table is the published 120 B; the total adds the 64-entry
+	// counter table (row 17b + link 13b + count 8b + lock 1b).
+	if cfg.HistoryBytes() != 120 {
+		t.Fatalf("HistoryBytes = %d", cfg.HistoryBytes())
+	}
+	total := cfg.TotalBytes()
+	if total <= 120 || total > 600 {
+		t.Fatalf("TotalBytes = %d, implausible vs the paper's 374 B", total)
+	}
+}
+
+func mustCa(t *testing.T, banks int, seed uint64) *CaPRoMi {
+	t.Helper()
+	c, err := NewCa(banks, testCaConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCaCountsActivations(t *testing.T) {
+	c := mustCa(t, 1, 1)
+	for i := 0; i < 5; i++ {
+		c.OnActivate(0, 100, 10, nil)
+	}
+	c.OnActivate(0, 200, 10, nil)
+	if got := c.CounterOccupancy(0); got != 2 {
+		t.Fatalf("occupancy = %d, want 2", got)
+	}
+	if got := c.cnts[0][0].cnt; got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+}
+
+func TestCaLockBitSetAtThreshold(t *testing.T) {
+	c := mustCa(t, 1, 1)
+	for i := uint32(0); i < c.cfg.LockThreshold; i++ {
+		c.OnActivate(0, 100, 10, nil)
+	}
+	if !c.cnts[0][0].locked {
+		t.Fatal("entry not locked at threshold")
+	}
+}
+
+func TestCaReplacementSkipsLocked(t *testing.T) {
+	c := mustCa(t, 1, 1)
+	// Lock entry for row 0.
+	for i := uint32(0); i < c.cfg.LockThreshold; i++ {
+		c.OnActivate(0, 0, 10, nil)
+	}
+	// Fill the rest of the table with singles.
+	for r := 1; r < c.cfg.CounterEntries; r++ {
+		c.OnActivate(0, r*10, 10, nil)
+	}
+	// Insert many more rows, forcing replacements.
+	for r := 0; r < 500; r++ {
+		c.OnActivate(0, 5000+r, 10, nil)
+	}
+	// The locked entry must have survived every replacement.
+	found := false
+	for _, e := range c.cnts[0] {
+		if e.row == 0 && e.locked {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("locked entry was replaced")
+	}
+	if got := c.CounterOccupancy(0); got != c.cfg.CounterEntries {
+		t.Fatalf("occupancy = %d, want full table %d", got, c.cfg.CounterEntries)
+	}
+}
+
+func TestCaReplacementFailsWhenAllLocked(t *testing.T) {
+	cfg := testCaConfig()
+	cfg.CounterEntries = 4
+	cfg.LockThreshold = 2
+	c, err := NewCa(1, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		c.OnActivate(0, r, 10, nil)
+		c.OnActivate(0, r, 10, nil) // second hit locks
+	}
+	c.OnActivate(0, 999, 10, nil) // nowhere to go
+	if c.ReplaceFails != 1 {
+		t.Fatalf("ReplaceFails = %d, want 1", c.ReplaceFails)
+	}
+	for _, e := range c.cnts[0] {
+		if e.row == 999 {
+			t.Fatal("insert succeeded despite all-locked table")
+		}
+	}
+}
+
+func TestCaActEmitsNothing(t *testing.T) {
+	c := mustCa(t, 1, 1)
+	var cmds []mitigation.Command
+	for i := 0; i < 100000; i++ {
+		cmds = c.OnActivate(0, 100, 512, cmds)
+	}
+	if len(cmds) != 0 {
+		t.Fatal("CaPRoMi emitted commands during activations; decisions are collective at ref")
+	}
+}
+
+func TestCaCollectiveDecisionAtRef(t *testing.T) {
+	c := mustCa(t, 1, 7)
+	// Row 0 (fr = 0) hammered hard; decide at a late interval where the
+	// weight is maximal: p = cnt * LogWeight(1000) * 2^-20
+	//                      = 160 * 1024 / 2^20 ≈ 0.156 per interval.
+	triggers := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 160; i++ {
+			c.OnActivate(0, 0, 1000, nil)
+		}
+		cmds := c.OnRefreshInterval(1000, nil)
+		triggers += len(cmds)
+		for _, cmd := range cmds {
+			if cmd.Kind != mitigation.ActN || cmd.Row != 0 {
+				t.Fatalf("unexpected command %+v", cmd)
+			}
+		}
+		// Counter table restarts each interval.
+		if c.CounterOccupancy(0) != 0 {
+			t.Fatal("counter table not cleared at interval end")
+		}
+		// Reset history so every round sees the full weight.
+		c.History(0).Clear()
+	}
+	// Expected ≈ 200 * 0.156 ≈ 31; accept a generous band.
+	if triggers < 10 || triggers > 70 {
+		t.Fatalf("collective triggers = %d, want ≈31", triggers)
+	}
+}
+
+func TestCaHistoryLinkLowersWeight(t *testing.T) {
+	c := mustCa(t, 1, 3)
+	// Pretend an extra activation for row 0 happened at interval 999.
+	c.History(0).Record(0, 999)
+	c.OnActivate(0, 0, 1000, nil)
+	e := c.cnts[0][0]
+	if e.hist != 999 {
+		t.Fatalf("history link = %d, want 999", e.hist)
+	}
+	// The decision at interval 1000 uses weight LogWeight(1) = 2 instead
+	// of LogWeight(1000) = 1024: with cnt=1 the probability is 2^-19, so
+	// 1000 trials should essentially never trigger.
+	triggers := 0
+	for i := 0; i < 1000; i++ {
+		c.cnts[0] = c.cnts[0][:0]
+		c.OnActivate(0, 0, 1000, nil)
+		triggers += len(c.OnRefreshInterval(1000, nil))
+	}
+	if triggers > 2 {
+		t.Fatalf("linked-history weight did not suppress triggers: %d", triggers)
+	}
+}
+
+func TestCaTriggerUpdatesHistory(t *testing.T) {
+	c := mustCa(t, 1, 5)
+	for {
+		for i := 0; i < 160; i++ {
+			c.OnActivate(0, 0, 1000, nil)
+		}
+		if cmds := c.OnRefreshInterval(1000, nil); len(cmds) > 0 {
+			break
+		}
+	}
+	if iv, ok := c.History(0).Lookup(0); !ok || iv != 1000 {
+		t.Fatalf("history after trigger: %d,%v", iv, ok)
+	}
+}
+
+func TestCaOnNewWindowClearsEverything(t *testing.T) {
+	c := mustCa(t, 2, 1)
+	c.OnActivate(0, 5, 10, nil)
+	c.History(1).Record(9, 9)
+	c.OnNewWindow()
+	if c.CounterOccupancy(0) != 0 || c.History(1).Occupancy() != 0 {
+		t.Fatal("window change left state behind")
+	}
+}
+
+func TestCaCycleModelMatchesTableII(t *testing.T) {
+	cfg := DefaultCaConfig(131072, 8192)
+	c, err := NewCa(1, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ActCycles(); got != 50 {
+		t.Errorf("ActCycles = %d, want 50 (Table II)", got)
+	}
+	if got := c.RefCycles(); got != 258 {
+		t.Errorf("RefCycles = %d, want 258 (Table II)", got)
+	}
+	// And both fit the DDR4 budgets (54 / 420).
+	if c.ActCycles() > 54 || c.RefCycles() > 420 {
+		t.Error("CaPRoMi violates the DDR4 cycle budgets")
+	}
+}
+
+func TestCaResetReproduces(t *testing.T) {
+	run := func(c *CaPRoMi) int {
+		trig := 0
+		for round := 0; round < 50; round++ {
+			for i := 0; i < 100; i++ {
+				c.OnActivate(0, 0, 900, nil)
+			}
+			trig += len(c.OnRefreshInterval(900, nil))
+		}
+		return trig
+	}
+	c := mustCa(t, 1, 77)
+	a := run(c)
+	c.Reset()
+	if b := run(c); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}

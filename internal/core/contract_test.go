@@ -1,0 +1,13 @@
+package core
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation/mtest"
+)
+
+func TestLiPRoMiContract(t *testing.T)   { mtest.RunContract(t, LiFactory) }
+func TestLoPRoMiContract(t *testing.T)   { mtest.RunContract(t, LoFactory) }
+func TestLoLiPRoMiContract(t *testing.T) { mtest.RunContract(t, LoLiFactory) }
+func TestCaPRoMiContract(t *testing.T)   { mtest.RunContract(t, CaFactory) }
+func TestQuaPRoMiContract(t *testing.T)  { mtest.RunContract(t, QuaFactory) }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tivapromi/internal/mitigation"
+)
+
+func TestQuadWeightExamples(t *testing.T) {
+	const refInt = 1024
+	cases := map[int]int{
+		0:    1,    // (1)²/1024 rounds up to 1: minimal escape probability
+		31:   1,    // (32)²/1024 = 1
+		63:   4,    // 64² = 4096 / 1024
+		511:  256,  // 512²/1024
+		1023: 1024, // full window: the PARA-level bound
+	}
+	for w, want := range cases {
+		if got := QuadWeight(w, refInt); got != want {
+			t.Errorf("QuadWeight(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestQuadWeightProperties(t *testing.T) {
+	f := func(a uint16) bool {
+		const refInt = 1024
+		w := int(a) % refInt
+		q := QuadWeight(w, refInt)
+		// Positive, bounded by RefInt, and below the linear weight except
+		// near the window's end (the late-ramp property).
+		if q < 1 || q > refInt {
+			return false
+		}
+		if w > 0 && w < refInt-1 && q > w+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadWeightMonotone(t *testing.T) {
+	prev := 0
+	for w := 0; w < 8192; w++ {
+		q := QuadWeight(w, 8192)
+		if q < prev {
+			t.Fatalf("not monotone at %d", w)
+		}
+		prev = q
+	}
+}
+
+func TestQuadWeightPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	QuadWeight(-1, 1024)
+}
+
+func TestQuaPRoMiVariant(t *testing.T) {
+	if QuaPRoMi.String() != "QuaPRoMi" {
+		t.Fatal("name wrong")
+	}
+	m := MustNew(QuaPRoMi, 1, testConfig(), 1)
+	if m.Name() != "QuaPRoMi" {
+		t.Fatal("mitigator name wrong")
+	}
+	// Quadratic weight at interval 100 for row 0: (101)²/1024 = 10.
+	if w := m.EffectiveWeight(0, 0, 100); w != 10 {
+		t.Fatalf("weight = %d, want 10", w)
+	}
+	// Below the linear variant's weight at the same point.
+	li := MustNew(LiPRoMi, 1, testConfig(), 1)
+	if m.EffectiveWeight(0, 0, 100) >= li.EffectiveWeight(0, 0, 100) {
+		t.Fatal("quadratic weight not below linear mid-window")
+	}
+	if m.ActCycles() > 54 {
+		t.Fatal("QuaPRoMi exceeds the act budget")
+	}
+}
+
+func TestQuaPRoMiRegistered(t *testing.T) {
+	f, err := mitigation.Lookup("QuaPRoMi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := f(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1)
+	if built.Name() != "QuaPRoMi" {
+		t.Fatal("factory mismatch")
+	}
+}

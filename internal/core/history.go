@@ -1,0 +1,78 @@
+package core
+
+// HistoryTable is the paper's small per-bank table of rows that already
+// received an extra activation, together with the refresh interval in
+// which the trigger happened. Replacement is FIFO; the table is cleared
+// when a new refresh window starts. Searching is sequential in hardware
+// (hence the 32-cycle search state in the Fig. 2 FSM) but need only finish
+// before the bank's next activation.
+type HistoryTable struct {
+	rows      []int32
+	intervals []int32
+	valid     []bool
+	next      int // FIFO replacement cursor
+}
+
+// NewHistoryTable returns a table with the given capacity (32 entries in
+// the paper, 120 B per 1 GB bank).
+func NewHistoryTable(entries int) *HistoryTable {
+	if entries <= 0 {
+		panic("core: history table needs at least one entry")
+	}
+	return &HistoryTable{
+		rows:      make([]int32, entries),
+		intervals: make([]int32, entries),
+		valid:     make([]bool, entries),
+	}
+}
+
+// Len returns the capacity of the table.
+func (h *HistoryTable) Len() int { return len(h.rows) }
+
+// Lookup returns the stored trigger interval for row and whether the row
+// is present.
+func (h *HistoryTable) Lookup(row int) (interval int, ok bool) {
+	r := int32(row)
+	for i, v := range h.valid {
+		if v && h.rows[i] == r {
+			return int(h.intervals[i]), true
+		}
+	}
+	return 0, false
+}
+
+// Record stores (row, interval). If the row is already present its
+// timestamp is updated in place; otherwise the FIFO-oldest slot is
+// replaced.
+func (h *HistoryTable) Record(row, interval int) {
+	r := int32(row)
+	for i, v := range h.valid {
+		if v && h.rows[i] == r {
+			h.intervals[i] = int32(interval)
+			return
+		}
+	}
+	h.rows[h.next] = r
+	h.intervals[h.next] = int32(interval)
+	h.valid[h.next] = true
+	h.next = (h.next + 1) % len(h.rows)
+}
+
+// Clear invalidates all entries (new refresh window).
+func (h *HistoryTable) Clear() {
+	for i := range h.valid {
+		h.valid[i] = false
+	}
+	h.next = 0
+}
+
+// Occupancy returns the number of valid entries.
+func (h *HistoryTable) Occupancy() int {
+	n := 0
+	for _, v := range h.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

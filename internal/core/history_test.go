@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHistoryLookupMiss(t *testing.T) {
+	h := NewHistoryTable(4)
+	if _, ok := h.Lookup(5); ok {
+		t.Fatal("empty table reported a hit")
+	}
+}
+
+func TestHistoryRecordAndLookup(t *testing.T) {
+	h := NewHistoryTable(4)
+	h.Record(10, 100)
+	iv, ok := h.Lookup(10)
+	if !ok || iv != 100 {
+		t.Fatalf("Lookup(10) = %d,%v", iv, ok)
+	}
+}
+
+func TestHistoryUpdateInPlace(t *testing.T) {
+	h := NewHistoryTable(4)
+	h.Record(10, 100)
+	h.Record(10, 200)
+	if h.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d after duplicate record", h.Occupancy())
+	}
+	iv, _ := h.Lookup(10)
+	if iv != 200 {
+		t.Fatalf("interval = %d, want updated 200", iv)
+	}
+}
+
+func TestHistoryFIFOReplacement(t *testing.T) {
+	h := NewHistoryTable(3)
+	h.Record(1, 10)
+	h.Record(2, 20)
+	h.Record(3, 30)
+	h.Record(4, 40) // evicts 1 (oldest)
+	if _, ok := h.Lookup(1); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	for _, row := range []int{2, 3, 4} {
+		if _, ok := h.Lookup(row); !ok {
+			t.Fatalf("row %d missing", row)
+		}
+	}
+	h.Record(5, 50) // evicts 2
+	if _, ok := h.Lookup(2); ok {
+		t.Fatal("FIFO order violated")
+	}
+}
+
+func TestHistoryInPlaceUpdateDoesNotResetFIFOAge(t *testing.T) {
+	h := NewHistoryTable(2)
+	h.Record(1, 10)
+	h.Record(2, 20)
+	h.Record(1, 11) // update, not reinsertion
+	h.Record(3, 30) // must evict 1 (slot-order FIFO, as in hardware)
+	if _, ok := h.Lookup(1); ok {
+		t.Fatal("in-place update changed replacement order")
+	}
+	if _, ok := h.Lookup(2); !ok {
+		t.Fatal("entry 2 wrongly evicted")
+	}
+}
+
+func TestHistoryClear(t *testing.T) {
+	h := NewHistoryTable(4)
+	h.Record(1, 1)
+	h.Record(2, 2)
+	h.Clear()
+	if h.Occupancy() != 0 {
+		t.Fatal("clear left valid entries")
+	}
+	if _, ok := h.Lookup(1); ok {
+		t.Fatal("lookup hit after clear")
+	}
+	// Table is reusable after clear.
+	h.Record(7, 70)
+	if iv, ok := h.Lookup(7); !ok || iv != 70 {
+		t.Fatal("table unusable after clear")
+	}
+}
+
+func TestHistoryCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-capacity table accepted")
+		}
+	}()
+	NewHistoryTable(0)
+}
+
+func TestHistoryOccupancyNeverExceedsCapacity(t *testing.T) {
+	f := func(rows []uint16) bool {
+		h := NewHistoryTable(8)
+		for i, r := range rows {
+			h.Record(int(r), i)
+			if h.Occupancy() > h.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryLastRecordAlwaysPresent(t *testing.T) {
+	f := func(rows []uint16) bool {
+		h := NewHistoryTable(4)
+		for i, r := range rows {
+			h.Record(int(r), i)
+			if iv, ok := h.Lookup(int(r)); !ok || iv != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

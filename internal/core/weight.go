@@ -1,0 +1,67 @@
+// Package core implements TiVaPRoMi, the paper's contribution: Row-Hammer
+// mitigation with time-varying weighted probabilities in four variants —
+// LiPRoMi (linear weighting), LoPRoMi (logarithmic), LoLiPRoMi
+// (logarithmic/linear) and CaPRoMi (counter-assisted).
+//
+// The probability of protecting the neighbors of an activated row r is
+// p_r = w_r * Pbase, where w_r counts refresh intervals since r was last
+// refreshed (Eq. 1) — or, when r already triggered an extra activation
+// recorded in the small per-bank history table, since that trigger. Pbase
+// is chosen so RefInt*Pbase ≈ 0.001, bounding the maximum probability at
+// PARA's static value.
+package core
+
+import "math/bits"
+
+// Weight computes Eq. 1: the number of refresh intervals since the
+// reference interval `since` (the row's nominal refresh slot fr, or the
+// history-table timestamp), given the current in-window interval i and the
+// window length refInt. The wrap case i < since means `since` belongs to
+// the previous window.
+func Weight(i, since, refInt int) int {
+	w := i - since
+	if w < 0 {
+		w += refInt
+	}
+	return w
+}
+
+// LogWeight computes Eq. 2: w_log = 2^ceil(log2(w+1)). All weights between
+// two powers of two share the same value (e.g. every w in [16, 31] maps to
+// 32), which is what a modified priority encoder produces in hardware. The
+// +1 handles the corner case w = 0 (result 1, never 0: a just-refreshed
+// row keeps a nonzero escape probability).
+func LogWeight(w int) int {
+	if w < 0 {
+		panic("core: negative weight")
+	}
+	x := uint(w + 1)
+	if x&(x-1) == 0 {
+		return int(x)
+	}
+	return 1 << bits.Len(x)
+}
+
+// QuadWeight computes the EXTENSION variant's quadratic weighting:
+// ceil((w+1)² / RefInt). Like Eq. 2 it preserves the probability bound
+// (w = RefInt-1 maps to RefInt, i.e. p = RefInt * Pbase), but instead of
+// ramping fast at low weights it stays minimal for most of the window —
+// the mirror-image trade-off of LoPRoMi.
+func QuadWeight(w, refInt int) int {
+	if w < 0 {
+		panic("core: negative weight")
+	}
+	x := w + 1
+	return (x*x + refInt - 1) / refInt
+}
+
+// ProbBits returns the fixed-point comparator resolution that realizes the
+// paper's Pbase choice for a given window length: Pbase = 2^-bits with
+// RefInt * Pbase = 2^-10 ≈ 0.001 (for the paper's RefInt = 8192 this gives
+// the published Pbase = 2^-23). refInt must be a power of two.
+func ProbBits(refInt int) uint {
+	if refInt <= 0 || refInt&(refInt-1) != 0 {
+		panic("core: RefInt must be a positive power of two")
+	}
+	return uint(bits.Len(uint(refInt))-1) + 10
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightExamples(t *testing.T) {
+	const refInt = 8192
+	cases := []struct {
+		i, since, want int
+	}{
+		{0, 0, 0},
+		{10, 3, 7},
+		{3, 10, 3 - 10 + refInt}, // wrap: since belongs to the previous window
+		{refInt - 1, 0, refInt - 1},
+		{0, refInt - 1, 1},
+	}
+	for _, c := range cases {
+		if got := Weight(c.i, c.since, refInt); got != c.want {
+			t.Errorf("Weight(%d,%d) = %d, want %d", c.i, c.since, got, c.want)
+		}
+	}
+}
+
+func TestWeightBoundsProperty(t *testing.T) {
+	// Eq. 1 always yields 0 <= w < RefInt for in-range inputs.
+	f := func(a, b uint16) bool {
+		const refInt = 1024
+		i, since := int(a)%refInt, int(b)%refInt
+		w := Weight(i, since, refInt)
+		return w >= 0 && w < refInt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightZeroIffJustRefreshed(t *testing.T) {
+	f := func(a uint16) bool {
+		const refInt = 1024
+		i := int(a) % refInt
+		return Weight(i, i, refInt) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogWeightPaperExamples(t *testing.T) {
+	// "for all values between 16 and 31, their weight will be constant 32"
+	for w := 16; w <= 31; w++ {
+		if got := LogWeight(w); got != 32 {
+			t.Errorf("LogWeight(%d) = %d, want 32", w, got)
+		}
+	}
+	cases := map[int]int{0: 1, 1: 2, 2: 4, 3: 4, 4: 8, 7: 8, 8: 16, 15: 16, 32: 64, 8191: 8192}
+	for w, want := range cases {
+		if got := LogWeight(w); got != want {
+			t.Errorf("LogWeight(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestLogWeightProperties(t *testing.T) {
+	f := func(a uint16) bool {
+		w := int(a) % 8192
+		lw := LogWeight(w)
+		// Power of two, dominates the linear weight, and is at most
+		// 2*(w+1).
+		return lw > 0 && lw&(lw-1) == 0 && lw >= w && lw <= 2*(w+1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogWeightMonotone(t *testing.T) {
+	prev := 0
+	for w := 0; w < 10000; w++ {
+		lw := LogWeight(w)
+		if lw < prev {
+			t.Fatalf("LogWeight not monotone at %d: %d < %d", w, lw, prev)
+		}
+		prev = lw
+	}
+}
+
+func TestLogWeightPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative weight")
+		}
+	}()
+	LogWeight(-1)
+}
+
+func TestProbBits(t *testing.T) {
+	// Paper: RefInt = 8192 gives Pbase = 2^-23.
+	if got := ProbBits(8192); got != 23 {
+		t.Fatalf("ProbBits(8192) = %d, want 23", got)
+	}
+	// Scaled: RefInt = 1024 gives Pbase = 2^-20, so RefInt*Pbase stays 2^-10.
+	if got := ProbBits(1024); got != 20 {
+		t.Fatalf("ProbBits(1024) = %d, want 20", got)
+	}
+}
+
+func TestProbBitsInvariant(t *testing.T) {
+	// RefInt * Pbase = 2^-10 for all powers of two.
+	for refInt := 2; refInt <= 1<<20; refInt <<= 1 {
+		bits := ProbBits(refInt)
+		// refInt * 2^-bits == 2^-10 <=> log2(refInt) - bits == -10
+		lg := 0
+		for v := refInt; v > 1; v >>= 1 {
+			lg++
+		}
+		if int(bits)-lg != 10 {
+			t.Fatalf("RefInt %d: bits %d breaks RefInt*Pbase = 2^-10", refInt, bits)
+		}
+	}
+}
+
+func TestProbBitsPanicsOnNonPowerOfTwo(t *testing.T) {
+	for _, v := range []int{0, -8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ProbBits(%d) did not panic", v)
+				}
+			}()
+			ProbBits(v)
+		}()
+	}
+}

@@ -1,0 +1,185 @@
+// Package cpu is the trace front-end: simple cores executing synthetic
+// programs through the cache hierarchy of internal/cache, producing the
+// DRAM access stream a gem5 run would produce (the paper's Table I
+// front-end: 4 cores, 64 KB L1, 256 KB L2).
+//
+// The front-end exists to derive and validate the post-cache traffic
+// statistics that the faster generators in internal/workload mimic at
+// scale; cmd/tracegen exposes it directly.
+package cpu
+
+import (
+	"fmt"
+
+	"tivapromi/internal/cache"
+	"tivapromi/internal/rng"
+)
+
+// Op is one instruction-level memory operation.
+type Op struct {
+	Addr  uint64
+	Write bool
+	// Flush issues a CLFLUSH of Addr instead of a load/store — the
+	// attacker's tool.
+	Flush bool
+}
+
+// Program produces a core's memory-operation stream.
+type Program interface {
+	// Name identifies the program in reports.
+	Name() string
+	// Next returns the next operation.
+	Next() Op
+}
+
+// StreamProgram sweeps a region sequentially with a fixed stride,
+// libquantum-style.
+type StreamProgram struct {
+	base, size, stride uint64
+	pos                uint64
+	src                *rng.XorShift64Star
+}
+
+// NewStreamProgram returns a streaming program over [base, base+size).
+func NewStreamProgram(base, size, stride uint64, seed uint64) *StreamProgram {
+	if stride == 0 {
+		stride = 8
+	}
+	return &StreamProgram{base: base, size: size, stride: stride,
+		src: rng.NewXorShift64Star(seed)}
+}
+
+// Name implements Program.
+func (p *StreamProgram) Name() string { return "stream" }
+
+// Next implements Program.
+func (p *StreamProgram) Next() Op {
+	addr := p.base + p.pos
+	p.pos += p.stride
+	if p.pos >= p.size {
+		p.pos = 0
+	}
+	return Op{Addr: addr, Write: p.src.Uint64()&3 == 0}
+}
+
+// ChaseProgram walks pseudo-random locations in a region, mcf-style: the
+// next address depends on the current one, defeating prefetch-like
+// locality while revisiting a bounded working set.
+type ChaseProgram struct {
+	base, size uint64
+	cur        uint64
+	src        *rng.XorShift64Star
+}
+
+// NewChaseProgram returns a pointer-chasing program over [base, base+size).
+func NewChaseProgram(base, size uint64, seed uint64) *ChaseProgram {
+	return &ChaseProgram{base: base, size: size, src: rng.NewXorShift64Star(seed)}
+}
+
+// Name implements Program.
+func (p *ChaseProgram) Name() string { return "chase" }
+
+// Next implements Program.
+func (p *ChaseProgram) Next() Op {
+	// Hash-walk: deterministic function of the previous position.
+	p.cur = (p.cur*6364136223846793005 + 1442695040888963407) ^ p.src.Uint64()>>48
+	addr := p.base + (p.cur % p.size)
+	return Op{Addr: addr &^ 7, Write: p.src.Uint64()&7 == 0}
+}
+
+// HammerProgram is the attacker: it alternates CLFLUSH and loads over a
+// set of aggressor addresses, the Kim et al. cache-flush attack loop.
+type HammerProgram struct {
+	addrs []uint64
+	pos   int
+	flush bool
+}
+
+// NewHammerProgram returns an attacker hammering the given addresses. It
+// panics on an empty target list; an attack needs targets.
+func NewHammerProgram(addrs []uint64) *HammerProgram {
+	if len(addrs) == 0 {
+		panic("cpu: hammer program needs at least one address")
+	}
+	return &HammerProgram{addrs: append([]uint64(nil), addrs...), flush: true}
+}
+
+// Name implements Program.
+func (p *HammerProgram) Name() string { return "hammer" }
+
+// Next implements Program: flush then load, per aggressor, round-robin.
+func (p *HammerProgram) Next() Op {
+	addr := p.addrs[p.pos]
+	if p.flush {
+		p.flush = false
+		return Op{Addr: addr, Flush: true}
+	}
+	p.flush = true
+	p.pos = (p.pos + 1) % len(p.addrs)
+	return Op{Addr: addr}
+}
+
+// System runs one program per core through a shared cache hierarchy and
+// hands the resulting DRAM operations to a sink.
+type System struct {
+	programs []Program
+	hier     *cache.Hierarchy
+	sink     func(cache.MemOp)
+	buf      []cache.MemOp
+	ops      uint64
+	memOps   uint64
+}
+
+// NewSystem builds the front-end. sink receives every DRAM-level
+// operation in program order.
+func NewSystem(programs []Program, l1, l2 cache.Config, sink func(cache.MemOp)) (*System, error) {
+	if len(programs) == 0 {
+		return nil, fmt.Errorf("cpu: no programs")
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("cpu: nil sink")
+	}
+	h, err := cache.NewHierarchy(len(programs), l1, l2)
+	if err != nil {
+		return nil, err
+	}
+	return &System{programs: programs, hier: h, sink: sink}, nil
+}
+
+// DefaultL1 returns the Table I L1 configuration (64 KB, 8-way).
+func DefaultL1() cache.Config { return cache.Config{SizeBytes: 64 << 10, LineBytes: 64, Ways: 8} }
+
+// DefaultL2 returns the Table I L2 configuration (256 KB, 16-way).
+func DefaultL2() cache.Config { return cache.Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 16} }
+
+// Hierarchy exposes the cache hierarchy (stats, tests).
+func (s *System) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// Ops returns the executed instruction-level operation count.
+func (s *System) Ops() uint64 { return s.ops }
+
+// MemOps returns the DRAM-level operation count produced so far.
+func (s *System) MemOps() uint64 { return s.memOps }
+
+// Step executes one operation on one core.
+func (s *System) Step(core int) {
+	op := s.programs[core].Next()
+	s.ops++
+	if op.Flush {
+		s.buf = s.hier.Flush(core, op.Addr, s.buf[:0])
+	} else {
+		s.buf = s.hier.Access(core, op.Addr, op.Write, s.buf[:0])
+	}
+	for _, m := range s.buf {
+		s.memOps++
+		s.sink(m)
+	}
+}
+
+// Run executes n operations round-robin across the cores.
+func (s *System) Run(n uint64) {
+	cores := len(s.programs)
+	for i := uint64(0); i < n; i++ {
+		s.Step(int(i) % cores)
+	}
+}

@@ -1,0 +1,140 @@
+package cpu
+
+import (
+	"testing"
+
+	"tivapromi/internal/cache"
+)
+
+func collectSystem(t *testing.T, programs []Program) (*System, *[]cache.MemOp) {
+	t.Helper()
+	var ops []cache.MemOp
+	s, err := NewSystem(programs, DefaultL1(), DefaultL2(), func(m cache.MemOp) {
+		ops = append(ops, m)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &ops
+}
+
+func TestStreamProgramSweeps(t *testing.T) {
+	p := NewStreamProgram(0x1000, 1<<20, 64, 1)
+	first := p.Next()
+	second := p.Next()
+	if second.Addr != first.Addr+64 {
+		t.Fatalf("stride broken: %x -> %x", first.Addr, second.Addr)
+	}
+	// Wraps at region end.
+	steps := (1 << 20) / 64
+	for i := 0; i < steps; i++ {
+		p.Next()
+	}
+	if got := p.Next().Addr; got < 0x1000 || got >= 0x1000+(1<<20) {
+		t.Fatalf("left the region: %x", got)
+	}
+}
+
+func TestChaseProgramStaysInRegion(t *testing.T) {
+	p := NewChaseProgram(0x10000, 1<<16, 2)
+	for i := 0; i < 10000; i++ {
+		op := p.Next()
+		if op.Addr < 0x10000 || op.Addr >= 0x10000+(1<<16) {
+			t.Fatalf("escaped region: %x", op.Addr)
+		}
+		if op.Flush {
+			t.Fatal("chase program flushed")
+		}
+	}
+}
+
+func TestHammerAlternatesFlushLoad(t *testing.T) {
+	p := NewHammerProgram([]uint64{0xa000, 0xb000})
+	seq := []Op{p.Next(), p.Next(), p.Next(), p.Next()}
+	if !seq[0].Flush || seq[1].Flush || !seq[2].Flush || seq[3].Flush {
+		t.Fatalf("flush pattern broken: %+v", seq)
+	}
+	if seq[0].Addr != 0xa000 || seq[1].Addr != 0xa000 || seq[2].Addr != 0xb000 {
+		t.Fatalf("address rotation broken: %+v", seq)
+	}
+}
+
+func TestHammerPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty hammer accepted")
+		}
+	}()
+	NewHammerProgram(nil)
+}
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, DefaultL1(), DefaultL2(), func(cache.MemOp) {}); err == nil {
+		t.Fatal("no programs accepted")
+	}
+	if _, err := NewSystem([]Program{NewStreamProgram(0, 1<<20, 64, 1)}, DefaultL1(), DefaultL2(), nil); err == nil {
+		t.Fatal("nil sink accepted")
+	}
+}
+
+func TestCacheFiltersWorkloadTraffic(t *testing.T) {
+	// A small streaming working set should be mostly absorbed by the
+	// caches: DRAM traffic far below instruction traffic.
+	s, ops := collectSystem(t, []Program{NewStreamProgram(0, 32<<10, 8, 1)})
+	s.Run(100_000)
+	if s.Ops() != 100_000 {
+		t.Fatalf("ops = %d", s.Ops())
+	}
+	ratio := float64(len(*ops)) / 100_000
+	if ratio > 0.05 {
+		t.Fatalf("DRAM traffic ratio %.3f, want <0.05 for a cached stream", ratio)
+	}
+}
+
+func TestHammerTrafficBypassesCache(t *testing.T) {
+	// The attacker's flush+load pattern must reach DRAM on (almost) every
+	// load: one memory op per two instruction ops.
+	s, ops := collectSystem(t, []Program{NewHammerProgram([]uint64{0x100000, 0x200000})})
+	s.Run(10_000)
+	// 5000 loads; each should miss.
+	if got := len(*ops); got < 4900 {
+		t.Fatalf("hammer produced %d DRAM ops from 5000 loads", got)
+	}
+}
+
+func TestMixedSystemInterleavesCores(t *testing.T) {
+	s, ops := collectSystem(t, []Program{
+		NewStreamProgram(0, 1<<20, 64, 1),
+		NewChaseProgram(1<<21, 1<<20, 2),
+		NewHammerProgram([]uint64{1 << 22, 1<<22 + 1<<14}),
+		NewStreamProgram(1<<23, 1<<20, 64, 3),
+	})
+	s.Run(40_000)
+	if len(*ops) == 0 {
+		t.Fatal("no DRAM traffic")
+	}
+	if s.MemOps() != uint64(len(*ops)) {
+		t.Fatalf("MemOps = %d, sank %d", s.MemOps(), len(*ops))
+	}
+	// Hammer core (every 4th op) dominates DRAM traffic: 5000 loads
+	// mostly missing vs cached workloads.
+	if float64(len(*ops)) < 4000 {
+		t.Fatalf("DRAM ops = %d, expected attacker-dominated traffic", len(*ops))
+	}
+}
+
+func TestWriteBacksCarryWriteFlag(t *testing.T) {
+	// Dirty lines evicted from a tiny working set must surface as write
+	// DRAM ops eventually.
+	s, ops := collectSystem(t, []Program{NewChaseProgram(0, 8<<20, 7)})
+	s.Run(400_000)
+	writes := 0
+	for _, op := range *ops {
+		if op.Write {
+			writes++
+		}
+	}
+	if writes == 0 {
+		t.Fatal("no write-backs from a write-heavy chase over 8 MB")
+	}
+}

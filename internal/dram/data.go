@@ -1,0 +1,102 @@
+package dram
+
+import (
+	"fmt"
+
+	"tivapromi/internal/rng"
+)
+
+// This file gives the device actual data contents, sparsely: rows hold
+// bytes only once written, and a disturbance crossing the flip threshold
+// corrupts a pseudo-random bit of the victim row — so an attack produces
+// observable data corruption, not just an event. The corruption position
+// is deterministic in (bank, row, window): real Row-Hammer flips are
+// cell-position dependent and repeatable, which is what makes the attack
+// exploitable (Flip Feng Shui [15]).
+
+// rowKey addresses a stored row.
+type rowKey struct {
+	bank int32
+	row  int32
+}
+
+// dataStore is the sparse content store, attached lazily to a Device.
+type dataStore struct {
+	rows     map[rowKey][]byte
+	rowBytes int
+	seed     uint64
+	// Corruptions counts bits flipped in stored rows.
+	corruptions uint64
+}
+
+// EnableDataStore turns on sparse data storage. Rows are rowBytes wide
+// (the device's RowBytes by default when 0 is passed).
+func (d *Device) EnableDataStore(seed uint64) {
+	if d.data == nil {
+		d.data = &dataStore{
+			rows:     make(map[rowKey][]byte),
+			rowBytes: d.p.RowBytes,
+			seed:     seed,
+		}
+	}
+}
+
+// WriteData stores bytes at an offset within a row. The device must have
+// the data store enabled; out-of-range writes panic (they are programming
+// errors in the experiment, not runtime conditions).
+func (d *Device) WriteData(bank, row, offset int, data []byte) {
+	d.checkAddr(bank, row)
+	if d.data == nil {
+		panic("dram: data store not enabled")
+	}
+	if offset < 0 || offset+len(data) > d.data.rowBytes {
+		panic(fmt.Sprintf("dram: write [%d, %d) outside row of %d bytes",
+			offset, offset+len(data), d.data.rowBytes))
+	}
+	key := rowKey{bank: int32(bank), row: d.l2p[row]}
+	buf, ok := d.data.rows[key]
+	if !ok {
+		buf = make([]byte, d.data.rowBytes)
+		d.data.rows[key] = buf
+	}
+	copy(buf[offset:], data)
+}
+
+// ReadData returns n bytes at an offset within a row (zeroes for rows
+// never written).
+func (d *Device) ReadData(bank, row, offset, n int) []byte {
+	d.checkAddr(bank, row)
+	if d.data == nil {
+		panic("dram: data store not enabled")
+	}
+	out := make([]byte, n)
+	key := rowKey{bank: int32(bank), row: d.l2p[row]}
+	if buf, ok := d.data.rows[key]; ok {
+		copy(out, buf[offset:offset+n])
+	}
+	return out
+}
+
+// Corruptions returns the number of data bits flipped by Row-Hammer so
+// far (0 when the store is disabled).
+func (d *Device) Corruptions() uint64 {
+	if d.data == nil {
+		return 0
+	}
+	return d.data.corruptions
+}
+
+// corrupt flips one deterministic bit in the victim row's stored data (a
+// row never written has no observable content to corrupt, matching real
+// attacks: the flip lands wherever the victim's data lives).
+func (ds *dataStore) corrupt(bank, prow, window int) {
+	key := rowKey{bank: int32(bank), row: int32(prow)}
+	buf, ok := ds.rows[key]
+	if !ok {
+		return
+	}
+	src := rng.NewXorShift64Star(ds.seed ^ uint64(bank)<<40 ^ uint64(prow)<<16 ^ uint64(window))
+	bit := rng.Intn(src, len(buf)*8)
+	buf[bit/8] ^= 1 << (bit % 8)
+	ds.corruptions++
+}

@@ -1,0 +1,286 @@
+package dram
+
+import "fmt"
+
+// FlipEvent records a victim row crossing the disturbance threshold — a
+// successful Row-Hammer attack.
+type FlipEvent struct {
+	Bank     int
+	Row      int // physical row
+	Window   int // refresh window in which the flip occurred
+	Interval int // global refresh-interval index at the time of the flip
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Activates        uint64 // normal row activations (workload + attacker)
+	NeighborActs     uint64 // activations issued by act_n commands
+	DirectRefreshes  uint64 // mitigation-issued single-row refreshes
+	AutoRefreshes    uint64 // rows restored by auto-refresh
+	Intervals        uint64 // refresh intervals elapsed
+	Flips            uint64 // threshold crossings
+	MaxActsInIntv    uint64 // max activations observed in one bank-interval
+	IntervalActsSum  uint64 // sum over bank-intervals of activation counts
+	IntervalActsSeen uint64 // number of bank-intervals counted
+}
+
+// AvgActsPerInterval returns the mean activations per bank per refresh
+// interval, the quantity the paper reports as ≈40 for its traces.
+func (s Stats) AvgActsPerInterval() float64 {
+	if s.IntervalActsSeen == 0 {
+		return 0
+	}
+	return float64(s.IntervalActsSum) / float64(s.IntervalActsSeen)
+}
+
+// Device is the simulated DRAM. It is not safe for concurrent use; the
+// experiment harness runs one Device per goroutine.
+type Device struct {
+	p      Params
+	policy RefreshPolicy
+
+	// disturb[b][r] counts neighbor activations of physical row r in bank
+	// b since r was last restored (refreshed or activated).
+	disturb [][]uint32
+	// l2p maps logical row addresses (as seen by the controller and the
+	// mitigations) to physical rows. Identity unless SetRowRemap is used.
+	l2p []int32
+	// intervalActs counts activations per bank within the current
+	// refresh interval, for trace statistics.
+	intervalActs []uint32
+
+	interval int // global interval counter
+	flips    []FlipEvent
+	// flipped marks rows already reported this window so a sustained
+	// attack yields one event per victim per window, as one data-corrupting
+	// flip would.
+	flipped map[int64]bool
+
+	stats Stats
+
+	// Observers, in event order (trace recording).
+	onAct      func(bank, row int)
+	onInterval func()
+
+	// data is the optional sparse content store (see data.go).
+	data *dataStore
+}
+
+// New creates a Device. A nil policy defaults to NewNeighborPolicy.
+func New(p Params, policy RefreshPolicy) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = NewNeighborPolicy(p)
+	}
+	d := &Device{
+		p:            p,
+		policy:       policy,
+		disturb:      make([][]uint32, p.Banks),
+		l2p:          make([]int32, p.RowsPerBank),
+		intervalActs: make([]uint32, p.Banks),
+		flipped:      make(map[int64]bool),
+	}
+	for b := range d.disturb {
+		d.disturb[b] = make([]uint32, p.RowsPerBank)
+	}
+	for r := range d.l2p {
+		d.l2p[r] = int32(r)
+	}
+	return d, nil
+}
+
+// Params returns the device parameters.
+func (d *Device) Params() Params { return d.p }
+
+// Policy returns the refresh policy in use.
+func (d *Device) Policy() RefreshPolicy { return d.policy }
+
+// SetRowRemap installs a logical-to-physical row permutation, modeling
+// spare-row replacement of defective rows. The slice must be a permutation
+// of [0, RowsPerBank); it is validated and copied.
+func (d *Device) SetRowRemap(perm []int) error {
+	if len(perm) != d.p.RowsPerBank {
+		return fmt.Errorf("dram: remap length %d, want %d", len(perm), d.p.RowsPerBank)
+	}
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			return fmt.Errorf("dram: remap is not a permutation")
+		}
+		seen[v] = true
+	}
+	for i, v := range perm {
+		d.l2p[i] = int32(v)
+	}
+	return nil
+}
+
+// Physical returns the physical row behind a logical row address.
+func (d *Device) Physical(row int) int { return int(d.l2p[row]) }
+
+// Interval returns the global refresh-interval counter.
+func (d *Device) Interval() int { return d.interval }
+
+// IntervalInWindow returns the current interval's index within its window.
+func (d *Device) IntervalInWindow() int { return d.interval % d.p.RefInt }
+
+// Window returns the current refresh-window index.
+func (d *Device) Window() int { return d.interval / d.p.RefInt }
+
+// Flips returns the recorded bit-flip events.
+func (d *Device) Flips() []FlipEvent { return d.flips }
+
+// Stats returns a copy of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// restore resets the disturbance of a physical row (its charge is
+// restored by an activation or refresh).
+func (d *Device) restore(bank, prow int) {
+	d.disturb[bank][prow] = 0
+}
+
+// disturbNeighbor bumps the disturbance counter of a physical row and
+// records a flip when the threshold is crossed.
+func (d *Device) disturbNeighbor(bank, prow int) {
+	c := d.disturb[bank][prow] + 1
+	d.disturb[bank][prow] = c
+	if c >= d.p.FlipThreshold {
+		key := int64(bank)<<32 | int64(prow)
+		if !d.flipped[key] {
+			d.flipped[key] = true
+			d.stats.Flips++
+			d.flips = append(d.flips, FlipEvent{
+				Bank: bank, Row: prow,
+				Window: d.Window(), Interval: d.interval,
+			})
+			if d.data != nil {
+				d.data.corrupt(bank, prow, d.Window())
+			}
+		}
+	}
+}
+
+// activatePhysical performs the electrical work of an activation of a
+// physical row: restore the row itself, disturb both physical neighbors.
+func (d *Device) activatePhysical(bank, prow int) {
+	d.restore(bank, prow)
+	if prow > 0 {
+		d.disturbNeighbor(bank, prow-1)
+	}
+	if prow < d.p.RowsPerBank-1 {
+		d.disturbNeighbor(bank, prow+1)
+	}
+}
+
+// SetObserver registers callbacks invoked on every normal activation and
+// on every interval advance, in event order — exactly the act/ref command
+// stream a mitigation observes. The trace recorder uses this. Either
+// callback may be nil.
+func (d *Device) SetObserver(onAct func(bank, row int), onInterval func()) {
+	d.onAct = onAct
+	d.onInterval = onInterval
+}
+
+// Activate performs a normal activation of a logical row, as issued by the
+// memory controller for a read or write.
+func (d *Device) Activate(bank, row int) {
+	d.checkAddr(bank, row)
+	d.stats.Activates++
+	d.intervalActs[bank]++
+	if d.onAct != nil {
+		d.onAct(bank, row)
+	}
+	d.activatePhysical(bank, int(d.l2p[row]))
+}
+
+// ActivateNeighbors executes the act_n maintenance command: the device
+// activates both physical neighbors of the given logical row, using its
+// internal mapping (Fig. 1: "the addresses of the two neighbors are not
+// passed directly, because they depend on the internal mapping").
+func (d *Device) ActivateNeighbors(bank, row int) {
+	d.checkAddr(bank, row)
+	prow := int(d.l2p[row])
+	if prow > 0 {
+		d.stats.NeighborActs++
+		d.activatePhysical(bank, prow-1)
+	}
+	if prow < d.p.RowsPerBank-1 {
+		d.stats.NeighborActs++
+		d.activatePhysical(bank, prow+1)
+	}
+}
+
+// ActivateNeighbor executes a one-sided variant of act_n: the device
+// activates the physical neighbor on the given side (-1 or +1) of the
+// logical row, resolving the internal mapping. PARA-style mitigations use
+// it to refresh one randomly chosen neighbor per trigger.
+func (d *Device) ActivateNeighbor(bank, row, side int) {
+	d.checkAddr(bank, row)
+	if side != -1 && side != 1 {
+		panic(fmt.Sprintf("dram: ActivateNeighbor side must be ±1, got %d", side))
+	}
+	prow := int(d.l2p[row]) + side
+	if prow < 0 || prow >= d.p.RowsPerBank {
+		return // edge row: no neighbor on that side
+	}
+	d.stats.NeighborActs++
+	d.activatePhysical(bank, prow)
+}
+
+// RefreshRow executes a mitigation-issued refresh of one logical row (the
+// style of command ProHit and MRLoc use, which addresses the victim row
+// directly by its logical N±1 address). Unlike act_n it does not consult
+// the neighbor mapping beyond the row's own remap entry, so under spare-row
+// remapping it can restore the wrong physical row — the weakness the paper
+// notes for those schemes.
+func (d *Device) RefreshRow(bank, row int) {
+	d.checkAddr(bank, row)
+	d.stats.DirectRefreshes++
+	d.activatePhysical(bank, int(d.l2p[row]))
+}
+
+// AdvanceInterval performs the auto-refresh work of the current refresh
+// interval on every bank and advances the interval counter. It returns the
+// physical rows that were refreshed (shared by all banks).
+func (d *Device) AdvanceInterval() []int {
+	if d.onInterval != nil {
+		d.onInterval()
+	}
+	win, iv := d.Window(), d.IntervalInWindow()
+	rows := d.policy.RowsFor(win, iv)
+	for b := 0; b < d.p.Banks; b++ {
+		for _, r := range rows {
+			d.restore(b, r)
+		}
+		// Interval statistics.
+		a := uint64(d.intervalActs[b])
+		if a > d.stats.MaxActsInIntv {
+			d.stats.MaxActsInIntv = a
+		}
+		d.stats.IntervalActsSum += a
+		d.stats.IntervalActsSeen++
+		d.intervalActs[b] = 0
+	}
+	d.stats.AutoRefreshes += uint64(len(rows) * d.p.Banks)
+	d.stats.Intervals++
+	d.interval++
+	if d.interval%d.p.RefInt == 0 {
+		// New window: victims refreshed, flip bookkeeping restarts.
+		for k := range d.flipped {
+			delete(d.flipped, k)
+		}
+	}
+	return rows
+}
+
+// Disturbance returns the current disturbance count of a physical row,
+// for tests and white-box experiments.
+func (d *Device) Disturbance(bank, prow int) uint32 { return d.disturb[bank][prow] }
+
+func (d *Device) checkAddr(bank, row int) {
+	if bank < 0 || bank >= d.p.Banks || row < 0 || row >= d.p.RowsPerBank {
+		panic(fmt.Sprintf("dram: address out of range: bank %d row %d", bank, row))
+	}
+}

@@ -1,0 +1,115 @@
+// Package dram models a DDR4 DRAM device at the granularity relevant for
+// Row-Hammer studies: banks, rows, refresh windows and intervals, a
+// per-row disturbance counter (charge loss caused by neighbor activations),
+// and the act_n "activate neighbors" maintenance command used by
+// memory-controller-level mitigations.
+//
+// The model is trace-level, not cell-level: a victim row flips bits when
+// the combined activations of its two physical neighbors since the victim
+// was last refreshed (or activated itself) reach the flip threshold, the
+// experimentally established 139 K of Kim et al. [12] used by the paper.
+package dram
+
+import "fmt"
+
+// Params describes the simulated device. The zero value is not usable;
+// start from PaperParams or ScaledParams and adjust.
+type Params struct {
+	// Banks is the number of independently attackable banks (across all
+	// channels and ranks).
+	Banks int
+	// RowsPerBank is the number of rows in each bank.
+	RowsPerBank int
+	// RefInt is the number of refresh intervals in one refresh window
+	// (tREFW / tREFI; 64 ms / 7.8 µs = 8192 for DDR4).
+	RefInt int
+	// FlipThreshold is the combined neighbor-activation count at which a
+	// victim row flips bits (139 K in the paper).
+	FlipThreshold uint32
+
+	// Timing, used by the controller model and for cycle budgets.
+	TRCNs        float64 // activate-to-activate, same bank (45 ns)
+	TRefIntNs    float64 // refresh interval tREFI (7800 ns)
+	TRFCNs       float64 // refresh command duration (350 ns)
+	IOFreqGHz    float64 // DDR4 interface frequency (1.2 GHz)
+	RowBytes     int     // bytes per row (8 KB)
+	MaxActsPerRI int     // max activations per bank per refresh interval (165)
+}
+
+// PaperParams returns the full Table I configuration: 1 GB banks of 8 KB
+// rows (131072 rows), 8192 refresh intervals per 64 ms window.
+func PaperParams() Params {
+	return Params{
+		Banks:         16,
+		RowsPerBank:   131072,
+		RefInt:        8192,
+		FlipThreshold: 139000,
+		TRCNs:         45,
+		TRefIntNs:     7800,
+		TRFCNs:        350,
+		IOFreqGHz:     1.2,
+		RowBytes:      8192,
+		MaxActsPerRI:  165,
+	}
+}
+
+// ScaledParams returns a reduced configuration for fast tests and default
+// simulator runs: the same refresh structure (16 rows per interval) with
+// fewer rows, banks, and intervals per window. The flip threshold scales
+// with the per-window activation budget so the attack remains exactly as
+// feasible as at paper scale (threshold / max-acts-per-window ≈ 0.1 in
+// both). All reported rates (overhead %, FPR %) are scale-invariant.
+func ScaledParams() Params {
+	p := PaperParams()
+	p.Banks = 4
+	p.RowsPerBank = 16384
+	p.RefInt = 1024 // 16 rows per interval, as in the paper
+	// The threshold cannot scale purely with the window budget: a
+	// probabilistic mitigation's miss probability depends on the number
+	// of Bernoulli trials before the threshold, and fewer intervals per
+	// window would overstate every technique's tail risk. 40960 keeps the
+	// protection hazard integral (rate * Pbase * intervals^2 / 2) at the
+	// paper's value of ≈7-12 while remaining well below the per-window
+	// activation budget, so unmitigated attacks still flip.
+	p.FlipThreshold = 40960
+	return p
+}
+
+// Validate reports structural problems with the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.Banks <= 0:
+		return fmt.Errorf("dram: Banks = %d, must be positive", p.Banks)
+	case p.RowsPerBank <= 1:
+		return fmt.Errorf("dram: RowsPerBank = %d, must be at least 2", p.RowsPerBank)
+	case p.RefInt <= 0:
+		return fmt.Errorf("dram: RefInt = %d, must be positive", p.RefInt)
+	case p.RowsPerBank%p.RefInt != 0:
+		return fmt.Errorf("dram: RowsPerBank (%d) must be a multiple of RefInt (%d)",
+			p.RowsPerBank, p.RefInt)
+	case p.FlipThreshold == 0:
+		return fmt.Errorf("dram: FlipThreshold must be positive")
+	}
+	return nil
+}
+
+// RowsPerInterval returns how many rows each refresh interval refreshes
+// (RowsPI in the paper).
+func (p Params) RowsPerInterval() int { return p.RowsPerBank / p.RefInt }
+
+// RefreshIntervalOf returns fr, the in-window refresh interval in which row
+// r is refreshed under the paper's neighboring-addresses assumption
+// (fr = r / RowsPI). Mitigations use this even when the device actually
+// refreshes in a different order; that mismatch is exactly what the
+// refresh-policy experiment of Section IV studies.
+func (p Params) RefreshIntervalOf(row int) int { return row / p.RowsPerInterval() }
+
+// ActCycleBudget returns how many mitigation clock cycles fit between two
+// activations of the same bank (tRC at the interface frequency); 54 for the
+// paper's DDR4 parameters.
+func (p Params) ActCycleBudget() int { return int(p.TRCNs * p.IOFreqGHz) }
+
+// RefCycleBudget returns how many mitigation clock cycles fit within a
+// refresh command (tRFC at the interface frequency); 420 for the paper's
+// DDR4 parameters.
+func (p Params) RefCycleBudget() int { return int(p.TRFCNs * p.IOFreqGHz) }

@@ -1,0 +1,122 @@
+package fsm
+
+// This file encodes the two FSMs of the paper as cycle-annotated machines.
+// State costs are derived from the hardware structure each state implies:
+// a sequential history-table search occupies one cycle per entry, weight
+// calculation is a subtract (plus wrap-mux, and for the logarithmic
+// variants a modified priority encoder folded into the same two cycles),
+// the decision is one comparator cycle, and table updates take one or two
+// cycles depending on whether the table write overlaps the act_n issue.
+// With the paper's table sizes these costs reproduce Table II exactly,
+// which the package tests assert.
+
+// LinearConfig parameterizes the Fig. 2 machine.
+type LinearConfig struct {
+	// HistoryEntries is the history-table size (sequential search cost).
+	HistoryEntries int
+	// OverlappedUpdate models LoLiPRoMi's one-cycle activate-and-update
+	// state (the table write overlaps the act_n handshake), which is why
+	// Table II reports 36 instead of 37 cycles for it.
+	OverlappedUpdate bool
+}
+
+// Fig2 builds the linear/logarithmic weighting FSM of Fig. 2.
+//
+// States and transitions follow the figure: on act the machine searches
+// the table, calculates the weight, decides, and on a positive decision
+// activates the neighbors and updates the table; on ref it updates the
+// refresh-interval register and resets the table when a new refresh
+// window starts.
+func Fig2(name string, cfg LinearConfig) *Machine {
+	update := 2
+	if cfg.OverlappedUpdate {
+		update = 1
+	}
+	m := New(name, "idle")
+	m.AddState("init", 1)
+	m.AddState("search in table", cfg.HistoryEntries)
+	m.AddState("calculate weight", 2)
+	m.AddState("decide", 1)
+	m.AddState("activate neighbor & update table", update)
+	m.AddState("update refresh interval", 1)
+	m.AddState("reset table", 2)
+
+	m.AddTransition("idle", "rst", "init")
+	m.AddTransition("init", "done", "idle")
+	m.AddTransition("idle", "act", "search in table")
+	m.AddTransition("search in table", "search_cm", "calculate weight")
+	m.AddTransition("calculate weight", "done", "decide")
+	m.AddTransition("decide", "neg", "idle")
+	m.AddTransition("decide", "pos", "activate neighbor & update table")
+	m.AddTransition("activate neighbor & update table", "done", "idle")
+	m.AddTransition("idle", "ref", "update refresh interval")
+	m.AddTransition("update refresh interval", "same_RW", "idle")
+	m.AddTransition("update refresh interval", "new_RW", "reset table")
+	m.AddTransition("reset table", "done", "idle")
+	return m
+}
+
+// CounterConfig parameterizes the Fig. 3 machine.
+type CounterConfig struct {
+	// CounterEntries is the counter-table size. The search state compares
+	// two entries per cycle (SearchLanes = 2 in the paper's sizing).
+	CounterEntries int
+	// SearchLanes is the number of parallel comparators in the
+	// search/increase state.
+	SearchLanes int
+	// HistoryEntries is the history-table size; the find-linked state
+	// searches it four entries per cycle.
+	HistoryEntries int
+	// DecideCyclesPerEntry is the per-entry cost of the collective
+	// weight/decision pass on ref (weight, multiply, compare, update).
+	DecideCyclesPerEntry int
+}
+
+// DefaultCounterConfig returns the paper's CaPRoMi sizing (64-entry
+// counter table, 32-entry history table).
+func DefaultCounterConfig() CounterConfig {
+	return CounterConfig{
+		CounterEntries:       64,
+		SearchLanes:          2,
+		HistoryEntries:       32,
+		DecideCyclesPerEntry: 4,
+	}
+}
+
+// Fig3 builds the counter-assisted weighting FSM of Fig. 3.
+func Fig3(name string, cfg CounterConfig) *Machine {
+	search := cfg.CounterEntries / cfg.SearchLanes
+	findLinked := cfg.HistoryEntries / 4
+	m := New(name, "idle")
+	m.AddState("init", 1)
+	m.AddState("search/increase", search)
+	m.AddState("update", 4)
+	m.AddState("insert", 2)
+	m.AddState("replace", 6)
+	m.AddState("find linked", findLinked)
+	m.AddState("link", 2)
+	m.AddState("weight/decision", cfg.DecideCyclesPerEntry*cfg.CounterEntries)
+	m.AddState("update interval", 2)
+
+	m.AddTransition("idle", "rst", "init")
+	m.AddTransition("init", "done", "idle")
+	// act path: search the counter table; a hit increments, a miss
+	// inserts (replacing a random unlocked entry when full) and links the
+	// history table.
+	m.AddTransition("idle", "act", "search/increase")
+	m.AddTransition("search/increase", "found", "update")
+	m.AddTransition("update", "done", "idle")
+	m.AddTransition("search/increase", "end", "insert")
+	m.AddTransition("insert", "not_full", "find linked")
+	m.AddTransition("insert", "full", "replace")
+	m.AddTransition("replace", "success", "find linked")
+	m.AddTransition("replace", "fail", "idle")
+	m.AddTransition("find linked", "done", "link")
+	m.AddTransition("link", "done", "idle")
+	// ref path: the collective decision visits every counter entry, then
+	// the interval register is updated.
+	m.AddTransition("idle", "ref", "weight/decision")
+	m.AddTransition("weight/decision", "done", "update interval")
+	m.AddTransition("update interval", "done", "idle")
+	return m
+}

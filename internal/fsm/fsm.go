@@ -1,0 +1,239 @@
+// Package fsm provides a small finite-state-machine engine with per-state
+// cycle accounting, plus the concrete machines of the paper's Fig. 2
+// (linear/logarithmic weighting) and Fig. 3 (counter-assisted weighting).
+//
+// The paper determines, from its VHDL implementation, how many clock
+// cycles one FSM loop takes after an observed act or ref command
+// (Table II) and checks the loop fits between two DRAM commands. Here the
+// same check is structural: each state carries the cycle cost implied by
+// its hardware (a sequential 32-entry table search occupies 32 cycles, a
+// valid-bit flash clear 1, ...), and WorstCase explores every loop from
+// idle back to idle to find the longest.
+package fsm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Machine is a named FSM. States and transitions are added at build time;
+// the zero value is not usable, use New.
+type Machine struct {
+	name    string
+	cycles  map[string]int
+	adj     map[string][]edge
+	initial string
+}
+
+type edge struct {
+	cond string
+	to   string
+}
+
+// New creates a machine whose initial (and loop-terminal) state is
+// `initial` with zero cycle cost.
+func New(name, initial string) *Machine {
+	m := &Machine{
+		name:    name,
+		cycles:  map[string]int{initial: 0},
+		adj:     map[string][]edge{},
+		initial: initial,
+	}
+	return m
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// Initial returns the initial state's name.
+func (m *Machine) Initial() string { return m.initial }
+
+// AddState declares a state with its per-visit cycle cost. Redeclaring a
+// state panics; machines are static structures.
+func (m *Machine) AddState(name string, cycles int) {
+	if _, dup := m.cycles[name]; dup {
+		panic(fmt.Sprintf("fsm %s: duplicate state %q", m.name, name))
+	}
+	if cycles < 0 {
+		panic(fmt.Sprintf("fsm %s: negative cycles for %q", m.name, name))
+	}
+	m.cycles[name] = cycles
+}
+
+// AddTransition declares that in state `from`, condition `cond` moves to
+// state `to`. Both states must exist.
+func (m *Machine) AddTransition(from, cond, to string) {
+	for _, s := range []string{from, to} {
+		if _, ok := m.cycles[s]; !ok {
+			panic(fmt.Sprintf("fsm %s: transition references unknown state %q", m.name, s))
+		}
+	}
+	m.adj[from] = append(m.adj[from], edge{cond: cond, to: to})
+}
+
+// States returns all state names, sorted.
+func (m *Machine) States() []string {
+	names := make([]string, 0, len(m.cycles))
+	for n := range m.cycles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StateCycles returns the cycle cost of a state and whether it exists.
+func (m *Machine) StateCycles(name string) (int, bool) {
+	c, ok := m.cycles[name]
+	return c, ok
+}
+
+// Conditions returns the outgoing condition labels of a state, sorted.
+func (m *Machine) Conditions(state string) []string {
+	var conds []string
+	for _, e := range m.adj[state] {
+		conds = append(conds, e.cond)
+	}
+	sort.Strings(conds)
+	return conds
+}
+
+// Next returns the successor of state under cond.
+func (m *Machine) Next(state, cond string) (string, error) {
+	for _, e := range m.adj[state] {
+		if e.cond == cond {
+			return e.to, nil
+		}
+	}
+	return "", fmt.Errorf("fsm %s: no transition from %q on %q", m.name, state, cond)
+}
+
+// Validate checks that every non-initial state is reachable from the
+// initial state and can reach it back (no dead ends — a hardware FSM must
+// always return to idle).
+func (m *Machine) Validate() error {
+	// Forward reachability.
+	fwd := m.reach(m.initial, func(s string) []string {
+		var out []string
+		for _, e := range m.adj[s] {
+			out = append(out, e.to)
+		}
+		return out
+	})
+	// Backward reachability (who can reach idle).
+	pred := map[string][]string{}
+	for from, edges := range m.adj {
+		for _, e := range edges {
+			pred[e.to] = append(pred[e.to], from)
+		}
+	}
+	bwd := m.reach(m.initial, func(s string) []string { return pred[s] })
+	for s := range m.cycles {
+		if !fwd[s] {
+			return fmt.Errorf("fsm %s: state %q unreachable from %q", m.name, s, m.initial)
+		}
+		if !bwd[s] {
+			return fmt.Errorf("fsm %s: state %q cannot return to %q", m.name, s, m.initial)
+		}
+	}
+	return nil
+}
+
+func (m *Machine) reach(start string, succ func(string) []string) map[string]bool {
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range succ(s) {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return seen
+}
+
+// WorstCase returns the maximum cycle count over all simple paths that
+// start from the initial state via the transition labeled `event` and end
+// on the first return to the initial state, along with one maximizing
+// path. Paths revisiting an intermediate state are rejected with an error
+// (a loop would mean unbounded latency — a hardware bug).
+func (m *Machine) WorstCase(event string) (int, []string, error) {
+	start, err := m.Next(m.initial, event)
+	if err != nil {
+		return 0, nil, err
+	}
+	visited := map[string]bool{}
+	best := -1
+	var bestPath []string
+	var walk func(state string, cost int, path []string) error
+	walk = func(state string, cost int, path []string) error {
+		cost += m.cycles[state]
+		path = append(path, state)
+		if state == m.initial {
+			if cost > best {
+				best = cost
+				bestPath = append([]string(nil), path...)
+			}
+			return nil
+		}
+		if visited[state] {
+			return fmt.Errorf("fsm %s: cycle through state %q", m.name, state)
+		}
+		visited[state] = true
+		defer func() { visited[state] = false }()
+		edges := m.adj[state]
+		if len(edges) == 0 {
+			return fmt.Errorf("fsm %s: dead end at %q", m.name, state)
+		}
+		for _, e := range edges {
+			if err := walk(e.to, cost, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(start, 0, nil); err != nil {
+		return 0, nil, err
+	}
+	return best, bestPath, nil
+}
+
+// Run executes one event loop, resolving branch conditions through choose,
+// and returns the cycles consumed and the visited path. choose receives
+// the current state and its outgoing condition labels (sorted) and must
+// return one of them. A safety bound of 4x the state count guards against
+// a misbehaving chooser.
+func (m *Machine) Run(event string, choose func(state string, conds []string) string) (int, []string, error) {
+	state, err := m.Next(m.initial, event)
+	if err != nil {
+		return 0, nil, err
+	}
+	cycles := 0
+	var path []string
+	for steps := 0; ; steps++ {
+		if steps > 4*len(m.cycles) {
+			return 0, nil, fmt.Errorf("fsm %s: run did not return to %q", m.name, m.initial)
+		}
+		cycles += m.cycles[state]
+		path = append(path, state)
+		if state == m.initial {
+			return cycles, path, nil
+		}
+		conds := m.Conditions(state)
+		if len(conds) == 0 {
+			return 0, nil, fmt.Errorf("fsm %s: dead end at %q", m.name, state)
+		}
+		var cond string
+		if len(conds) == 1 {
+			cond = conds[0]
+		} else {
+			cond = choose(state, conds)
+		}
+		state, err = m.Next(state, cond)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+}

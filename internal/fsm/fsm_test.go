@@ -1,0 +1,207 @@
+package fsm
+
+import (
+	"testing"
+)
+
+func TestWorstCaseReproducesTableII(t *testing.T) {
+	// Table II of the paper: cycles per observed act / ref command.
+	cases := []struct {
+		name     string
+		m        *Machine
+		act, ref int
+	}{
+		{"LiPRoMi", Fig2("LiPRoMi", LinearConfig{HistoryEntries: 32}), 37, 3},
+		{"LoPRoMi", Fig2("LoPRoMi", LinearConfig{HistoryEntries: 32}), 37, 3},
+		{"LoLiPRoMi", Fig2("LoLiPRoMi", LinearConfig{HistoryEntries: 32, OverlappedUpdate: true}), 36, 3},
+		{"CaPRoMi", Fig3("CaPRoMi", DefaultCounterConfig()), 50, 258},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		act, _, err := c.m.WorstCase("act")
+		if err != nil {
+			t.Fatalf("%s act: %v", c.name, err)
+		}
+		if act != c.act {
+			t.Errorf("%s act cycles = %d, want %d (Table II)", c.name, act, c.act)
+		}
+		ref, _, err := c.m.WorstCase("ref")
+		if err != nil {
+			t.Fatalf("%s ref: %v", c.name, err)
+		}
+		if ref != c.ref {
+			t.Errorf("%s ref cycles = %d, want %d (Table II)", c.name, ref, c.ref)
+		}
+	}
+}
+
+func TestCycleBudgetsDDR4(t *testing.T) {
+	// Table I derivation: one FSM loop after act must fit 54 cycles
+	// (45 ns at 1.2 GHz), after ref 420 cycles (350 ns). The paper
+	// concludes no violations occur; verify structurally.
+	machines := []*Machine{
+		Fig2("Li", LinearConfig{HistoryEntries: 32}),
+		Fig2("Lo", LinearConfig{HistoryEntries: 32}),
+		Fig2("LoLi", LinearConfig{HistoryEntries: 32, OverlappedUpdate: true}),
+		Fig3("Ca", DefaultCounterConfig()),
+	}
+	for _, m := range machines {
+		act, _, _ := m.WorstCase("act")
+		ref, _, _ := m.WorstCase("ref")
+		if act > 54 {
+			t.Errorf("%s: act loop %d > 54-cycle budget", m.Name(), act)
+		}
+		if ref > 420 {
+			t.Errorf("%s: ref loop %d > 420-cycle budget", m.Name(), ref)
+		}
+	}
+}
+
+func TestWorstCasePathIsPositiveDecision(t *testing.T) {
+	m := Fig2("Li", LinearConfig{HistoryEntries: 32})
+	_, path, err := m.WorstCase("act")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range path {
+		if s == "activate neighbor & update table" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("worst path misses the positive-decision state: %v", path)
+	}
+}
+
+func TestRunFollowsChooser(t *testing.T) {
+	m := Fig2("Li", LinearConfig{HistoryEntries: 32})
+	// Negative decision: 32 + 2 + 1 = 35 cycles.
+	cycles, path, err := m.Run("act", func(state string, conds []string) string {
+		if state == "decide" {
+			return "neg"
+		}
+		return conds[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 35 {
+		t.Fatalf("negative-decision loop = %d cycles, want 35", cycles)
+	}
+	if path[len(path)-1] != "idle" {
+		t.Fatal("run did not end at idle")
+	}
+	// Same-window ref: 1 cycle.
+	cycles, _, err = m.Run("ref", func(_ string, conds []string) string { return "same_RW" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 1 {
+		t.Fatalf("same-window ref = %d cycles, want 1", cycles)
+	}
+}
+
+func TestRunRejectsNonTerminatingChooser(t *testing.T) {
+	m := New("loop", "idle")
+	m.AddState("a", 1)
+	m.AddState("b", 1)
+	m.AddTransition("idle", "go", "a")
+	m.AddTransition("a", "x", "b")
+	m.AddTransition("b", "x", "a")
+	if _, _, err := m.Run("go", func(_ string, c []string) string { return c[0] }); err == nil {
+		t.Fatal("infinite run not detected")
+	}
+}
+
+func TestValidateCatchesUnreachable(t *testing.T) {
+	m := New("bad", "idle")
+	m.AddState("island", 1)
+	if err := m.Validate(); err == nil {
+		t.Fatal("unreachable state accepted")
+	}
+}
+
+func TestValidateCatchesDeadEnd(t *testing.T) {
+	m := New("bad", "idle")
+	m.AddState("trap", 1)
+	m.AddTransition("idle", "go", "trap")
+	if err := m.Validate(); err == nil {
+		t.Fatal("dead-end state accepted")
+	}
+}
+
+func TestWorstCaseDetectsCycles(t *testing.T) {
+	m := New("cyc", "idle")
+	m.AddState("a", 1)
+	m.AddState("b", 1)
+	m.AddTransition("idle", "go", "a")
+	m.AddTransition("a", "x", "b")
+	m.AddTransition("b", "y", "a")
+	m.AddTransition("b", "z", "idle")
+	if _, _, err := m.WorstCase("go"); err == nil {
+		t.Fatal("cyclic path accepted in worst-case analysis")
+	}
+}
+
+func TestUnknownEvent(t *testing.T) {
+	m := Fig2("Li", LinearConfig{HistoryEntries: 32})
+	if _, _, err := m.WorstCase("nonsense"); err == nil {
+		t.Fatal("unknown event accepted")
+	}
+}
+
+func TestDuplicateStatePanics(t *testing.T) {
+	m := New("dup", "idle")
+	m.AddState("a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate state accepted")
+		}
+	}()
+	m.AddState("a", 2)
+}
+
+func TestTransitionToUnknownStatePanics(t *testing.T) {
+	m := New("x", "idle")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad transition accepted")
+		}
+	}()
+	m.AddTransition("idle", "go", "nowhere")
+}
+
+func TestFig3FoundPathShorterThanInsertPath(t *testing.T) {
+	m := Fig3("Ca", DefaultCounterConfig())
+	foundCycles, _, err := m.Run("act", func(state string, conds []string) string {
+		if state == "search/increase" {
+			return "found"
+		}
+		return conds[0]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, _, _ := m.WorstCase("act")
+	if foundCycles >= worst {
+		t.Fatalf("found path (%d) not shorter than worst insert path (%d)", foundCycles, worst)
+	}
+}
+
+func TestStatesAndConditionsIntrospection(t *testing.T) {
+	m := Fig2("Li", LinearConfig{HistoryEntries: 32})
+	states := m.States()
+	if len(states) != 8 {
+		t.Fatalf("Fig. 2 has %d states, want 8", len(states))
+	}
+	if c, ok := m.StateCycles("search in table"); !ok || c != 32 {
+		t.Fatalf("search state cycles = %d,%v", c, ok)
+	}
+	conds := m.Conditions("decide")
+	if len(conds) != 2 || conds[0] != "neg" || conds[1] != "pos" {
+		t.Fatalf("decide conditions = %v", conds)
+	}
+}

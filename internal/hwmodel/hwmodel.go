@@ -1,0 +1,340 @@
+// Package hwmodel estimates FPGA resource usage (LUTs) for the nine
+// mitigation techniques, substituting for the paper's VHDL synthesis on a
+// Virtex UltraScale+ XCVU9P (Table III).
+//
+// Each technique is described structurally — searched-table bits,
+// direct-indexed storage bits, CAM bits, comparator/arithmetic widths,
+// PRNG width, FSM states — and a linear cost model maps the description to
+// LUTs. The coefficients are calibrated ONCE against the paper's PARA
+// figure (349 LUTs, the stateless reference); every other number is then
+// produced by the model, not hand-entered.
+//
+// Two targets reproduce the paper's comparison: the DDR4 controller at
+// 1.2 GHz (54-cycle act budget, 420-cycle ref budget) and the FPGA DDR3
+// controller at 320 MHz (14 / 112 cycles). When a technique's serial loop
+// misses the tighter DDR3 budget, its search and arithmetic logic is
+// replicated into parallel lanes; multiported CAM match logic scales
+// quadratically with lanes, which is what explodes TWiCe's DDR3 cost.
+package hwmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resources is the structural description of one technique's logic.
+type Resources struct {
+	Name string
+	// TableBits is storage that must be searched/matched entry by entry
+	// (history tables, queues): costed with mux/select paths.
+	TableBits int
+	// DirectBits is direct-indexed storage (CRA's per-row counters): no
+	// search paths, cheaper per bit.
+	DirectBits int
+	// CAMBits is content-addressable storage (TWiCe): parallel match
+	// logic on every bit.
+	CAMBits int
+	// SearchLaneBits is the comparator width of ONE sequential search
+	// lane; parallelization replicates it.
+	SearchLaneBits int
+	// ArithBits is adder/subtractor/encoder width total (weight
+	// calculation, wrap handling, priority encoder).
+	ArithBits int
+	// MultBits is multiplier cost in partial-product bits (a*b ⇒ a·b).
+	MultBits int
+	// RNGBits is the PRNG register width.
+	RNGBits int
+	// CompareBits is the probability comparator width.
+	CompareBits int
+	// FSMStates is the controller state count.
+	FSMStates int
+	// SerialActCycles / SerialRefCycles are the single-lane FSM loop
+	// lengths, used to derive the lane count per target.
+	SerialActCycles int
+	SerialRefCycles int
+}
+
+// CostModel maps Resources to LUTs.
+type CostModel struct {
+	PerTableBit  float64
+	PerDirectBit float64
+	PerCAMBit    float64
+	PerSearchBit float64
+	PerArithBit  float64
+	PerMultBit   float64
+	PerRNGBit    float64
+	PerCompBit   float64
+	PerFSMState  float64
+	PerLane      float64 // lane glue (issue muxing, result arbitration)
+	Base         float64
+}
+
+// DefaultCostModel returns the calibrated coefficients. With these, PARA
+// (32-bit LFSR, 23-bit comparator, 2 FSM states, no storage) costs exactly
+// the paper's 349 LUTs: 120 + 4*32 + 3*23 + 16*2 = 349.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		PerTableBit:  4.0,
+		PerDirectBit: 2.7,
+		PerCAMBit:    20.0,
+		PerSearchBit: 3.0,
+		PerArithBit:  4.0,
+		PerMultBit:   12.0,
+		PerRNGBit:    4.0,
+		PerCompBit:   3.0,
+		PerFSMState:  16.0,
+		PerLane:      220.0,
+		Base:         120.0,
+	}
+}
+
+// Target is a controller implementation target.
+type Target struct {
+	Name      string
+	FreqGHz   float64
+	ActBudget int // cycles available per observed act (tRC * freq)
+	RefBudget int // cycles available per observed ref (tRFC * freq)
+	// FabricLUTs is the device capacity used for feasibility checks
+	// (1182240 for the XCVU9P).
+	FabricLUTs int
+}
+
+// DDR4Target is the paper's ASIC-style DDR4 controller at 1.2 GHz.
+func DDR4Target() Target {
+	return Target{Name: "DDR4", FreqGHz: 1.2, ActBudget: 54, RefBudget: 420, FabricLUTs: 1182240}
+}
+
+// DDR3Target is the paper's FPGA DDR3 controller at 320 MHz: 45 ns and
+// 350 ns shrink to 14 and 112 cycles.
+func DDR3Target() Target {
+	return Target{Name: "DDR3", FreqGHz: 0.32, ActBudget: 14, RefBudget: 112, FabricLUTs: 1182240}
+}
+
+// Lanes returns the parallelization factor required to fit the serial
+// loops into the target's budgets.
+func (t Target) Lanes(r Resources) int {
+	lanes := 1
+	if r.SerialActCycles > 0 {
+		if n := ceilDiv(r.SerialActCycles, t.ActBudget); n > lanes {
+			lanes = n
+		}
+	}
+	if r.SerialRefCycles > 0 {
+		if n := ceilDiv(r.SerialRefCycles, t.RefBudget); n > lanes {
+			lanes = n
+		}
+	}
+	return lanes
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// Estimate is the result of costing one technique on one target.
+type Estimate struct {
+	Technique string
+	Target    string
+	Lanes     int
+	LUTs      int
+	// Fits reports whether the estimate fits the target fabric.
+	Fits bool
+}
+
+// Estimate costs a technique on a target.
+func (m CostModel) Estimate(r Resources, t Target) Estimate {
+	lanes := t.Lanes(r)
+	fl := float64(lanes)
+	luts := m.Base +
+		m.PerTableBit*float64(r.TableBits) +
+		m.PerDirectBit*float64(r.DirectBits) +
+		// Multiported CAM match logic scales ~quadratically with ports.
+		m.PerCAMBit*float64(r.CAMBits)*fl*fl +
+		m.PerSearchBit*float64(r.SearchLaneBits)*fl +
+		m.PerArithBit*float64(r.ArithBits)*fl +
+		m.PerMultBit*float64(r.MultBits)*fl +
+		m.PerRNGBit*float64(r.RNGBits) +
+		m.PerCompBit*float64(r.CompareBits)*fl +
+		m.PerFSMState*float64(r.FSMStates)
+	if lanes > 1 {
+		luts += m.PerLane * fl
+	}
+	n := int(math.Round(luts))
+	return Estimate{
+		Technique: r.Name,
+		Target:    t.Name,
+		Lanes:     lanes,
+		LUTs:      n,
+		Fits:      n <= t.FabricLUTs,
+	}
+}
+
+// Geometry carries the widths shared by the technique builders.
+type Geometry struct {
+	RowBits      int // 17 for 1 GB banks of 8 KB rows
+	IntervalBits int // 13 for RefInt = 8192
+	ProbBits     int // 23 for Pbase = 2^-23
+	Rows         int // 131072
+}
+
+// PaperGeometry returns the Table I widths.
+func PaperGeometry() Geometry {
+	return Geometry{RowBits: 17, IntervalBits: 13, ProbBits: 23, Rows: 131072}
+}
+
+// Validate reports malformed geometries.
+func (g Geometry) Validate() error {
+	if g.RowBits <= 0 || g.IntervalBits <= 0 || g.ProbBits <= 0 || g.Rows <= 0 {
+		return fmt.Errorf("hwmodel: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// PARAResources describes PARA: an LFSR, a comparator, a two-state FSM.
+func PARAResources(g Geometry) Resources {
+	return Resources{
+		Name:            "PARA",
+		RNGBits:         32,
+		CompareBits:     g.ProbBits,
+		FSMStates:       2,
+		SerialActCycles: 2,
+		SerialRefCycles: 1,
+	}
+}
+
+// ProHitResources describes ProHit's hot/cold tables (4+4 entries).
+func ProHitResources(g Geometry) Resources {
+	entries := 8
+	return Resources{
+		Name:           "ProHit",
+		TableBits:      entries * g.RowBits,
+		SearchLaneBits: 2 * g.RowBits, // two victims searched
+		ArithBits:      8,             // promotion pointer updates
+		RNGBits:        32,
+		CompareBits:    g.ProbBits,
+		FSMStates:      7,
+		// Serial search of both tables for both victims.
+		SerialActCycles: 2*entries + 4,
+		SerialRefCycles: 2,
+	}
+}
+
+// MRLocResources describes MRLoc's 16-entry locality queue.
+func MRLocResources(g Geometry) Resources {
+	const queue = 16
+	return Resources{
+		Name:           "MRLoc",
+		TableBits:      queue * g.RowBits,
+		SearchLaneBits: g.RowBits,
+		// Recency weighting: position scaling multiply.
+		MultBits:        5 * g.ProbBits / 4,
+		ArithBits:       8,
+		RNGBits:         32,
+		CompareBits:     g.ProbBits,
+		FSMStates:       6,
+		SerialActCycles: queue + 6,
+		SerialRefCycles: 1,
+	}
+}
+
+// TWiCeResources describes TWiCe's pruned CAM counter table (≈550
+// entries).
+func TWiCeResources(g Geometry) Resources {
+	const entries = 550
+	cntBits, lifeBits := 16, g.IntervalBits
+	return Resources{
+		Name:      "TWiCe",
+		TableBits: entries * (cntBits + lifeBits + 1),
+		CAMBits:   entries * g.RowBits,
+		// Pruning: per-lane threshold multiply (life * thPI) + compare.
+		MultBits:  cntBits + lifeBits,
+		ArithBits: cntBits + lifeBits,
+		FSMStates: 5,
+		// CAM match is single-cycle; the pruning pass runs two entries
+		// per cycle.
+		SerialActCycles: 3,
+		SerialRefCycles: entries / 2,
+	}
+}
+
+// CRAResources describes CRA's direct-indexed per-row counters.
+func CRAResources(g Geometry) Resources {
+	cntBits := 16
+	return Resources{
+		Name:            "CRA",
+		DirectBits:      g.Rows * cntBits,
+		ArithBits:       cntBits,
+		CompareBits:     cntBits,
+		FSMStates:       3,
+		SerialActCycles: 2,
+		SerialRefCycles: 1,
+	}
+}
+
+// tivaCommon holds the shared history-table logic of the TiVaPRoMi
+// variants.
+func tivaCommon(name string, g Geometry, extraArith, extraStates, actCycles int) Resources {
+	const hist = 32
+	return Resources{
+		Name:            name,
+		TableBits:       hist * (g.RowBits + g.IntervalBits),
+		SearchLaneBits:  g.RowBits,
+		ArithBits:       2*g.IntervalBits + extraArith, // Eq. 1 subtract + wrap add
+		RNGBits:         32,
+		CompareBits:     g.ProbBits,
+		FSMStates:       8 + extraStates,
+		SerialActCycles: actCycles,
+		SerialRefCycles: 3,
+	}
+}
+
+// LiPRoMiResources describes the linear-weighting variant (Fig. 2).
+func LiPRoMiResources(g Geometry) Resources {
+	return tivaCommon("LiPRoMi", g, 0, 0, 37)
+}
+
+// LoPRoMiResources adds the Eq. 2 modified priority encoder.
+func LoPRoMiResources(g Geometry) Resources {
+	return tivaCommon("LoPRoMi", g, g.IntervalBits, 0, 37)
+}
+
+// LoLiPRoMiResources adds the encoder plus the table-hit path mux.
+func LoLiPRoMiResources(g Geometry) Resources {
+	return tivaCommon("LoLiPRoMi", g, g.IntervalBits+8, 0, 36)
+}
+
+// CaPRoMiResources describes the counter-assisted variant (Fig. 3):
+// history table plus a 64-entry counter table with lock bits, searched two
+// entries per cycle, and the cnt*w_log multiplier of the collective
+// decision.
+func CaPRoMiResources(g Geometry) Resources {
+	const hist, cnt = 32, 64
+	cntBits := 8
+	r := Resources{
+		Name: "CaPRoMi",
+		TableBits: hist*(g.RowBits+g.IntervalBits) +
+			cnt*(g.RowBits+g.IntervalBits+cntBits+1),
+		SearchLaneBits: 2 * g.RowBits, // two comparators per cycle
+		ArithBits:      2*g.IntervalBits + g.IntervalBits + 8,
+		// cnt * w_log at the decision pass.
+		MultBits:        cntBits * (g.IntervalBits + 1),
+		RNGBits:         32,
+		CompareBits:     g.ProbBits,
+		FSMStates:       9,
+		SerialActCycles: 50,
+		SerialRefCycles: 258,
+	}
+	return r
+}
+
+// AllResources returns the nine techniques in Table III order.
+func AllResources(g Geometry) []Resources {
+	return []Resources{
+		ProHitResources(g), MRLocResources(g), PARAResources(g),
+		TWiCeResources(g), CRAResources(g), CaPRoMiResources(g),
+		LiPRoMiResources(g), LoPRoMiResources(g), LoLiPRoMiResources(g),
+	}
+}

@@ -1,0 +1,185 @@
+package hwmodel
+
+import (
+	"testing"
+)
+
+func TestPARACalibration(t *testing.T) {
+	// The model is calibrated so PARA costs exactly the paper's 349 LUTs
+	// on both targets (it needs no parallelization).
+	m := DefaultCostModel()
+	r := PARAResources(PaperGeometry())
+	for _, target := range []Target{DDR4Target(), DDR3Target()} {
+		e := m.Estimate(r, target)
+		if e.LUTs != 349 {
+			t.Errorf("%s PARA = %d LUTs, want 349", target.Name, e.LUTs)
+		}
+		if e.Lanes != 1 {
+			t.Errorf("%s PARA lanes = %d", target.Name, e.Lanes)
+		}
+	}
+}
+
+func TestRelativeSizesMatchTableIIIOrdering(t *testing.T) {
+	// Table III DDR4 ordering: PARA < ProHit < MRLoc < Li/Lo/LoLi <
+	// CaPRoMi < TWiCe < CRA.
+	m := DefaultCostModel()
+	g := PaperGeometry()
+	d4 := DDR4Target()
+	luts := map[string]int{}
+	for _, r := range AllResources(g) {
+		luts[r.Name] = m.Estimate(r, d4).LUTs
+	}
+	order := []string{"PARA", "ProHit", "MRLoc", "LiPRoMi", "CaPRoMi", "TWiCe", "CRA"}
+	for i := 1; i < len(order); i++ {
+		if luts[order[i-1]] >= luts[order[i]] {
+			t.Errorf("%s (%d) not smaller than %s (%d)",
+				order[i-1], luts[order[i-1]], order[i], luts[order[i]])
+		}
+	}
+	// The three Fig. 2 variants are within a few percent of each other.
+	if luts["LoPRoMi"] < luts["LiPRoMi"] || luts["LoLiPRoMi"] < luts["LoPRoMi"] {
+		t.Error("encoder/mux additions should grow the Fig. 2 variants monotonically")
+	}
+}
+
+func TestRelativeMagnitudesNearPaper(t *testing.T) {
+	// The headline relatives of Table III (DDR4, PARA = 1x): TiVaPRoMi
+	// ≈15x, CaPRoMi ≈60x, TWiCe ≈740x, CRA ≈16315x. Allow a generous
+	// modeling band.
+	m := DefaultCostModel()
+	g := PaperGeometry()
+	d4 := DDR4Target()
+	para := float64(m.Estimate(PARAResources(g), d4).LUTs)
+	cases := []struct {
+		r      Resources
+		lo, hi float64
+	}{
+		{LiPRoMiResources(g), 8, 25},
+		{LoPRoMiResources(g), 8, 25},
+		{LoLiPRoMiResources(g), 8, 25},
+		{CaPRoMiResources(g), 30, 90},
+		{TWiCeResources(g), 400, 1100},
+		{CRAResources(g), 10000, 25000},
+	}
+	for _, c := range cases {
+		rel := float64(m.Estimate(c.r, d4).LUTs) / para
+		if rel < c.lo || rel > c.hi {
+			t.Errorf("%s relative size %.1fx outside [%v, %v]", c.r.Name, rel, c.lo, c.hi)
+		}
+	}
+}
+
+func TestDDR3ParallelizationGrowsCosts(t *testing.T) {
+	m := DefaultCostModel()
+	g := PaperGeometry()
+	d4, d3 := DDR4Target(), DDR3Target()
+	for _, r := range AllResources(g) {
+		e4 := m.Estimate(r, d4)
+		e3 := m.Estimate(r, d3)
+		if e3.Lanes < e4.Lanes {
+			t.Errorf("%s: DDR3 lanes %d < DDR4 lanes %d", r.Name, e3.Lanes, e4.Lanes)
+		}
+		if e3.LUTs < e4.LUTs {
+			t.Errorf("%s: DDR3 (%d) cheaper than DDR4 (%d)", r.Name, e3.LUTs, e4.LUTs)
+		}
+	}
+	// PARA and CRA fit both budgets without replication (the paper's
+	// "only PARA and CRA could fit in the cycle budget").
+	for _, r := range []Resources{PARAResources(g), CRAResources(g)} {
+		if d3.Lanes(r) != 1 {
+			t.Errorf("%s should not need parallelization for DDR3", r.Name)
+		}
+	}
+	// The searched-table techniques do need it.
+	for _, r := range []Resources{LiPRoMiResources(g), CaPRoMiResources(g), TWiCeResources(g)} {
+		if d3.Lanes(r) == 1 {
+			t.Errorf("%s should need parallelization for DDR3", r.Name)
+		}
+	}
+}
+
+func TestFabricFeasibility(t *testing.T) {
+	// The paper: CRA and TWiCe (DDR3) need more resources than the
+	// XCVU9P offers; everything else fits.
+	m := DefaultCostModel()
+	g := PaperGeometry()
+	d3 := DDR3Target()
+	for _, r := range AllResources(g) {
+		e := m.Estimate(r, d3)
+		switch r.Name {
+		case "CRA", "TWiCe":
+			if e.Fits {
+				t.Errorf("%s DDR3 (%d LUTs) should exceed the fabric", r.Name, e.LUTs)
+			}
+		default:
+			if !e.Fits {
+				t.Errorf("%s DDR3 (%d LUTs) should fit the fabric", r.Name, e.LUTs)
+			}
+		}
+	}
+}
+
+func TestLanesDerivation(t *testing.T) {
+	r := Resources{SerialActCycles: 37, SerialRefCycles: 3}
+	if got := DDR4Target().Lanes(r); got != 1 {
+		t.Errorf("DDR4 lanes = %d, want 1 (37 <= 54)", got)
+	}
+	if got := DDR3Target().Lanes(r); got != 3 {
+		t.Errorf("DDR3 lanes = %d, want 3 (ceil(37/14))", got)
+	}
+	// Ref-bound technique.
+	r = Resources{SerialActCycles: 3, SerialRefCycles: 258}
+	if got := DDR4Target().Lanes(r); got != 1 {
+		t.Errorf("DDR4 lanes = %d, want 1 (258 <= 420)", got)
+	}
+	if got := DDR3Target().Lanes(r); got != 3 {
+		t.Errorf("DDR3 lanes = %d, want 3 (ceil(258/112))", got)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	if err := PaperGeometry().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := PaperGeometry()
+	bad.RowBits = 0
+	if bad.Validate() == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+}
+
+func TestCycleCountsConsistentWithFSMs(t *testing.T) {
+	// The serial cycle counts the resource descriptions carry must equal
+	// Table II (which internal/fsm derives structurally).
+	g := PaperGeometry()
+	cases := map[string][2]int{
+		"LiPRoMi":   {37, 3},
+		"LoPRoMi":   {37, 3},
+		"LoLiPRoMi": {36, 3},
+		"CaPRoMi":   {50, 258},
+	}
+	for _, r := range AllResources(g) {
+		want, ok := cases[r.Name]
+		if !ok {
+			continue
+		}
+		if r.SerialActCycles != want[0] || r.SerialRefCycles != want[1] {
+			t.Errorf("%s serial cycles = %d/%d, want %d/%d (Table II)",
+				r.Name, r.SerialActCycles, r.SerialRefCycles, want[0], want[1])
+		}
+	}
+}
+
+func TestAllResourcesOrder(t *testing.T) {
+	names := []string{}
+	for _, r := range AllResources(PaperGeometry()) {
+		names = append(names, r.Name)
+	}
+	want := []string{"ProHit", "MRLoc", "PARA", "TWiCe", "CRA", "CaPRoMi", "LiPRoMi", "LoPRoMi", "LoLiPRoMi"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("order %v, want Table III order %v", names, want)
+		}
+	}
+}

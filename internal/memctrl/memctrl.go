@@ -1,0 +1,250 @@
+// Package memctrl models the memory controller that TiVaPRoMi extends
+// (Fig. 1): an open-page controller with per-bank row buffers, a time base
+// that fires auto-refresh intervals, and the Row-Hammer interrupt path —
+// mitigation commands are buffered while the controller is busy (the
+// figure's wait signal) and issued through the same interrupt logic as
+// refreshes.
+//
+// Timing is modeled at the service-time level: a row hit costs the CAS
+// latency, a row miss the full activate cycle (tRC), and every refresh
+// interval inserts tRFC. That is enough to reproduce the paper's traffic
+// statistics (activations per refresh interval) without a cycle-accurate
+// scheduler.
+package memctrl
+
+import (
+	"fmt"
+
+	"tivapromi/internal/addr"
+	"tivapromi/internal/dram"
+	"tivapromi/internal/mitigation"
+)
+
+// Config sets the controller's timing model in nanoseconds.
+type Config struct {
+	RowHitNs  uint64 // service time when the row is already open
+	RowMissNs uint64 // service time with an activation (tRC-dominated)
+	// ClosedPage selects the auto-precharge row-buffer policy: every
+	// access activates (no row hits). Closed-page systems hand a
+	// Row-Hammer attacker free activations — even a single hammered
+	// address activates on every access — which is why the open-page
+	// default matters for the attack analysis.
+	ClosedPage bool
+	// PendingCap bounds the Row-Hammer command buffer of Fig. 1. The
+	// buffer drains whenever the controller is free (after each access
+	// and at every refresh boundary), so a small buffer suffices; an
+	// overflow is counted, not dropped silently.
+	PendingCap int
+}
+
+// DefaultConfig returns DDR4-flavored service times.
+func DefaultConfig() Config {
+	return Config{RowHitNs: 15, RowMissNs: 45, PendingCap: 8}
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Accesses  uint64
+	RowHits   uint64
+	RowMisses uint64
+	// Mitigation command counts by kind.
+	ActN       uint64
+	ActNOne    uint64
+	RefreshRow uint64
+	// PendingPeak is the high-water mark of the RH buffer; Overflows
+	// counts commands that found the buffer full and stalled the
+	// controller (executed immediately with a stall, as the paper's wait
+	// handshake implies).
+	PendingPeak int
+	Overflows   uint64
+}
+
+// Controller drives a dram.Device, optionally with a mitigation attached.
+// It is not safe for concurrent use.
+type Controller struct {
+	cfg Config
+	dev *dram.Device
+	mit mitigation.Mitigator // nil for an unprotected system
+
+	openRows []int32
+	timeNs   uint64
+	nextRef  uint64
+	refStep  uint64
+	trfc     uint64
+
+	pending []mitigation.Command
+	scratch []mitigation.Command
+	stats   Stats
+	hook    func(mitigation.Command)
+}
+
+// New builds a controller over dev with the given mitigation (nil for
+// none).
+func New(cfg Config, dev *dram.Device, mit mitigation.Mitigator) (*Controller, error) {
+	if cfg.RowHitNs == 0 || cfg.RowMissNs == 0 || cfg.PendingCap <= 0 {
+		return nil, fmt.Errorf("memctrl: invalid config %+v", cfg)
+	}
+	p := dev.Params()
+	c := &Controller{
+		cfg:      cfg,
+		dev:      dev,
+		mit:      mit,
+		openRows: make([]int32, p.Banks),
+		refStep:  uint64(p.TRefIntNs),
+		trfc:     uint64(p.TRFCNs),
+	}
+	for b := range c.openRows {
+		c.openRows[b] = -1
+	}
+	c.nextRef = c.refStep
+	return c, nil
+}
+
+// Device returns the controlled device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// SetCommandHook installs an observer called for every mitigation command
+// the controller executes. The experiment harness uses it to classify
+// commands against attack ground truth (false-positive accounting).
+func (c *Controller) SetCommandHook(fn func(mitigation.Command)) { c.hook = fn }
+
+// Stats returns the controller counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// TimeNs returns the controller clock.
+func (c *Controller) TimeNs() uint64 { return c.timeNs }
+
+// OpenRow returns the open row of a bank (-1 when precharged).
+func (c *Controller) OpenRow(bank int) int { return int(c.openRows[bank]) }
+
+// AccessRow services one read/write to (bank, row): a row hit costs
+// RowHitNs; a row miss activates the row (feeding the mitigation) and
+// costs RowMissNs. Refresh boundaries crossed by the advancing clock fire
+// before the access completes.
+func (c *Controller) AccessRow(bank, row int, write bool) {
+	_ = write // writes and reads have identical Row-Hammer behavior
+	c.stats.Accesses++
+	if c.openRows[bank] == int32(row) {
+		c.stats.RowHits++
+		c.advance(c.cfg.RowHitNs)
+		return
+	}
+	c.stats.RowMisses++
+	if c.cfg.ClosedPage {
+		c.openRows[bank] = -1 // auto-precharge
+	} else {
+		c.openRows[bank] = int32(row)
+	}
+	c.dev.Activate(bank, row)
+	if c.mit != nil {
+		c.scratch = c.mit.OnActivate(bank, row, c.dev.IntervalInWindow(), c.scratch[:0])
+		c.enqueue(c.scratch)
+	}
+	c.advance(c.cfg.RowMissNs)
+	c.drain()
+}
+
+// AccessAddr decodes a physical address with the mapper and services it.
+func (c *Controller) AccessAddr(m *addr.Mapper, pa uint64, write bool) {
+	coord := m.Decode(pa)
+	c.AccessRow(coord.FlatBank(m.Geometry()), coord.Row, write)
+}
+
+// enqueue buffers mitigation commands; on overflow the controller stalls
+// and executes the command immediately (the wait handshake).
+func (c *Controller) enqueue(cmds []mitigation.Command) {
+	for _, cmd := range cmds {
+		if len(c.pending) >= c.cfg.PendingCap {
+			c.stats.Overflows++
+			c.execute(cmd)
+			continue
+		}
+		c.pending = append(c.pending, cmd)
+		if len(c.pending) > c.stats.PendingPeak {
+			c.stats.PendingPeak = len(c.pending)
+		}
+	}
+}
+
+// drain issues buffered RH commands ("when wait is low").
+func (c *Controller) drain() {
+	for _, cmd := range c.pending {
+		c.execute(cmd)
+	}
+	c.pending = c.pending[:0]
+}
+
+// execute performs one mitigation command on the device. Maintenance
+// activations end with the bank precharged, so the next normal access
+// reopens its row.
+func (c *Controller) execute(cmd mitigation.Command) {
+	if c.hook != nil {
+		c.hook(cmd)
+	}
+	switch cmd.Kind {
+	case mitigation.ActN:
+		c.stats.ActN++
+		c.dev.ActivateNeighbors(cmd.Bank, cmd.Row)
+	case mitigation.ActNOne:
+		c.stats.ActNOne++
+		c.dev.ActivateNeighbor(cmd.Bank, cmd.Row, int(cmd.Side))
+	case mitigation.RefreshRow:
+		c.stats.RefreshRow++
+		c.dev.RefreshRow(cmd.Bank, cmd.Row)
+	default:
+		panic(fmt.Sprintf("memctrl: unknown command kind %v", cmd.Kind))
+	}
+	c.openRows[cmd.Bank] = -1
+	c.advanceNoRefresh(c.cfg.RowMissNs)
+}
+
+// advance moves the clock, firing every refresh boundary it crosses.
+func (c *Controller) advance(ns uint64) {
+	c.timeNs += ns
+	for c.timeNs >= c.nextRef {
+		c.fireRefreshInterval()
+	}
+}
+
+// advanceNoRefresh moves the clock without re-entering refresh handling
+// (used while executing commands inside a refresh boundary).
+func (c *Controller) advanceNoRefresh(ns uint64) {
+	c.timeNs += ns
+}
+
+// fireRefreshInterval runs the end-of-interval protocol: the mitigation
+// observes ref, its commands execute, the device refreshes, rows close,
+// and a completed window resets window-scoped mitigation state.
+func (c *Controller) fireRefreshInterval() {
+	if c.mit != nil {
+		c.scratch = c.mit.OnRefreshInterval(c.dev.IntervalInWindow(), c.scratch[:0])
+		c.enqueue(c.scratch)
+		c.drain()
+	}
+	c.dev.AdvanceInterval()
+	for b := range c.openRows {
+		c.openRows[b] = -1 // refresh precharges all banks
+	}
+	c.timeNs += c.trfc
+	c.nextRef += c.refStep
+	if c.mit != nil && c.dev.IntervalInWindow() == 0 {
+		c.mit.OnNewWindow()
+	}
+}
+
+// RunIntervals drives the controller with accesses from next() until n
+// refresh intervals have elapsed. next is called once per access.
+func (c *Controller) RunIntervals(n int, next func() (bank, row int, write bool)) {
+	target := c.dev.Interval() + n
+	for c.dev.Interval() < target {
+		bank, row, write := next()
+		c.AccessRow(bank, row, write)
+	}
+}
+
+// ExtraActivations returns the total mitigation-issued activations the
+// device observed (the numerator of the paper's activation overhead).
+func (c *Controller) ExtraActivations() uint64 {
+	s := c.dev.Stats()
+	return s.NeighborActs + s.DirectRefreshes
+}

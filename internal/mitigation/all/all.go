@@ -1,0 +1,16 @@
+// Package all links every mitigation technique into the registry.
+// Import it for side effects wherever techniques are looked up by name.
+package all
+
+import (
+	// Each blank import runs the package's init, which registers its
+	// factory with the mitigation registry.
+	_ "tivapromi/internal/core"
+	_ "tivapromi/internal/mitigation/cat"
+	_ "tivapromi/internal/mitigation/cra"
+	_ "tivapromi/internal/mitigation/mrloc"
+	_ "tivapromi/internal/mitigation/para"
+	_ "tivapromi/internal/mitigation/prohit"
+	_ "tivapromi/internal/mitigation/trr"
+	_ "tivapromi/internal/mitigation/twice"
+)

@@ -1,0 +1,102 @@
+package cra
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func TestName(t *testing.T) {
+	if New(1, 1024, 100).Name() != "CRA" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestDeterministicThreshold(t *testing.T) {
+	c := New(1, 1024, 100)
+	var cmds []mitigation.Command
+	for i := 0; i < 99; i++ {
+		cmds = c.OnActivate(0, 5, 0, cmds)
+	}
+	if len(cmds) != 0 {
+		t.Fatal("triggered early")
+	}
+	cmds = c.OnActivate(0, 5, 0, cmds)
+	if len(cmds) != 1 || cmds[0].Kind != mitigation.ActN || cmds[0].Row != 5 {
+		t.Fatalf("bad trigger: %+v", cmds)
+	}
+	// Counter reset: another 100 needed.
+	cmds = cmds[:0]
+	for i := 0; i < 99; i++ {
+		cmds = c.OnActivate(0, 5, 0, cmds)
+	}
+	if len(cmds) != 0 {
+		t.Fatal("counter not reset after trigger")
+	}
+}
+
+func TestPerRowPerBankIsolation(t *testing.T) {
+	c := New(2, 1024, 100)
+	for i := 0; i < 99; i++ {
+		c.OnActivate(0, 5, 0, nil)
+	}
+	// Same row, different bank: independent counter.
+	if cmds := c.OnActivate(1, 5, 0, nil); len(cmds) != 0 {
+		t.Fatal("banks share counters")
+	}
+	// Different row, same bank: independent counter.
+	if cmds := c.OnActivate(0, 6, 0, nil); len(cmds) != 0 {
+		t.Fatal("rows share counters")
+	}
+}
+
+func TestWindowClear(t *testing.T) {
+	c := New(1, 1024, 100)
+	for i := 0; i < 99; i++ {
+		c.OnActivate(0, 5, 0, nil)
+	}
+	c.OnNewWindow()
+	if cmds := c.OnActivate(0, 5, 0, nil); len(cmds) != 0 {
+		t.Fatal("window clear did not reset counters")
+	}
+}
+
+func TestNoFalsePositivesEver(t *testing.T) {
+	// CRA triggers require exactly thRH activations of one row — no
+	// probabilistic noise.
+	c := New(1, 4096, 100)
+	var cmds []mitigation.Command
+	for i := 0; i < 200000; i++ {
+		cmds = c.OnActivate(0, i%4096, 0, cmds)
+	}
+	// 200000/4096 ≈ 48 activations per row < 100: zero triggers.
+	if len(cmds) != 0 {
+		t.Fatalf("scattered traffic triggered %d times", len(cmds))
+	}
+}
+
+func TestStorageIsPerRow(t *testing.T) {
+	c := New(1, 131072, 139000/4)
+	got := c.TableBytesPerBank()
+	// 131072 rows * 16 bits = 256 KB: the far-right point of Fig. 4.
+	if got < 200_000 || got > 300_000 {
+		t.Fatalf("CRA storage %d B, want ≈256 KB", got)
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	f, err := mitigation.Lookup("CRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1).Name() != "CRA" {
+		t.Fatal("factory mismatch")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	c := New(1, 1024, 100)
+	if c.ActCycles() > 54 || c.RefCycles() > 420 {
+		t.Fatal("CRA exceeds DDR4 cycle budgets")
+	}
+}

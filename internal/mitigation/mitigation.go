@@ -1,0 +1,155 @@
+// Package mitigation defines the interface every Row-Hammer mitigation
+// technique implements, the command types mitigations emit toward the
+// memory controller, and a registry used by the CLI tools.
+//
+// The driver protocol mirrors how a memory-controller extension observes
+// traffic (Fig. 1 of the paper):
+//
+//	for each refresh interval i in a window:
+//	    for each activation:    cmds = m.OnActivate(bank, row, i, cmds)
+//	    at the interval's end:  cmds = m.OnRefreshInterval(i, cmds)
+//	at the window's end:        m.OnNewWindow()
+//
+// Emitted commands are executed by the driver against the DRAM device.
+package mitigation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CommandKind distinguishes the two maintenance commands mitigations use.
+type CommandKind uint8
+
+const (
+	// ActN asks the device to activate both physical neighbors of Row,
+	// resolving the internal mapping in the DRAM (the command used by
+	// TWiCe, CRA and TiVaPRoMi).
+	ActN CommandKind = iota
+	// ActNOne activates the single physical neighbor on side Side of
+	// Row (PARA refreshes one randomly chosen neighbor per trigger).
+	ActNOne
+	// RefreshRow refreshes one row addressed directly by its logical
+	// address (the style ProHit and MRLoc use on their victim-table
+	// entries; it can miss the real victim when rows are remapped).
+	RefreshRow
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case ActN:
+		return "act_n"
+	case ActNOne:
+		return "act_n_one"
+	case RefreshRow:
+		return "refresh_row"
+	default:
+		return fmt.Sprintf("CommandKind(%d)", uint8(k))
+	}
+}
+
+// Command is one maintenance operation emitted by a mitigation.
+type Command struct {
+	Kind CommandKind
+	Bank int
+	Row  int
+	// Side selects the neighbor for ActNOne (-1 or +1); ignored otherwise.
+	Side int8
+}
+
+// Mitigator is a Row-Hammer mitigation technique. Implementations keep one
+// state instance per bank internally (banks are attacked independently).
+// Implementations are not safe for concurrent use.
+type Mitigator interface {
+	// Name returns the technique's short name as used in the paper.
+	Name() string
+	// OnActivate observes a normal activation of (bank, row) during
+	// in-window refresh interval `interval` and appends any maintenance
+	// commands to cmds, returning the extended slice.
+	OnActivate(bank, row, interval int, cmds []Command) []Command
+	// OnRefreshInterval observes the end of in-window refresh interval
+	// `interval` (just before the auto-refresh command) and appends any
+	// maintenance commands.
+	OnRefreshInterval(interval int, cmds []Command) []Command
+	// OnNewWindow tells the mitigation a refresh window completed;
+	// window-scoped state (history tables, counters) is cleared.
+	OnNewWindow()
+	// Reset restores the mitigation to its initial state, including its
+	// PRNG, so a simulation can be replayed.
+	Reset()
+	// TableBytesPerBank reports the per-bank storage requirement in
+	// bytes (Fig. 4's x-axis). Stateless techniques report 0.
+	TableBytesPerBank() int
+}
+
+// Escalation is implemented by every technique to report whether its
+// per-victim protection intensifies as an attack proceeds. Counter-based
+// techniques escalate to a deterministic trigger, ProHit promotes tracked
+// victims toward a guaranteed refresh, and TiVaPRoMi's weights ramp with
+// time; PARA and MRLoc apply the same static base probability to the
+// 100,000th hammering activation as to the first. Son et al. [17] showed
+// that such non-escalating schemes are vulnerable to scheduled
+// multi-aggressor patterns — the basis of Table III's "vulnerable" marks
+// for PARA and MRLoc.
+type Escalation interface {
+	// EscalatesUnderAttack reports whether sustained hammering of one
+	// victim raises the per-activation protection probability.
+	EscalatesUnderAttack() bool
+}
+
+// CycleModel is implemented by mitigations whose processing latency per
+// observed command is known (Table II). Values are clock cycles at the
+// memory interface frequency.
+type CycleModel interface {
+	// ActCycles is the FSM loop length after an observed act command.
+	ActCycles() int
+	// RefCycles is the FSM loop length after an observed ref command.
+	RefCycles() int
+}
+
+// Target describes the protected device to a mitigation factory.
+type Target struct {
+	// Banks, RowsPerBank and RefInt mirror the dram.Params structure.
+	Banks       int
+	RowsPerBank int
+	RefInt      int
+	// FlipThreshold is the Row-Hammer threshold the mitigation must
+	// defend (139 K in the paper); counter-based techniques derive their
+	// trigger thresholds from it.
+	FlipThreshold uint32
+}
+
+// Factory builds a fresh Mitigator for a target device; seed drives the
+// mitigation's internal PRNG.
+type Factory func(t Target, seed uint64) Mitigator
+
+var registry = map[string]Factory{}
+
+// Register adds a named factory. It panics on duplicates; registration
+// happens at init time and a collision is a programming error.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("mitigation: duplicate registration of %q", name))
+	}
+	registry[name] = f
+}
+
+// Lookup returns the factory for name, or an error listing the known names.
+func Lookup(name string) (Factory, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("mitigation: unknown technique %q (known: %v)", name, Names())
+	}
+	return f, nil
+}
+
+// Names returns the registered technique names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

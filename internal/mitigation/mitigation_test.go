@@ -1,0 +1,62 @@
+package mitigation
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCommandKindString(t *testing.T) {
+	cases := map[CommandKind]string{
+		ActN:            "act_n",
+		ActNOne:         "act_n_one",
+		RefreshRow:      "refresh_row",
+		CommandKind(42): "CommandKind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	fake := func(Target, uint64) Mitigator { return nil }
+	Register("test-technique", fake)
+	if _, err := Lookup("test-technique"); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-technique" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered name missing from Names()")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register("test-technique", fake)
+}
+
+func TestLookupUnknownListsKnown(t *testing.T) {
+	_, err := Lookup("definitely-not-registered")
+	if err == nil {
+		t.Fatal("unknown lookup succeeded")
+	}
+	if !strings.Contains(err.Error(), "known:") {
+		t.Fatalf("error does not list known techniques: %v", err)
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package mrloc
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func newTest(seed uint64) *MRLoc { return New(2, DefaultConfig(16384), seed) }
+
+func TestName(t *testing.T) {
+	if newTest(1).Name() != "MRLoc" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestVictimsEnterQueue(t *testing.T) {
+	m := newTest(1)
+	m.OnActivate(0, 100, 0, nil)
+	q := &m.banks[0]
+	if q.find(99) < 0 || q.find(101) < 0 {
+		t.Fatal("victims 99/101 not queued")
+	}
+	if q.find(100) >= 0 {
+		t.Fatal("aggressor itself queued")
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	m := newTest(1)
+	for r := 0; r < 1000; r += 2 { // distinct victims
+		m.OnActivate(0, r+1, 0, nil)
+	}
+	if got := len(m.banks[0].rows); got > m.cfg.QueueSize {
+		t.Fatalf("queue grew to %d, cap %d", got, m.cfg.QueueSize)
+	}
+}
+
+func TestRepeatHitsEventuallyRefresh(t *testing.T) {
+	m := newTest(3)
+	var refreshed bool
+	var cmds []mitigation.Command
+	for i := 0; i < 200000 && !refreshed; i++ {
+		cmds = m.OnActivate(0, 100, 0, cmds[:0])
+		for _, c := range cmds {
+			if c.Kind != mitigation.RefreshRow {
+				t.Fatalf("MRLoc emitted %v", c.Kind)
+			}
+			if c.Row != 99 && c.Row != 101 {
+				t.Fatalf("refreshed unrelated row %d", c.Row)
+			}
+			refreshed = true
+		}
+	}
+	if !refreshed {
+		t.Fatal("hammering never produced a victim refresh")
+	}
+}
+
+func TestRecencyWeighting(t *testing.T) {
+	// A victim at the queue tail must be refreshed sooner (higher p) than
+	// one near the head. Compare trigger counts for the two extremes.
+	countTriggers := func(victimLast bool) int {
+		m := newTest(7)
+		trig := 0
+		var cmds []mitigation.Command
+		for i := 0; i < 300000; i++ {
+			// Re-prime the queue each round (without reseeding the PRNG):
+			// victim of interest either newest (tail) or oldest (head).
+			m.banks[0].rows = m.banks[0].rows[:0]
+			if victimLast {
+				for f := 0; f < 20; f += 2 {
+					m.OnActivate(0, 1000+f, 0, nil)
+				}
+				m.OnActivate(0, 100, 0, nil)
+			} else {
+				m.OnActivate(0, 100, 0, nil)
+				for f := 0; f < 20; f += 2 {
+					m.OnActivate(0, 1000+f, 0, nil)
+				}
+			}
+			cmds = m.OnActivate(0, 100, 0, cmds[:0])
+			trig += len(cmds)
+		}
+		return trig
+	}
+	tail := countTriggers(true)
+	head := countTriggers(false)
+	if tail <= head {
+		t.Fatalf("recency weighting inverted: tail=%d head=%d", tail, head)
+	}
+}
+
+func TestBankIsolation(t *testing.T) {
+	m := newTest(1)
+	m.OnActivate(0, 100, 0, nil)
+	if len(m.banks[1].rows) != 0 {
+		t.Fatal("bank 1 queue polluted")
+	}
+}
+
+func TestEdgeRowZero(t *testing.T) {
+	m := newTest(1)
+	// Row 0 has no lower victim; must not queue -1 or panic.
+	m.OnActivate(0, 0, 0, nil)
+	if m.banks[0].find(-1) >= 0 {
+		t.Fatal("queued victim -1")
+	}
+	if m.banks[0].find(1) < 0 {
+		t.Fatal("victim 1 missing")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	m := newTest(1)
+	want := DefaultConfig(16384).QueueSize * DefaultConfig(16384).RowBits / 8
+	if m.TableBytesPerBank() != want {
+		t.Fatalf("TableBytesPerBank = %d, want %d", m.TableBytesPerBank(), want)
+	}
+	if want > 120 {
+		t.Fatalf("MRLoc table (%d B) should be comparable to TiVaPRoMi's 120 B", want)
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	m := newTest(42)
+	run := func() int {
+		n := 0
+		var cmds []mitigation.Command
+		for i := 0; i < 100000; i++ {
+			cmds = m.OnActivate(0, 100, 0, cmds[:0])
+			n += len(cmds)
+		}
+		return n
+	}
+	a := run()
+	m.Reset()
+	if b := run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	f, err := mitigation.Lookup("MRLoc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1).Name() != "MRLoc" {
+		t.Fatal("factory mismatch")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	m := newTest(1)
+	if m.ActCycles() > 54 || m.RefCycles() > 420 {
+		t.Fatal("MRLoc exceeds DDR4 cycle budgets")
+	}
+}

@@ -1,0 +1,239 @@
+// Package mtest provides the behavioral contract every Row-Hammer
+// mitigation must satisfy, as a reusable test harness. Each technique's
+// package invokes RunContract against its factory, so structural rules —
+// command validity, bank isolation, determinism, window hygiene, cycle
+// budgets — are enforced uniformly for the paper's nine techniques and
+// any extension registered later.
+package mtest
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+	"tivapromi/internal/rng"
+)
+
+// Target is the device geometry used by the contract checks.
+func Target() mitigation.Target {
+	return mitigation.Target{
+		Banks:         2,
+		RowsPerBank:   16384,
+		RefInt:        1024,
+		FlipThreshold: 16384,
+	}
+}
+
+// RunContract runs every contract check against the factory.
+func RunContract(t *testing.T, factory mitigation.Factory) {
+	t.Helper()
+	t.Run("CommandsWellFormed", func(t *testing.T) { checkCommandsWellFormed(t, factory) })
+	t.Run("Deterministic", func(t *testing.T) { checkDeterministic(t, factory) })
+	t.Run("ResetRestoresInitialState", func(t *testing.T) { checkReset(t, factory) })
+	t.Run("BankIsolation", func(t *testing.T) { checkBankIsolation(t, factory) })
+	t.Run("SurvivesWindowChurn", func(t *testing.T) { checkWindowChurn(t, factory) })
+	t.Run("EdgeRowsSafe", func(t *testing.T) { checkEdgeRows(t, factory) })
+	t.Run("CycleBudgets", func(t *testing.T) { checkCycleBudgets(t, factory) })
+	t.Run("StorageReported", func(t *testing.T) { checkStorage(t, factory) })
+	t.Run("SustainedAttackAnswered", func(t *testing.T) { checkSustainedAttack(t, factory) })
+}
+
+// drive pushes a deterministic mixed stream (hot rows + scattered rows +
+// a hammered pair) through the mitigation and returns every emitted
+// command.
+func drive(m mitigation.Mitigator, seed uint64, intervals int) []mitigation.Command {
+	tgt := Target()
+	src := rng.NewXorShift64Star(seed)
+	var out []mitigation.Command
+	var cmds []mitigation.Command
+	for iv := 0; iv < intervals; iv++ {
+		inWindow := iv % tgt.RefInt
+		for i := 0; i < 40; i++ {
+			var bank, row int
+			switch i % 4 {
+			case 0, 1: // hammered pair in bank 0
+				bank, row = 0, 5000+2*(i&1)
+			case 2: // hot row in bank 1
+				bank, row = 1, 100
+			default: // scattered
+				bank, row = rng.Intn(src, tgt.Banks), rng.Intn(src, tgt.RowsPerBank)
+			}
+			cmds = m.OnActivate(bank, row, inWindow, cmds[:0])
+			out = append(out, cmds...)
+		}
+		cmds = m.OnRefreshInterval(inWindow, cmds[:0])
+		out = append(out, cmds...)
+		if inWindow == tgt.RefInt-1 {
+			m.OnNewWindow()
+		}
+	}
+	return out
+}
+
+func checkCommandsWellFormed(t *testing.T, factory mitigation.Factory) {
+	tgt := Target()
+	m := factory(tgt, 1)
+	for _, cmd := range drive(m, 1, 300) {
+		if cmd.Bank < 0 || cmd.Bank >= tgt.Banks {
+			t.Fatalf("command with bank %d out of range", cmd.Bank)
+		}
+		if cmd.Row < 0 || cmd.Row >= tgt.RowsPerBank {
+			t.Fatalf("command with row %d out of range", cmd.Row)
+		}
+		switch cmd.Kind {
+		case mitigation.ActN, mitigation.RefreshRow:
+		case mitigation.ActNOne:
+			if cmd.Side != 1 && cmd.Side != -1 {
+				t.Fatalf("one-sided command with side %d", cmd.Side)
+			}
+		default:
+			t.Fatalf("unknown command kind %v", cmd.Kind)
+		}
+	}
+}
+
+func checkDeterministic(t *testing.T, factory mitigation.Factory) {
+	a := drive(factory(Target(), 7), 3, 200)
+	b := drive(factory(Target(), 7), 3, 200)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d commands", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("command %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func checkReset(t *testing.T, factory mitigation.Factory) {
+	m := factory(Target(), 7)
+	a := drive(m, 3, 200)
+	m.Reset()
+	b := drive(m, 3, 200)
+	if len(a) != len(b) {
+		t.Fatalf("reset replay produced %d vs %d commands", len(a), len(b))
+	}
+}
+
+func checkBankIsolation(t *testing.T, factory mitigation.Factory) {
+	// Hammer only bank 0; no command may ever target bank 1.
+	m := factory(Target(), 5)
+	var cmds []mitigation.Command
+	for iv := 0; iv < 300; iv++ {
+		for i := 0; i < 40; i++ {
+			cmds = m.OnActivate(0, 5000+2*(i&1), iv%Target().RefInt, cmds[:0])
+			for _, c := range cmds {
+				if c.Bank != 0 {
+					t.Fatalf("bank-0 traffic produced a command for bank %d", c.Bank)
+				}
+			}
+		}
+		cmds = m.OnRefreshInterval(iv%Target().RefInt, cmds[:0])
+		for _, c := range cmds {
+			if c.Bank != 0 {
+				t.Fatalf("bank-0 traffic produced a ref command for bank %d", c.Bank)
+			}
+		}
+	}
+}
+
+func checkWindowChurn(t *testing.T, factory mitigation.Factory) {
+	// Three full windows of traffic: no panic, commands stay well-formed.
+	m := factory(Target(), 9)
+	tgt := Target()
+	for _, cmd := range drive(m, 9, 3*tgt.RefInt) {
+		if cmd.Row < 0 || cmd.Row >= tgt.RowsPerBank {
+			t.Fatalf("row %d out of range after window churn", cmd.Row)
+		}
+	}
+}
+
+func checkEdgeRows(t *testing.T, factory mitigation.Factory) {
+	// Rows 0 and RowsPerBank-1 have one physical neighbor; the mitigation
+	// must handle hammering them without panicking or emitting
+	// out-of-range commands.
+	tgt := Target()
+	m := factory(tgt, 11)
+	var cmds []mitigation.Command
+	for iv := 0; iv < 200; iv++ {
+		for i := 0; i < 40; i++ {
+			row := 0
+			if i&1 == 1 {
+				row = tgt.RowsPerBank - 1
+			}
+			cmds = m.OnActivate(0, row, iv, cmds[:0])
+			for _, c := range cmds {
+				if c.Row < 0 || c.Row >= tgt.RowsPerBank {
+					t.Fatalf("edge hammering emitted row %d", c.Row)
+				}
+			}
+		}
+		cmds = m.OnRefreshInterval(iv, cmds[:0])
+		for _, c := range cmds {
+			if c.Row < 0 || c.Row >= tgt.RowsPerBank {
+				t.Fatalf("edge hammering emitted row %d at ref", c.Row)
+			}
+		}
+	}
+}
+
+func checkCycleBudgets(t *testing.T, factory mitigation.Factory) {
+	m := factory(Target(), 1)
+	cm, ok := m.(mitigation.CycleModel)
+	if !ok {
+		t.Skip("no cycle model")
+	}
+	// DDR4 budgets (Table I derivation): 54 cycles per act, 420 per ref.
+	// TWiCe's serial ref pass intentionally blows the budget — that is
+	// the paper's point about it needing CAM parallelism — so only the
+	// act path is a hard contract.
+	if cm.ActCycles() <= 0 || cm.RefCycles() <= 0 {
+		t.Fatal("non-positive cycle counts")
+	}
+	if cm.ActCycles() > 54 {
+		t.Errorf("act path %d cycles exceeds the DDR4 budget", cm.ActCycles())
+	}
+}
+
+func checkStorage(t *testing.T, factory mitigation.Factory) {
+	if b := factory(Target(), 1).TableBytesPerBank(); b < 0 {
+		t.Fatalf("negative storage %d", b)
+	}
+}
+
+func checkSustainedAttack(t *testing.T, factory mitigation.Factory) {
+	// A full window of maximum-rate double-sided hammering must produce
+	// at least one protective command from any credible mitigation.
+	tgt := Target()
+	m := factory(tgt, 13)
+	protective := 0
+	var cmds []mitigation.Command
+	for iv := 0; iv < tgt.RefInt; iv++ {
+		for i := 0; i < 160; i++ {
+			row := 5000 + 2*(i&1)
+			cmds = m.OnActivate(0, row, iv, cmds[:0])
+			protective += countProtective(cmds)
+		}
+		cmds = m.OnRefreshInterval(iv, cmds[:0])
+		protective += countProtective(cmds)
+	}
+	if protective == 0 {
+		t.Fatal("a full window of max-rate hammering produced no protection")
+	}
+}
+
+func countProtective(cmds []mitigation.Command) int {
+	n := 0
+	for _, c := range cmds {
+		switch c.Kind {
+		case mitigation.ActN, mitigation.ActNOne:
+			if c.Row == 5000 || c.Row == 5002 {
+				n++
+			}
+		case mitigation.RefreshRow:
+			if c.Row == 5001 {
+				n++
+			}
+		}
+	}
+	return n
+}

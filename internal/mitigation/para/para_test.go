@@ -1,0 +1,108 @@
+package para
+
+import (
+	"math"
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func TestName(t *testing.T) {
+	if NewDefault(1).Name() != "PARA" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestTriggerRateMatchesProbability(t *testing.T) {
+	p := NewDefault(42) // p = 8192 / 2^23 ≈ 9.77e-4
+	const n = 4 << 20
+	var cmds []mitigation.Command
+	trig := 0
+	for i := 0; i < n; i++ {
+		cmds = p.OnActivate(0, 100, 0, cmds[:0])
+		trig += len(cmds)
+	}
+	want := float64(n) * 8192 / float64(1<<23)
+	sigma := math.Sqrt(want)
+	if math.Abs(float64(trig)-want) > 5*sigma {
+		t.Fatalf("triggers = %d, want %.0f ± %.0f", trig, want, 5*sigma)
+	}
+}
+
+func TestEmitsSingleSidedNeighborActivations(t *testing.T) {
+	p := NewDefault(7)
+	var cmds []mitigation.Command
+	sides := map[int8]int{}
+	for i := 0; i < 1<<20; i++ {
+		cmds = p.OnActivate(2, 500, 0, cmds[:0])
+		for _, c := range cmds {
+			if c.Kind != mitigation.ActNOne {
+				t.Fatalf("PARA emitted %v, want act_n_one", c.Kind)
+			}
+			if c.Bank != 2 || c.Row != 500 {
+				t.Fatalf("wrong target %+v", c)
+			}
+			sides[c.Side]++
+		}
+	}
+	if sides[-1] == 0 || sides[1] == 0 {
+		t.Fatalf("side choice not random: %v", sides)
+	}
+	// Sides should be roughly balanced.
+	lo, hi := float64(sides[-1]), float64(sides[1])
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo/hi < 0.8 {
+		t.Fatalf("side imbalance: %v", sides)
+	}
+}
+
+func TestStatelessness(t *testing.T) {
+	p := NewDefault(1)
+	if p.TableBytesPerBank() != 0 {
+		t.Fatal("PARA reports table storage")
+	}
+	if got := p.OnRefreshInterval(0, nil); len(got) != 0 {
+		t.Fatal("PARA emitted at ref")
+	}
+	p.OnNewWindow() // must be a no-op, not a panic
+}
+
+func TestFactoryScalesResolution(t *testing.T) {
+	// For RefInt 1024 the factory must keep p ≈ 2^-10: weight 1024 at 20
+	// bits.
+	m := Factory(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1)
+	p := m.(*PARA)
+	if p.bits != 20 || p.weight != 1024 {
+		t.Fatalf("bits=%d weight=%d, want 20/1024", p.bits, p.weight)
+	}
+	if float64(p.weight)/float64(uint64(1)<<p.bits) != math.Exp2(-10) {
+		t.Fatal("effective probability drifted")
+	}
+}
+
+func TestResetReproducibility(t *testing.T) {
+	p := NewDefault(99)
+	run := func() int {
+		n := 0
+		var cmds []mitigation.Command
+		for i := 0; i < 100000; i++ {
+			cmds = p.OnActivate(0, 1, 0, cmds[:0])
+			n += len(cmds)
+		}
+		return n
+	}
+	a := run()
+	p.Reset()
+	if b := run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}
+
+func TestCycleModelWithinBudget(t *testing.T) {
+	p := NewDefault(1)
+	if p.ActCycles() > 54 || p.RefCycles() > 420 {
+		t.Fatal("PARA exceeds DDR4 cycle budgets")
+	}
+}

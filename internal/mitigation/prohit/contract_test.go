@@ -1,0 +1,11 @@
+package prohit
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation/mtest"
+)
+
+func TestMitigationContract(t *testing.T) {
+	mtest.RunContract(t, Factory)
+}

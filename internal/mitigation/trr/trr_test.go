@@ -1,0 +1,174 @@
+package trr
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func newTest(seed uint64) *TRR { return New(1, DefaultConfig(), seed) }
+
+func TestName(t *testing.T) {
+	if newTest(1).Name() != "TRR" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestSamplerTracksHammeredRow(t *testing.T) {
+	m := newTest(3)
+	for i := 0; i < 10000; i++ {
+		m.OnActivate(0, 500, 0, nil)
+	}
+	found := false
+	for _, r := range m.Tracked(0) {
+		if r == 500 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("10k activations never sampled")
+	}
+}
+
+func TestRefreshTargetsHottestRow(t *testing.T) {
+	m := newTest(3)
+	// Two rows at very different rates.
+	for i := 0; i < 5000; i++ {
+		m.OnActivate(0, 500, 0, nil)
+		if i%50 == 0 {
+			m.OnActivate(0, 900, 0, nil)
+		}
+	}
+	cmds := m.OnRefreshInterval(0, nil)
+	if len(cmds) != 1 {
+		t.Fatalf("refresh emitted %d commands", len(cmds))
+	}
+	if cmds[0].Kind != mitigation.ActN || cmds[0].Row != 500 {
+		t.Fatalf("refreshed %+v, want the hot row 500", cmds[0])
+	}
+	// The refreshed row is forgotten.
+	for _, r := range m.Tracked(0) {
+		if r == 500 {
+			t.Fatal("refreshed row still tracked")
+		}
+	}
+}
+
+func TestSamplerBounded(t *testing.T) {
+	m := newTest(1)
+	for row := 0; row < 10000; row++ {
+		m.OnActivate(0, row, 0, nil)
+	}
+	if got := len(m.Tracked(0)); got > DefaultConfig().Entries {
+		t.Fatalf("sampler grew to %d slots", got)
+	}
+}
+
+func TestProtectsFocusedAttack(t *testing.T) {
+	// A classic double-sided attack is caught: over a window's worth of
+	// intervals, the aggressors receive many neighbor refreshes.
+	m := newTest(7)
+	protections := 0
+	for iv := 0; iv < 1024; iv++ {
+		for i := 0; i < 80; i++ {
+			m.OnActivate(0, 500+2*(i&1), iv, nil)
+		}
+		for _, c := range m.OnRefreshInterval(iv, nil) {
+			if c.Row == 500 || c.Row == 502 {
+				protections++
+			}
+		}
+	}
+	if protections < 500 {
+		t.Fatalf("focused attack got only %d protective refreshes over a window", protections)
+	}
+}
+
+func TestDecoyAttackStarvesAggressors(t *testing.T) {
+	// The TRRespass-style weakness: interleave decoy rows at a higher
+	// rate than the aggressors. The decoys dominate the tiny sampler's
+	// frequency counts, so the per-interval refresh almost always lands
+	// on a decoy and the true aggressors are starved.
+	focused := protectionRate(t, 0)
+	decoyed := protectionRate(t, 12) // 12 decoy activations per aggressor pair
+	if decoyed > focused/4 {
+		t.Fatalf("decoys did not starve TRR: focused %.4f vs decoyed %.4f protections/interval",
+			focused, decoyed)
+	}
+}
+
+// protectionRate hammers aggressors 500/502 with `decoys` interleaved
+// hotter decoy rows and returns aggressor protections per interval.
+func protectionRate(t *testing.T, decoys int) float64 {
+	t.Helper()
+	m := newTest(7)
+	protections := 0
+	const intervals = 1024
+	for iv := 0; iv < intervals; iv++ {
+		for i := 0; i < 6; i++ {
+			m.OnActivate(0, 500+2*(i&1), iv, nil)
+			for d := 0; d < decoys; d++ {
+				m.OnActivate(0, 9000+2*d, iv, nil)
+			}
+		}
+		for _, c := range m.OnRefreshInterval(iv, nil) {
+			if c.Row == 500 || c.Row == 502 {
+				protections++
+			}
+		}
+	}
+	return float64(protections) / intervals
+}
+
+func TestWindowClear(t *testing.T) {
+	m := newTest(1)
+	for i := 0; i < 1000; i++ {
+		m.OnActivate(0, 77, 0, nil)
+	}
+	m.OnNewWindow()
+	if len(m.Tracked(0)) != 0 {
+		t.Fatal("window clear left slots")
+	}
+}
+
+func TestStorageTiny(t *testing.T) {
+	if got := newTest(1).TableBytesPerBank(); got > 32 {
+		t.Fatalf("TRR storage %d B, want tiny", got)
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	f, err := mitigation.Lookup("TRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1).Name() != "TRR" {
+		t.Fatal("factory mismatch")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	m := newTest(1)
+	if m.ActCycles() > 54 || m.RefCycles() > 420 {
+		t.Fatal("TRR exceeds DDR4 cycle budgets")
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	m := newTest(42)
+	run := func() int {
+		n := 0
+		for iv := 0; iv < 200; iv++ {
+			for i := 0; i < 40; i++ {
+				m.OnActivate(0, i%100, iv, nil)
+			}
+			n += len(m.OnRefreshInterval(iv, nil))
+		}
+		return n
+	}
+	a := run()
+	m.Reset()
+	if b := run(); a != b {
+		t.Fatalf("replay diverged: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,182 @@
+package twice
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+func testConfig() Config {
+	// Small thresholds so tests run fast: thRH 256 over 64 intervals
+	// (pruning threshold 4 per interval of life).
+	return Config{ThRH: 256, RefInt: 64, MaxEntries: 32, RowBits: 17}
+}
+
+func TestName(t *testing.T) {
+	if New(1, testConfig()).Name() != "TWiCe" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestDeterministicTriggerAtThreshold(t *testing.T) {
+	tw := New(1, testConfig())
+	var cmds []mitigation.Command
+	for i := uint32(0); i < testConfig().ThRH-1; i++ {
+		cmds = tw.OnActivate(0, 100, 0, cmds)
+	}
+	if len(cmds) != 0 {
+		t.Fatal("triggered before threshold")
+	}
+	cmds = tw.OnActivate(0, 100, 0, cmds)
+	if len(cmds) != 1 || cmds[0].Kind != mitigation.ActN || cmds[0].Row != 100 {
+		t.Fatalf("threshold trigger wrong: %+v", cmds)
+	}
+	// The count restarts: the very next activation must not trigger.
+	if cmds = tw.OnActivate(0, 100, 0, cmds[:0]); len(cmds) != 0 {
+		t.Fatal("retriggered immediately after reset")
+	}
+}
+
+func TestPruningEvictsSlowRows(t *testing.T) {
+	tw := New(1, testConfig())
+	// One activation, then one pruning pass: cnt(1)*64 < 256*1 ⇒ evicted.
+	tw.OnActivate(0, 100, 0, nil)
+	tw.OnRefreshInterval(0, nil)
+	if tw.Live(0) != 0 {
+		t.Fatalf("slow row survived pruning: live=%d", tw.Live(0))
+	}
+}
+
+func TestPruningKeepsFastRows(t *testing.T) {
+	tw := New(1, testConfig())
+	// 10 activations before the pruning pass: 10*64 >= 256 ⇒ kept.
+	for i := 0; i < 10; i++ {
+		tw.OnActivate(0, 100, 0, nil)
+	}
+	tw.OnRefreshInterval(0, nil)
+	if tw.Live(0) != 1 {
+		t.Fatalf("fast row pruned: live=%d", tw.Live(0))
+	}
+	// After several idle pruning passes the lifetime threshold catches up.
+	for i := 0; i < 10; i++ {
+		tw.OnRefreshInterval(0, nil)
+	}
+	if tw.Live(0) != 0 {
+		t.Fatal("stale row survived growing lifetime threshold")
+	}
+}
+
+func TestPruningSoundness(t *testing.T) {
+	// Core TWiCe property: pruning never loses a row that later reaches
+	// the Row-Hammer threshold at the maximum activation rate. A hammered
+	// row that is activated at least ThRH/RefInt times per interval is
+	// never evicted.
+	cfg := testConfig()
+	tw := New(1, cfg)
+	perInterval := int(cfg.ThRH)/cfg.RefInt + 1 // 5 > 4 = pruning rate
+	triggered := false
+	total := 0
+	for iv := 0; iv < cfg.RefInt && !triggered; iv++ {
+		for i := 0; i < perInterval; i++ {
+			if cmds := tw.OnActivate(0, 100, iv, nil); len(cmds) > 0 {
+				triggered = true
+			}
+			total++
+		}
+		tw.OnRefreshInterval(iv, nil)
+		if !triggered && tw.Live(0) != 1 {
+			t.Fatalf("interval %d: sustained aggressor evicted", iv)
+		}
+	}
+	if !triggered {
+		t.Fatalf("aggressor reached %d activations without mitigation", total)
+	}
+}
+
+func TestOverflowEvictsColdest(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxEntries = 4
+	tw := New(1, cfg)
+	// Heat up row 0, then flood with new rows.
+	for i := 0; i < 50; i++ {
+		tw.OnActivate(0, 0, 0, nil)
+	}
+	for r := 1; r <= 10; r++ {
+		tw.OnActivate(0, r*10, 0, nil)
+	}
+	if tw.Overflows == 0 {
+		t.Fatal("no overflow recorded despite tiny table")
+	}
+	// The hot row must never be the overflow victim.
+	found := false
+	for _, e := range tw.banks[0].entries {
+		if e.row == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hot entry evicted on overflow")
+	}
+}
+
+func TestWindowClear(t *testing.T) {
+	tw := New(2, testConfig())
+	for i := 0; i < 20; i++ {
+		tw.OnActivate(1, 7, 0, nil)
+	}
+	tw.OnNewWindow()
+	if tw.Live(1) != 0 {
+		t.Fatal("window clear left entries")
+	}
+}
+
+func TestDefaultConfigStorage(t *testing.T) {
+	cfg := DefaultConfig(139000, 8192)
+	tw := New(1, cfg)
+	got := tw.TableBytesPerBank()
+	// ≈550 entries * (17+16+13+1)/8 ≈ 3.2 KB: the 9×-27× anchor of the
+	// paper's storage comparison.
+	if got < 2500 || got > 4500 {
+		t.Fatalf("TWiCe storage %d B, want ≈3.2 KB", got)
+	}
+	if cfg.ThRH != 34750 {
+		t.Fatalf("ThRH = %d, want 139000/4", cfg.ThRH)
+	}
+}
+
+func TestNoFalseTriggersOnScatteredTraffic(t *testing.T) {
+	tw := New(1, testConfig())
+	var cmds []mitigation.Command
+	for iv := 0; iv < 64; iv++ {
+		for i := 0; i < 40; i++ {
+			cmds = tw.OnActivate(0, (iv*40+i)%5000, iv, cmds)
+		}
+		cmds = tw.OnRefreshInterval(iv, cmds)
+	}
+	if len(cmds) != 0 {
+		t.Fatalf("scattered traffic produced %d triggers; TWiCe should emit none", len(cmds))
+	}
+}
+
+func TestFactoryRegistered(t *testing.T) {
+	f, err := mitigation.Lookup("TWiCe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(mitigation.Target{Banks: 1, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384}, 1).Name() != "TWiCe" {
+		t.Fatal("factory mismatch")
+	}
+}
+
+func TestCycleBudget(t *testing.T) {
+	tw := New(1, DefaultConfig(139000, 8192))
+	if tw.ActCycles() > 54 {
+		t.Fatal("TWiCe act path exceeds budget")
+	}
+	// The serial pruning pass does NOT fit the 420-cycle ref budget —
+	// that is exactly the paper's point about TWiCe needing massive
+	// parallelism (CAM) and being impractical in the controller.
+	if tw.RefCycles() <= 420 {
+		t.Fatal("expected the serial pruning pass to blow the ref budget")
+	}
+}

@@ -1,0 +1,218 @@
+// Package report renders experiment results as aligned ASCII tables, CSV,
+// and a log-log ASCII scatter plot used to regenerate the paper's Fig. 4.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row. Short rows are padded, long rows truncated to the
+// header width.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title + "\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Point is one labeled sample of a scatter plot.
+type Point struct {
+	Label string
+	X, Y  float64
+}
+
+// Scatter is a log-log ASCII scatter plot (the paper's Fig. 4: table size
+// per bank in bytes vs. activation overhead in percent).
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+	Width  int
+	Height int
+}
+
+// NewScatter creates a plot with sensible terminal dimensions.
+func NewScatter(title, xlabel, ylabel string) *Scatter {
+	return &Scatter{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+// Add appends a labeled point. Non-positive coordinates are clamped to a
+// small epsilon so stateless techniques (0 bytes) still plot on the log
+// axis.
+func (s *Scatter) Add(label string, x, y float64) {
+	const eps = 0.5
+	if x <= 0 {
+		x = eps
+	}
+	if y <= 0 {
+		y = eps * 1e-4
+	}
+	s.Points = append(s.Points, Point{Label: label, X: x, Y: y})
+}
+
+// Render writes the plot: a grid with one marker letter per point and a
+// legend mapping letters to labels and coordinates.
+func (s *Scatter) Render(w io.Writer) error {
+	if len(s.Points) == 0 {
+		_, err := fmt.Fprintln(w, s.Title+": no data")
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	// Pad the log range so extremes sit inside the frame.
+	lx0, lx1 := math.Log10(minX)-0.2, math.Log10(maxX)+0.2
+	ly0, ly1 := math.Log10(minY)-0.2, math.Log10(maxY)+0.2
+	if lx1 <= lx0 {
+		lx1 = lx0 + 1
+	}
+	if ly1 <= ly0 {
+		ly1 = ly0 + 1
+	}
+	grid := make([][]byte, s.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", s.Width))
+	}
+	marker := byte('A')
+	var legend []string
+	for _, p := range s.Points {
+		cx := int((math.Log10(p.X) - lx0) / (lx1 - lx0) * float64(s.Width-1))
+		cy := int((math.Log10(p.Y) - ly0) / (ly1 - ly0) * float64(s.Height-1))
+		row := s.Height - 1 - cy
+		if grid[row][cx] != ' ' {
+			// Collision: nudge right.
+			for cx < s.Width-1 && grid[row][cx] != ' ' {
+				cx++
+			}
+		}
+		grid[row][cx] = marker
+		legend = append(legend, fmt.Sprintf("  %c = %-10s (%.4g B, %.4g %%)", marker, p.Label, p.X, p.Y))
+		marker++
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title + "\n")
+	}
+	b.WriteString(fmt.Sprintf("%s (log scale) vs %s (log scale)\n", s.YLabel, s.XLabel))
+	b.WriteString("+" + strings.Repeat("-", s.Width) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|" + string(row) + "|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", s.Width) + "+\n")
+	b.WriteString(fmt.Sprintf(" x: %.3g .. %.3g %s\n", minX, maxX, s.XLabel))
+	b.WriteString(fmt.Sprintf(" y: %.3g .. %.3g %s\n", minY, maxY, s.YLabel))
+	for _, l := range legend {
+		b.WriteString(l + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV emits the points as CSV for external plotting.
+func (s *Scatter) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,x,y"); err != nil {
+		return err
+	}
+	for _, p := range s.Points {
+		if _, err := fmt.Fprintf(w, "%s,%g,%g\n", p.Label, p.X, p.Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Pct formats a percentage with the paper's precision.
+func Pct(v float64) string { return fmt.Sprintf("%.4f%%", v) }
+
+// PctErr formats mean ± stddev percentages, Table III style.
+func PctErr(mean, std float64) string {
+	return fmt.Sprintf("(%.4f ± %.4f)%%", mean, std)
+}
+
+// Bytes formats a byte count.
+func Bytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// YesNo renders a boolean like the paper's vulnerability column.
+func YesNo(b bool) string {
+	if b {
+		return "Yes"
+	}
+	return "No"
+}

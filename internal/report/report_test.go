@@ -1,0 +1,156 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("My Table", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("beta") // short row padded
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"My Table", "name", "value", "alpha", "beta", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: both data rows start their second column at the same
+	// offset.
+	if strings.Index(lines[3], "1") < len("alpha") {
+		t.Error("column alignment broken")
+	}
+}
+
+func TestTableColumnsAligned(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("short", "x")
+	tb.Add("a-much-longer-cell", "y")
+	var sb strings.Builder
+	tb.Render(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	posX := strings.Index(lines[2], "x")
+	posY := strings.Index(lines[3], "y")
+	if posX != posY {
+		t.Fatalf("second column misaligned: %d vs %d\n%s", posX, posY, sb.String())
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	s := NewScatter("Fig. 4", "bytes", "%")
+	s.Add("PARA", 0, 0.1) // zero clamps onto the log axis
+	s.Add("TWiCe", 3300, 0.0037)
+	s.Add("LoLiPRoMi", 120, 0.014)
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 4", "A = PARA", "B = TWiCe", "C = LoLiPRoMi", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// All three markers must appear in the grid.
+	grid := out[strings.Index(out, "+"):strings.LastIndex(out, "+")]
+	for _, m := range []string{"A", "B", "C"} {
+		if !strings.Contains(grid, m) {
+			t.Errorf("marker %s missing from grid", m)
+		}
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	s := NewScatter("empty", "x", "y")
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty plot not reported")
+	}
+}
+
+func TestScatterCollisionNudge(t *testing.T) {
+	s := NewScatter("", "x", "y")
+	s.Add("one", 100, 1)
+	s.Add("two", 100, 1) // identical coordinates
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatal("colliding points lost")
+	}
+}
+
+func TestScatterCSV(t *testing.T) {
+	s := NewScatter("", "x", "y")
+	s.Add("p", 10, 0.5)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "label,x,y\np,10,0.5\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.012345); got != "0.0123%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := PctErr(0.1, 0.0084); got != "(0.1000 ± 0.0084)%" {
+		t.Errorf("PctErr = %q", got)
+	}
+	if got := Bytes(120); got != "120 B" {
+		t.Errorf("Bytes(120) = %q", got)
+	}
+	if got := Bytes(3300); got != "3.2 KB" {
+		t.Errorf("Bytes(3300) = %q", got)
+	}
+	if got := Bytes(6 << 20); got != "6.0 MB" {
+		t.Errorf("Bytes(6M) = %q", got)
+	}
+	if YesNo(true) != "Yes" || YesNo(false) != "No" {
+		t.Error("YesNo broken")
+	}
+}
+
+func TestScatterSVG(t *testing.T) {
+	s := NewScatter("Fig. 4", "bytes", "%")
+	s.Add("PARA", 0, 0.1)
+	s.Add("TWiCe", 3300, 0.0037)
+	s.Add("Lo&Li<>", 120, 0.014) // label needing XML escaping
+	var sb strings.Builder
+	if err := s.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"<svg", "</svg>", "circle", "Lo&amp;Li&lt;&gt;", "1e"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 3 {
+		t.Fatalf("want 3 markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestScatterSVGEmpty(t *testing.T) {
+	s := NewScatter("", "x", "y")
+	var sb strings.Builder
+	if err := s.WriteSVG(&sb); err == nil {
+		t.Fatal("empty SVG plot accepted")
+	}
+}

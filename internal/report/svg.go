@@ -1,0 +1,108 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteSVG renders the scatter as a standalone SVG file with log-log
+// axes, decade gridlines, and labeled points — a publication-style
+// rendering of Fig. 4 without any plotting dependency.
+func (s *Scatter) WriteSVG(w io.Writer) error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("report: no points to plot")
+	}
+	const (
+		width   = 720.0
+		height  = 480.0
+		left    = 70.0
+		right   = 30.0
+		top     = 40.0
+		bottom  = 60.0
+		plotW   = width - left - right
+		plotH   = height - top - bottom
+		rMarker = 4.5
+	)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	lx0 := math.Floor(math.Log10(minX))
+	lx1 := math.Ceil(math.Log10(maxX))
+	ly0 := math.Floor(math.Log10(minY))
+	ly1 := math.Ceil(math.Log10(maxY))
+	if lx1 == lx0 {
+		lx1++
+	}
+	if ly1 == ly0 {
+		ly1++
+	}
+	xPix := func(v float64) float64 {
+		return left + (math.Log10(v)-lx0)/(lx1-lx0)*plotW
+	}
+	yPix := func(v float64) float64 {
+		return top + plotH - (math.Log10(v)-ly0)/(ly1-ly0)*plotH
+	}
+
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf(`<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`+"\n",
+		width, height, width, height))
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	b.WriteString(fmt.Sprintf(`<text x="%g" y="24" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+		width/2, escape(s.Title)))
+
+	// Decade gridlines and tick labels.
+	for d := lx0; d <= lx1; d++ {
+		x := xPix(math.Pow(10, d))
+		b.WriteString(fmt.Sprintf(`<line x1="%.1f" y1="%g" x2="%.1f" y2="%g" stroke="#ddd"/>`+"\n",
+			x, top, x, top+plotH))
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">1e%d</text>`+"\n",
+			x, top+plotH+16, int(d)))
+	}
+	for d := ly0; d <= ly1; d++ {
+		y := yPix(math.Pow(10, d))
+		b.WriteString(fmt.Sprintf(`<line x1="%g" y1="%.1f" x2="%g" y2="%.1f" stroke="#ddd"/>`+"\n",
+			left, y, left+plotW, y))
+		b.WriteString(fmt.Sprintf(`<text x="%g" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">1e%d</text>`+"\n",
+			left-6, y+4, int(d)))
+	}
+	// Axes.
+	b.WriteString(fmt.Sprintf(`<rect x="%g" y="%g" width="%g" height="%g" fill="none" stroke="#333"/>`+"\n",
+		left, top, plotW, plotH))
+	b.WriteString(fmt.Sprintf(`<text x="%g" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-14, escape(s.XLabel)))
+	b.WriteString(fmt.Sprintf(`<text x="16" y="%g" font-family="sans-serif" font-size="13" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, escape(s.YLabel)))
+
+	// Points with labels; a small palette cycles by index.
+	palette := []string{"#c0392b", "#2980b9", "#27ae60", "#8e44ad", "#d35400",
+		"#16a085", "#7f8c8d", "#2c3e50", "#f39c12", "#006266", "#b71540"}
+	for i, p := range s.Points {
+		x, y := xPix(p.X), yPix(p.Y)
+		color := palette[i%len(palette)]
+		b.WriteString(fmt.Sprintf(`<circle cx="%.1f" cy="%.1f" r="%g" fill="%s"/>`+"\n",
+			x, y, rMarker, color))
+		// Nudge labels that would leave the plot area.
+		lx := x + 7
+		anchor := "start"
+		if lx > left+plotW-60 {
+			lx = x - 7
+			anchor = "end"
+		}
+		b.WriteString(fmt.Sprintf(`<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="%s" text-anchor="%s">%s</text>`+"\n",
+			lx, y-6, color, anchor, escape(p.Label)))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,180 @@
+// Package rng provides the deterministic pseudo-random number generators
+// used throughout the simulator.
+//
+// Row-Hammer mitigations are hardware blocks: their probabilistic decisions
+// are driven by small linear-feedback shift registers or xorshift-style
+// generators, and probabilities are compared in fixed point (the paper's
+// base probability is Pbase = 2^-23, so a decision is "draw 23 random bits,
+// trigger iff they are below the weight"). This package mirrors that model
+// so simulation results are bit-reproducible from a seed.
+package rng
+
+// Source is a deterministic stream of uniform 64-bit values. All generators
+// in this package implement it.
+type Source interface {
+	// Uint64 returns the next value of the stream.
+	Uint64() uint64
+	// Seed resets the stream. Seeding with the same value reproduces the
+	// same stream. A zero seed is remapped internally so that generators
+	// whose all-zero state is absorbing still work.
+	Seed(seed uint64)
+}
+
+// splitMix64 advances z and returns the next SplitMix64 output. It is used
+// to whiten seeds for the other generators so that similar seeds (1, 2, 3…)
+// still produce uncorrelated streams.
+func splitMix64(z *uint64) uint64 {
+	*z += 0x9e3779b97f4a7c15
+	x := *z
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// XorShift64Star is a fast, well-distributed 64-bit generator
+// (Vigna, "An experimental exploration of Marsaglia's xorshift generators").
+// It is the default software-side generator of the simulator.
+type XorShift64Star struct {
+	state uint64
+}
+
+// NewXorShift64Star returns a generator seeded with seed.
+func NewXorShift64Star(seed uint64) *XorShift64Star {
+	g := &XorShift64Star{}
+	g.Seed(seed)
+	return g
+}
+
+// Seed implements Source.
+func (g *XorShift64Star) Seed(seed uint64) {
+	z := seed
+	g.state = splitMix64(&z)
+	if g.state == 0 {
+		g.state = 0x2545f4914f6cdd1d // any non-zero constant
+	}
+}
+
+// Uint64 implements Source.
+func (g *XorShift64Star) Uint64() uint64 {
+	x := g.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	g.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// LFSR32 is a 32-bit Fibonacci linear-feedback shift register with taps
+// 32,22,2,1 (a maximum-length polynomial). It models the cheap PRNG a
+// memory-controller extension would synthesize: one flop per bit plus a
+// handful of XOR gates.
+type LFSR32 struct {
+	state uint32
+}
+
+// NewLFSR32 returns an LFSR seeded with seed.
+func NewLFSR32(seed uint64) *LFSR32 {
+	l := &LFSR32{}
+	l.Seed(seed)
+	return l
+}
+
+// Seed implements Source.
+func (l *LFSR32) Seed(seed uint64) {
+	z := seed
+	l.state = uint32(splitMix64(&z))
+	if l.state == 0 {
+		l.state = 0xace1ace1
+	}
+}
+
+// step advances the register one bit.
+func (l *LFSR32) step() uint32 {
+	s := l.state
+	// Taps 32,22,2,1 (1-indexed from the MSB end of the polynomial).
+	bit := (s ^ (s >> 10) ^ (s >> 30) ^ (s >> 31)) & 1
+	l.state = (s >> 1) | (bit << 31)
+	return l.state
+}
+
+// Uint32 advances the register a full word and returns it.
+func (l *LFSR32) Uint32() uint32 {
+	// 32 single-bit steps keep the stream equivalent to the serial
+	// hardware implementation; it is still plenty fast for simulation.
+	for i := 0; i < 31; i++ {
+		l.step()
+	}
+	return l.step()
+}
+
+// Uint64 implements Source by concatenating two 32-bit words.
+func (l *LFSR32) Uint64() uint64 {
+	hi := uint64(l.Uint32())
+	return hi<<32 | uint64(l.Uint32())
+}
+
+// Bernoulli draws fixed-point probabilistic decisions from a Source.
+//
+// A Bernoulli with Bits=23 models the paper's decision logic: probabilities
+// are integer multiples of Pbase = 2^-23, and a decision with weight w
+// (probability w*Pbase) is taken by comparing w against 23 fresh random
+// bits.
+type Bernoulli struct {
+	src  Source
+	bits uint // fixed-point resolution in bits, 1..63
+	mask uint64
+}
+
+// NewBernoulli returns a Bernoulli decision maker with the given fixed-point
+// resolution. bits must be in [1, 63]; it panics otherwise because the
+// resolution is a static hardware parameter, not runtime input.
+func NewBernoulli(src Source, bits uint) *Bernoulli {
+	if bits < 1 || bits > 63 {
+		panic("rng: Bernoulli resolution out of range [1,63]")
+	}
+	return &Bernoulli{src: src, bits: bits, mask: (1 << bits) - 1}
+}
+
+// Bits returns the fixed-point resolution.
+func (b *Bernoulli) Bits() uint { return b.bits }
+
+// Trigger returns true with probability min(1, weight * 2^-bits).
+// A weight of 0 never triggers; a weight of 2^bits or more always triggers.
+func (b *Bernoulli) Trigger(weight uint64) bool {
+	if weight == 0 {
+		return false
+	}
+	if weight > b.mask {
+		return true
+	}
+	return b.src.Uint64()&b.mask < weight
+}
+
+// Float64 returns a uniform value in [0, 1) from src. It is a convenience
+// for software-side components (workload generation); hardware-side
+// decisions should use Bernoulli.
+func Float64(src Source) float64 {
+	return float64(src.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n) from src. It panics if n <= 0.
+func Intn(src Source, n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive bound")
+	}
+	return int(src.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func Perm(src Source, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := Intn(src, i+1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"tivapromi/internal/core"
+	"tivapromi/internal/mitigation"
+)
+
+// AblationPoint is one configuration of an ablation sweep.
+type AblationPoint struct {
+	Label        string
+	TableBytes   int // per-bank storage at paper scale
+	OverheadMean float64
+	OverheadStd  float64
+	FPRMean      float64
+	Flips        int
+	// FloodMedian is the weight-aware flooding acts-to-first-protection
+	// median at paper scale (security cost of the configuration).
+	FloodMedian float64
+}
+
+// AblateHistorySize sweeps the history-table size for a Fig. 2 variant.
+// The paper's 32 entries were "the best optimization based on the
+// simulated memory traces"; the sweep shows the trade-off that led there:
+// smaller tables forget triggered aggressors (higher overhead), larger
+// ones only add storage.
+func AblateHistorySize(cfg Config, variant core.Variant, sizes []int, seeds []uint64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, size := range sizes {
+		size := size
+		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+			c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
+			c.HistoryEntries = size
+			return core.MustNew(variant, t.Banks, c, seed)
+		}
+		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size), factory, seeds)
+		if err != nil {
+			return nil, err
+		}
+		// Storage at paper scale: size entries of 30 bits.
+		paperCfg := core.DefaultConfig(131072, 8192)
+		paperCfg.HistoryEntries = size
+		pt.TableBytes = paperCfg.HistoryBytes()
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblateCounterSize sweeps CaPRoMi's counter-table size. The paper
+// chooses 64 entries by "optimizing between" the DDR4 per-interval
+// activation ceiling (165) and the traces' average (≈40).
+func AblateCounterSize(cfg Config, sizes []int, seeds []uint64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, size := range sizes {
+		size := size
+		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+			c := core.DefaultCaConfig(t.RowsPerBank, t.RefInt)
+			c.CounterEntries = size
+			m, err := core.NewCa(t.Banks, c, seed)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size), factory, seeds)
+		if err != nil {
+			return nil, err
+		}
+		paperCfg := core.DefaultCaConfig(131072, 8192)
+		paperCfg.CounterEntries = size
+		pt.TableBytes = paperCfg.TotalBytes()
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// AblatePbase sweeps the base probability around the paper's choice
+// (RefInt * Pbase ≈ 0.001, delta = 0) for a Fig. 2 variant. Each extra
+// bit of comparator resolution halves every probability: overhead drops,
+// but the flooding reaction slows — the knob the paper fixes by matching
+// PARA's effective probability.
+func AblatePbase(cfg Config, variant core.Variant, deltas []int, seeds []uint64) ([]AblationPoint, error) {
+	var out []AblationPoint
+	for _, delta := range deltas {
+		delta := delta
+		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+			c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
+			c.ProbBitsDelta = delta
+			return core.MustNew(variant, t.Banks, c, seed)
+		}
+		pt, err := ablate(cfg, fmt.Sprintf("Pbase x 2^%+d", -delta), factory, seeds)
+		if err != nil {
+			return nil, err
+		}
+		// Security cost at paper scale.
+		pp := cfg.Params
+		pp.Banks = 1
+		flood, err := floodWithFactory(factory, pp, pp.MaxActsPerRI, 9, seeds[0])
+		if err != nil {
+			return nil, err
+		}
+		pt.FloodMedian = flood.MedianActs
+		if flood.Unprotected > 0 {
+			pt.FloodMedian = float64(flood.Cap)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// ablate runs one configured factory across seeds.
+func ablate(cfg Config, label string, factory mitigation.Factory, seeds []uint64) (AblationPoint, error) {
+	c := cfg
+	c.Factory = factory
+	sum, err := RunSeeds(c, "ablation", seeds)
+	if err != nil {
+		return AblationPoint{}, err
+	}
+	return AblationPoint{
+		Label:        label,
+		TableBytes:   sum.TableBytes,
+		OverheadMean: sum.Overhead.Mean(),
+		OverheadStd:  sum.Overhead.StdDev(),
+		FPRMean:      sum.FPR.Mean(),
+		Flips:        sum.TotalFlips,
+	}, nil
+}

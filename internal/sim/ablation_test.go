@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+
+	"tivapromi/internal/core"
+)
+
+func TestAblateHistorySize(t *testing.T) {
+	cfg := fastConfig()
+	pts, err := AblateHistorySize(cfg, core.LoLiPRoMi, []int{4, 32}, Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Storage grows linearly with entries (at paper scale: 30 bits each).
+	if pts[0].TableBytes != 15 || pts[1].TableBytes != 120 {
+		t.Fatalf("storage = %d/%d, want 15/120", pts[0].TableBytes, pts[1].TableBytes)
+	}
+	for _, p := range pts {
+		if p.Flips != 0 {
+			t.Errorf("%s: flips under mitigation", p.Label)
+		}
+		if p.OverheadMean <= 0 {
+			t.Errorf("%s: no overhead measured", p.Label)
+		}
+	}
+}
+
+func TestAblateCounterSize(t *testing.T) {
+	cfg := fastConfig()
+	pts, err := AblateCounterSize(cfg, []int{16, 64}, Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("points missing")
+	}
+	if pts[0].TableBytes >= pts[1].TableBytes {
+		t.Fatal("storage not growing with counter entries")
+	}
+}
+
+func TestAblatePbaseMonotone(t *testing.T) {
+	cfg := fastConfig()
+	pts, err := AblatePbase(cfg, core.LoLiPRoMi, []int{-1, 0, 1}, Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher Pbase (negative delta) means more overhead and faster
+	// flooding reaction; the sweep must be monotone in both.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].OverheadMean >= pts[i-1].OverheadMean {
+			t.Errorf("overhead not decreasing with smaller Pbase: %+v", pts)
+		}
+		if pts[i].FloodMedian <= pts[i-1].FloodMedian {
+			t.Errorf("flood reaction not slowing with smaller Pbase: %+v", pts)
+		}
+	}
+}

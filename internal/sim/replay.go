@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"tivapromi/internal/dram"
+	"tivapromi/internal/memctrl"
+	"tivapromi/internal/mitigation"
+	"tivapromi/internal/trace"
+)
+
+// ReplayTrace drives a recorded activation trace through a device and a
+// mitigation ("" for none) and returns the same metrics as Run, except
+// that false-positive accounting is unavailable (a trace carries no
+// attack ground truth). flipThreshold overrides the device's threshold;
+// pass 0 for the DDR4 default of 139 K.
+func ReplayTrace(r *trace.Reader, technique string, flipThreshold uint32) (Result, error) {
+	h := r.Header()
+	p := dram.PaperParams()
+	p.Banks = h.Banks
+	p.RowsPerBank = h.RowsPerBank
+	p.RefInt = h.RefInt
+	if flipThreshold != 0 {
+		p.FlipThreshold = flipThreshold
+	}
+	if err := p.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: trace header: %w", err)
+	}
+	dev, err := dram.New(p, nil)
+	if err != nil {
+		return Result{}, err
+	}
+	var mit mitigation.Mitigator
+	if technique != "" {
+		factory, err := mitigation.Lookup(technique)
+		if err != nil {
+			return Result{}, err
+		}
+		mit = factory(mitigation.Target{
+			Banks: p.Banks, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
+			FlipThreshold: p.FlipThreshold,
+		}, 1)
+	}
+
+	res := Result{Technique: techniqueName(mit), Policy: dev.Policy().Name()}
+	var cmds []mitigation.Command
+	exec := func() {
+		for _, cmd := range cmds {
+			res.ExtraActs++
+			switch cmd.Kind {
+			case mitigation.ActN:
+				dev.ActivateNeighbors(cmd.Bank, cmd.Row)
+			case mitigation.ActNOne:
+				dev.ActivateNeighbor(cmd.Bank, cmd.Row, int(cmd.Side))
+			case mitigation.RefreshRow:
+				dev.RefreshRow(cmd.Bank, cmd.Row)
+			}
+		}
+		cmds = cmds[:0]
+	}
+	err = r.ForEach(func(ev trace.Event) error {
+		switch ev.Kind {
+		case trace.KindAct:
+			dev.Activate(ev.Bank, ev.Row)
+			if mit != nil {
+				cmds = mit.OnActivate(ev.Bank, ev.Row, dev.IntervalInWindow(), cmds)
+				exec()
+			}
+		case trace.KindIntervalEnd:
+			if mit != nil {
+				cmds = mit.OnRefreshInterval(dev.IntervalInWindow(), cmds)
+				exec()
+			}
+			dev.AdvanceInterval()
+			if mit != nil && dev.IntervalInWindow() == 0 {
+				mit.OnNewWindow()
+			}
+		}
+		return nil
+	})
+	if err != nil && err != io.EOF {
+		return Result{}, err
+	}
+	ds := dev.Stats()
+	res.TotalActs = ds.Activates
+	if res.TotalActs > 0 {
+		res.OverheadPct = 100 * float64(res.ExtraActs) / float64(res.TotalActs)
+	}
+	res.Flips = len(dev.Flips())
+	if mit != nil {
+		res.TableBytes = mit.TableBytesPerBank()
+	}
+	res.AvgActsPerInterval = ds.AvgActsPerInterval()
+	res.MaxActsPerInterval = ds.MaxActsInIntv
+	return res, nil
+}
+
+// RecordTrace runs the configured workload+attacker (without any
+// mitigation) and writes the resulting activation trace — the equivalent
+// of capturing a gem5 run for later replay.
+func RecordTrace(cfg Config, w *trace.Writer) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	dev, err := dram.New(cfg.Params, cfg.policy(cfg.Seed))
+	if err != nil {
+		return err
+	}
+	var werr error
+	dev.SetObserver(
+		func(bank, row int) {
+			if werr == nil {
+				werr = w.WriteAct(bank, row)
+			}
+		},
+		func() {
+			if werr == nil {
+				werr = w.WriteIntervalEnd()
+			}
+		},
+	)
+	ctl, err := memctrl.New(memctrl.DefaultConfig(), dev, nil)
+	if err != nil {
+		return err
+	}
+	st, err := newStream(cfg)
+	if err != nil {
+		return err
+	}
+	ctl.RunIntervals(cfg.Windows*cfg.Params.RefInt, st.next)
+	if werr != nil {
+		return werr
+	}
+	return w.Flush()
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"tivapromi/internal/trace"
+)
+
+func recordTestTrace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	cfg := fastConfig()
+	cfg.MinAggressors, cfg.MaxAggressors = 2, 2
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{
+		Banks:       cfg.Params.Banks,
+		RowsPerBank: cfg.Params.RowsPerBank,
+		RefInt:      cfg.Params.RefInt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RecordTrace(cfg, w); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRecordAndReplayUnprotected(t *testing.T) {
+	buf := recordTestTrace(t)
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(r, "", dram40960())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalActs == 0 {
+		t.Fatal("replay saw no activations")
+	}
+	if res.Flips == 0 {
+		t.Fatal("replaying the recorded attack did not flip")
+	}
+}
+
+func TestReplayWithMitigationPreventsFlips(t *testing.T) {
+	buf := recordTestTrace(t)
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayTrace(r, "LoLiPRoMi", dram40960())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Fatalf("replay under LoLiPRoMi flipped %d rows", res.Flips)
+	}
+	if res.ExtraActs == 0 {
+		t.Fatal("mitigation idle during replayed attack")
+	}
+}
+
+func TestReplayMatchesLiveRunActCount(t *testing.T) {
+	// The trace captures exactly the activations the live run produced.
+	cfg := fastConfig()
+	cfg.MinAggressors, cfg.MaxAggressors = 2, 2
+	live, err := Run(cfg, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := recordTestTrace(t)
+	r, _ := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	replayed, err := ReplayTrace(r, "", dram40960())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.TotalActs != live.TotalActs {
+		t.Fatalf("trace has %d acts, live run %d", replayed.TotalActs, live.TotalActs)
+	}
+	if replayed.Flips != live.Flips {
+		t.Fatalf("replay flips %d, live flips %d", replayed.Flips, live.Flips)
+	}
+}
+
+func TestReplayUnknownTechnique(t *testing.T) {
+	buf := recordTestTrace(t)
+	r, _ := trace.NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := ReplayTrace(r, "Nonsense", 0); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+}
+
+// dram40960 returns the scaled flip threshold so replays match the
+// recording configuration.
+func dram40960() uint32 { return fastConfig().Params.FlipThreshold }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"tivapromi/internal/dram"
+)
+
+func TestThresholdSweepPaperPoint(t *testing.T) {
+	// At the paper's 139 K threshold the sweep must agree with the
+	// Table III classification: only LiPRoMi (of the flood-sensitive
+	// techniques) crosses the survival limit.
+	pts := ThresholdSweep(dram.PaperParams(), []uint32{139000})
+	if len(pts) != 9 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if math.IsNaN(pt.Survival) {
+			t.Fatalf("%s: no analytic form", pt.Technique)
+		}
+		wantSafe := pt.Technique != "LiPRoMi"
+		if pt.Safe != wantSafe {
+			t.Errorf("%s at 139K: safe=%v (survival %.2e), want %v",
+				pt.Technique, pt.Safe, pt.Survival, wantSafe)
+		}
+	}
+}
+
+func TestThresholdSweepDegradesMonotonically(t *testing.T) {
+	// Lower thresholds must never improve a probabilistic technique's
+	// survival (fewer Bernoulli trials before the flip).
+	p := dram.PaperParams()
+	thresholds := []uint32{10000, 35000, 70000, 139000}
+	pts := ThresholdSweep(p, thresholds)
+	byTech := map[string][]float64{}
+	for _, pt := range pts {
+		byTech[pt.Technique] = append(byTech[pt.Technique], pt.Survival)
+	}
+	for tech, survs := range byTech {
+		for i := 1; i < len(survs); i++ {
+			if survs[i] > survs[i-1]+1e-12 {
+				t.Errorf("%s: survival rose with threshold: %v", tech, survs)
+			}
+		}
+	}
+}
+
+func TestThresholdSweepModernDRAM(t *testing.T) {
+	// At a modern 35 K threshold, every probabilistic technique keeping
+	// the paper's Pbase develops a survival tail, while the re-provisioned
+	// counter techniques stay deterministic — the sweep's headline.
+	pts := ThresholdSweep(dram.PaperParams(), []uint32{35000})
+	for _, pt := range pts {
+		switch pt.Technique {
+		case "TWiCe", "CRA":
+			if pt.Survival != 0 {
+				t.Errorf("%s: counters should stay deterministic, survival %.2e",
+					pt.Technique, pt.Survival)
+			}
+		case "LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi":
+			if pt.Safe {
+				t.Errorf("%s at 35K with the paper's Pbase should not be safe (survival %.2e)",
+					pt.Technique, pt.Survival)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Profile summarizes a trace's activation statistics — the quantities
+// that determine how well a time-varying-probability mitigation performs
+// (see EXPERIMENTS.md): per-row activation rates, concentration of the
+// activation mass, and per-bank-interval rates.
+type Profile struct {
+	Header    Header
+	Acts      uint64
+	Intervals uint64
+
+	// PerBank is the activation count per bank.
+	PerBank []uint64
+	// AvgActsPerBankInterval is the paper's "average activations per
+	// refresh interval" statistic.
+	AvgActsPerBankInterval float64
+	// MaxActsPerBankInterval is the observed per-bank-interval peak.
+	MaxActsPerBankInterval uint64
+
+	// DistinctRows is the number of (bank, row) pairs ever activated.
+	DistinctRows int
+	// TopShare[k] is the fraction of all activations absorbed by the
+	// hottest 10^k rows (k = 0, 1, 2, 3): the activation-concentration
+	// curve. A mitigation with time-varying weights profits when this
+	// rises quickly.
+	TopShare [4]float64
+	// HotRowRate is the mean activations per interval of the single
+	// hottest row — the ρ that sets the √(Pbase/2ρ) trigger rate.
+	HotRowRate float64
+}
+
+// Analyze reads a whole trace and computes its Profile.
+func Analyze(r *Reader) (Profile, error) {
+	h := r.Header()
+	p := Profile{Header: h, PerBank: make([]uint64, h.Banks)}
+	counts := make(map[uint64]uint64)
+	perBankInterval := make([]uint64, h.Banks)
+	err := r.ForEach(func(ev Event) error {
+		switch ev.Kind {
+		case KindAct:
+			p.Acts++
+			p.PerBank[ev.Bank]++
+			counts[uint64(ev.Bank)<<32|uint64(ev.Row)]++
+			perBankInterval[ev.Bank]++
+		case KindIntervalEnd:
+			p.Intervals++
+			for b := range perBankInterval {
+				if perBankInterval[b] > p.MaxActsPerBankInterval {
+					p.MaxActsPerBankInterval = perBankInterval[b]
+				}
+				perBankInterval[b] = 0
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return p, err
+	}
+	if p.Intervals > 0 {
+		p.AvgActsPerBankInterval = float64(p.Acts) / float64(p.Intervals) / float64(h.Banks)
+	}
+	p.DistinctRows = len(counts)
+	if p.Acts == 0 {
+		return p, nil
+	}
+	all := make([]uint64, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	if p.Intervals > 0 {
+		p.HotRowRate = float64(all[0]) / float64(p.Intervals)
+	}
+	cum := uint64(0)
+	next := 0
+	for k, n := 0, 1; k < 4; k, n = k+1, n*10 {
+		for next < n && next < len(all) {
+			cum += all[next]
+			next++
+		}
+		p.TopShare[k] = float64(cum) / float64(p.Acts)
+	}
+	return p, nil
+}
+
+// Render writes the profile as a readable report.
+func (p Profile) Render(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pr("trace profile: %d banks x %d rows, RefInt %d\n",
+		p.Header.Banks, p.Header.RowsPerBank, p.Header.RefInt)
+	pr("  activations: %d over %d intervals (avg %.1f per bank-interval, max %d)\n",
+		p.Acts, p.Intervals, p.AvgActsPerBankInterval, p.MaxActsPerBankInterval)
+	pr("  distinct rows activated: %d\n", p.DistinctRows)
+	pr("  hottest row rate: %.1f activations/interval\n", p.HotRowRate)
+	pr("  activation mass in hottest rows: top-1 %.1f%%, top-10 %.1f%%, top-100 %.1f%%, top-1000 %.1f%%\n",
+		100*p.TopShare[0], 100*p.TopShare[1], 100*p.TopShare[2], 100*p.TopShare[3])
+	for b, n := range p.PerBank {
+		pr("  bank %d: %d activations\n", b, n)
+	}
+	return err
+}

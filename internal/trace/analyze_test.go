@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildTrace(t *testing.T) *Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{Banks: 2, RowsPerBank: 1024, RefInt: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interval 0: a hot row with 8 acts in bank 0 plus scattered rows.
+	for i := 0; i < 8; i++ {
+		w.WriteAct(0, 100)
+	}
+	for r := 0; r < 4; r++ {
+		w.WriteAct(1, 200+r)
+	}
+	w.WriteIntervalEnd()
+	// Interval 1: the hot row again.
+	for i := 0; i < 4; i++ {
+		w.WriteAct(0, 100)
+	}
+	w.WriteIntervalEnd()
+	w.Flush()
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestAnalyze(t *testing.T) {
+	p, err := Analyze(buildTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Acts != 16 || p.Intervals != 2 {
+		t.Fatalf("acts=%d intervals=%d", p.Acts, p.Intervals)
+	}
+	if p.PerBank[0] != 12 || p.PerBank[1] != 4 {
+		t.Fatalf("per bank %v", p.PerBank)
+	}
+	if p.DistinctRows != 5 {
+		t.Fatalf("distinct rows = %d", p.DistinctRows)
+	}
+	// Hottest row (0,100) has 12 of 16 acts over 2 intervals.
+	if p.HotRowRate != 6 {
+		t.Fatalf("hot row rate = %v", p.HotRowRate)
+	}
+	if p.TopShare[0] != 12.0/16 {
+		t.Fatalf("top-1 share = %v", p.TopShare[0])
+	}
+	if p.TopShare[1] != 1 || p.TopShare[3] != 1 {
+		t.Fatalf("top-k shares %v", p.TopShare)
+	}
+	// avg per bank-interval: 16 acts / 2 intervals / 2 banks = 4.
+	if p.AvgActsPerBankInterval != 4 {
+		t.Fatalf("avg = %v", p.AvgActsPerBankInterval)
+	}
+	if p.MaxActsPerBankInterval != 8 {
+		t.Fatalf("max = %v", p.MaxActsPerBankInterval)
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Banks: 1, RowsPerBank: 16, RefInt: 4})
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	p, err := Analyze(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Acts != 0 || p.DistinctRows != 0 {
+		t.Fatalf("empty profile %+v", p)
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	p, _ := Analyze(buildTrace(t))
+	var sb strings.Builder
+	if err := p.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"activations: 16", "distinct rows activated: 5",
+		"hottest row rate: 6.0", "top-1 75.0%", "bank 0: 12"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must reject or
+// cleanly EOF on every input, never panic or loop.
+func FuzzReader(f *testing.F) {
+	// Seed corpus: a valid trace, a truncated one, junk.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, Header{Banks: 4, RowsPerBank: 1024, RefInt: 64})
+	w.WriteAct(1, 100)
+	w.WriteIntervalEnd()
+	w.WriteAct(3, 1023)
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2])
+	f.Add([]byte("TVPM1"))
+	f.Add([]byte("garbage that is long enough to parse"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1_000_000; i++ {
+			_, err := r.Next()
+			if errors.Is(err, io.EOF) || err != nil {
+				return
+			}
+		}
+		t.Fatal("reader produced a million events from fuzz input")
+	})
+}

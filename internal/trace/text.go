@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Text format: a line-oriented interchange representation for activation
+// traces, easy to produce from external simulators (Ramulator, DRAMsim,
+// gem5 post-processing) or by hand:
+//
+//	# header: banks rows refint
+//	header 4 16384 1024
+//	act <bank> <row>
+//	ref
+//
+// Blank lines and lines starting with '#' are ignored.
+
+// WriteText converts a binary trace to the text format.
+func WriteText(r *Reader, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	h := r.Header()
+	if _, err := fmt.Fprintf(bw, "header %d %d %d\n", h.Banks, h.RowsPerBank, h.RefInt); err != nil {
+		return err
+	}
+	err := r.ForEach(func(ev Event) error {
+		switch ev.Kind {
+		case KindAct:
+			_, err := fmt.Fprintf(bw, "act %d %d\n", ev.Bank, ev.Row)
+			return err
+		case KindIntervalEnd:
+			_, err := fmt.Fprintln(bw, "ref")
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format and writes it as a binary trace through
+// a Writer created on out. It returns the parsed header and the number of
+// events.
+func ReadText(in io.Reader, out io.Writer) (Header, uint64, error) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var (
+		w      *Writer
+		h      Header
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "header":
+			if w != nil {
+				return h, 0, fmt.Errorf("trace: line %d: duplicate header", lineNo)
+			}
+			if len(fields) != 4 {
+				return h, 0, fmt.Errorf("trace: line %d: header wants 3 numbers", lineNo)
+			}
+			if _, err := fmt.Sscanf(line, "header %d %d %d", &h.Banks, &h.RowsPerBank, &h.RefInt); err != nil {
+				return h, 0, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			var err error
+			w, err = NewWriter(out, h)
+			if err != nil {
+				return h, 0, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+		case "act":
+			if w == nil {
+				return h, 0, fmt.Errorf("trace: line %d: act before header", lineNo)
+			}
+			var bank, row int
+			if _, err := fmt.Sscanf(line, "act %d %d", &bank, &row); err != nil {
+				return h, 0, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			if bank < 0 || bank >= h.Banks || row < 0 || row >= h.RowsPerBank {
+				return h, 0, fmt.Errorf("trace: line %d: act (b%d, r%d) outside geometry", lineNo, bank, row)
+			}
+			if err := w.WriteAct(bank, row); err != nil {
+				return h, 0, err
+			}
+		case "ref":
+			if w == nil {
+				return h, 0, fmt.Errorf("trace: line %d: ref before header", lineNo)
+			}
+			if err := w.WriteIntervalEnd(); err != nil {
+				return h, 0, err
+			}
+		default:
+			return h, 0, fmt.Errorf("trace: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return h, 0, err
+	}
+	if w == nil {
+		return h, 0, fmt.Errorf("trace: no header found")
+	}
+	return h, w.Events(), w.Flush()
+}

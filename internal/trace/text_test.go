@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	// binary → text → binary must preserve every event.
+	var bin bytes.Buffer
+	w, _ := NewWriter(&bin, Header{Banks: 4, RowsPerBank: 1024, RefInt: 64})
+	w.WriteAct(0, 10)
+	w.WriteAct(3, 1023)
+	w.WriteIntervalEnd()
+	w.WriteAct(1, 0)
+	w.Flush()
+
+	r, _ := NewReader(bytes.NewReader(bin.Bytes()))
+	var text bytes.Buffer
+	if err := WriteText(r, &text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"header 4 1024 64", "act 0 10", "act 3 1023", "ref", "act 1 0"} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("text missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var bin2 bytes.Buffer
+	h, n, err := ReadText(&text, &bin2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != (Header{Banks: 4, RowsPerBank: 1024, RefInt: 64}) {
+		t.Fatalf("header %+v", h)
+	}
+	if n != 4 {
+		t.Fatalf("events = %d", n)
+	}
+	if !bytes.Equal(bin.Bytes(), bin2.Bytes()) {
+		t.Fatal("binary round trip differs")
+	}
+}
+
+func TestReadTextCommentsAndBlanks(t *testing.T) {
+	in := strings.NewReader(`
+# a comment
+header 2 128 8
+
+act 0 5
+# another
+ref
+`)
+	var out bytes.Buffer
+	_, n, err := ReadText(in, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("events = %d", n)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"act before header":  "act 0 1\n",
+		"duplicate header":   "header 2 128 8\nheader 2 128 8\n",
+		"bad header":         "header 2 128\n",
+		"unknown directive":  "header 2 128 8\nboom\n",
+		"out of geometry":    "header 2 128 8\nact 5 1\n",
+		"row out of range":   "header 2 128 8\nact 0 999\n",
+		"no header":          "# nothing\n",
+		"non-numeric fields": "header 2 128 8\nact x y\n",
+	}
+	for name, in := range cases {
+		var out bytes.Buffer
+		if _, _, err := ReadText(strings.NewReader(in), &out); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

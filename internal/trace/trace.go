@@ -1,0 +1,197 @@
+// Package trace records and replays DRAM activation streams. A trace is
+// the sequence of row activations interleaved with refresh-interval
+// boundaries — exactly the information a memory-controller-level
+// mitigation observes (act and ref commands, Fig. 1).
+//
+// The binary format is compact (varint-coded) and self-describing: a
+// header carries the device structure so replays validate against the
+// simulated geometry.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// magic identifies trace files; the trailing digit is the format version.
+const magic = "TVPM1"
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// KindAct is a row activation.
+	KindAct EventKind = iota
+	// KindIntervalEnd marks a refresh-interval boundary (the ref
+	// command).
+	KindIntervalEnd
+)
+
+// Event is one trace record. Bank and Row are meaningful only for
+// KindAct.
+type Event struct {
+	Kind EventKind
+	Bank int
+	Row  int
+}
+
+// Header describes the device the trace was captured on.
+type Header struct {
+	Banks       int
+	RowsPerBank int
+	RefInt      int
+}
+
+// Validate reports malformed headers.
+func (h Header) Validate() error {
+	if h.Banks <= 0 || h.RowsPerBank <= 0 || h.RefInt <= 0 {
+		return fmt.Errorf("trace: invalid header %+v", h)
+	}
+	return nil
+}
+
+// Writer streams events to an io.Writer. Call Flush before using the
+// underlying data.
+type Writer struct {
+	w   *bufio.Writer
+	buf [2 * binary.MaxVarintLen64]byte
+	n   uint64 // events written
+}
+
+// NewWriter writes the magic and header and returns a Writer.
+func NewWriter(w io.Writer, h Header) (*Writer, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := tw.w.WriteString(magic); err != nil {
+		return nil, err
+	}
+	for _, v := range []int{h.Banks, h.RowsPerBank, h.RefInt} {
+		if err := tw.writeUvarint(uint64(v)); err != nil {
+			return nil, err
+		}
+	}
+	return tw, nil
+}
+
+func (tw *Writer) writeUvarint(v uint64) error {
+	n := binary.PutUvarint(tw.buf[:], v)
+	_, err := tw.w.Write(tw.buf[:n])
+	return err
+}
+
+// WriteAct records an activation.
+func (tw *Writer) WriteAct(bank, row int) error {
+	if err := tw.w.WriteByte(byte(KindAct)); err != nil {
+		return err
+	}
+	if err := tw.writeUvarint(uint64(bank)); err != nil {
+		return err
+	}
+	tw.n++
+	return tw.writeUvarint(uint64(row))
+}
+
+// WriteIntervalEnd records a refresh-interval boundary.
+func (tw *Writer) WriteIntervalEnd() error {
+	tw.n++
+	return tw.w.WriteByte(byte(KindIntervalEnd))
+}
+
+// Events returns the number of events written so far.
+func (tw *Writer) Events() uint64 { return tw.n }
+
+// Flush drains buffered bytes to the underlying writer.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader streams events back. Next returns io.EOF at the end of the
+// trace.
+type Reader struct {
+	r      *bufio.Reader
+	header Header
+}
+
+// NewReader validates the magic, reads the header, and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(got) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", got, magic)
+	}
+	tr := &Reader{r: br}
+	for _, dst := range []*int{&tr.header.Banks, &tr.header.RowsPerBank, &tr.header.RefInt} {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+		*dst = int(v)
+	}
+	if err := tr.header.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Header returns the trace's device description.
+func (tr *Reader) Header() Header { return tr.header }
+
+// Next returns the next event, or io.EOF cleanly at the trace's end. A
+// truncated trace yields io.ErrUnexpectedEOF.
+func (tr *Reader) Next() (Event, error) {
+	kind, err := tr.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, err
+	}
+	switch EventKind(kind) {
+	case KindIntervalEnd:
+		return Event{Kind: KindIntervalEnd}, nil
+	case KindAct:
+		bank, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return Event{}, unexpected(err)
+		}
+		row, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return Event{}, unexpected(err)
+		}
+		if int(bank) >= tr.header.Banks || int(row) >= tr.header.RowsPerBank {
+			return Event{}, fmt.Errorf("trace: event (b%d, r%d) outside header geometry", bank, row)
+		}
+		return Event{Kind: KindAct, Bank: int(bank), Row: int(row)}, nil
+	default:
+		return Event{}, fmt.Errorf("trace: unknown event kind %d", kind)
+	}
+}
+
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ForEach replays a full trace through fn, stopping on the first error.
+func (tr *Reader) ForEach(fn func(Event) error) error {
+	for {
+		ev, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func testHeader() Header { return Header{Banks: 4, RowsPerBank: 16384, RefInt: 1024} }
+
+func TestHeaderValidate(t *testing.T) {
+	if err := testHeader().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []Header{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}} {
+		if h.Validate() == nil {
+			t.Errorf("invalid header %+v accepted", h)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []Event{
+		{Kind: KindAct, Bank: 0, Row: 100},
+		{Kind: KindAct, Bank: 3, Row: 16383},
+		{Kind: KindIntervalEnd},
+		{Kind: KindAct, Bank: 1, Row: 0},
+		{Kind: KindIntervalEnd},
+	}
+	for _, ev := range events {
+		var err error
+		if ev.Kind == KindAct {
+			err = w.WriteAct(ev.Bank, ev.Row)
+		} else {
+			err = w.WriteIntervalEnd()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Events() != uint64(len(events)) {
+		t.Fatalf("Events() = %d", w.Events())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header() != testHeader() {
+		t.Fatalf("header = %+v", r.Header())
+	}
+	for i, want := range events {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := testHeader()
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, h)
+		if err != nil {
+			return false
+		}
+		var want []Event
+		for _, v := range raw {
+			if v%7 == 0 {
+				w.WriteIntervalEnd()
+				want = append(want, Event{Kind: KindIntervalEnd})
+			} else {
+				bank := int(v) % h.Banks
+				row := int(v>>4) % h.RowsPerBank
+				w.WriteAct(bank, row)
+				want = append(want, Event{Kind: KindAct, Bank: bank, Row: row})
+			}
+		}
+		w.Flush()
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, ev := range want {
+			got, err := r.Next()
+			if err != nil || got != ev {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return errors.Is(err, io.EOF)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("JUNK!xxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewBufferString("TVPM1")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestTruncatedEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.WriteAct(1, 12345)
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-1] // drop last byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestOutOfGeometryEventRejected(t *testing.T) {
+	var buf bytes.Buffer
+	small := Header{Banks: 2, RowsPerBank: 100, RefInt: 8}
+	w, _ := NewWriter(&buf, Header{Banks: 16, RowsPerBank: 1 << 20, RefInt: 8192})
+	w.WriteAct(10, 500000)
+	w.Flush()
+	// Re-label the stream with a smaller header.
+	var relabeled bytes.Buffer
+	w2, _ := NewWriter(&relabeled, small)
+	w2.Flush()
+	relabeled.Write(buf.Bytes()[len("TVPM1")+3:]) // splice events past original header
+	r, err := NewReader(&relabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("out-of-geometry event accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.Flush()
+	buf.WriteByte(0xee)
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestWriterRejectsBadHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Header{}); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	for i := 0; i < 100; i++ {
+		w.WriteAct(i%4, i)
+	}
+	w.WriteIntervalEnd()
+	w.Flush()
+	r, _ := NewReader(&buf)
+	acts, intervals := 0, 0
+	err := r.ForEach(func(ev Event) error {
+		switch ev.Kind {
+		case KindAct:
+			acts++
+		case KindIntervalEnd:
+			intervals++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acts != 100 || intervals != 1 {
+		t.Fatalf("acts=%d intervals=%d", acts, intervals)
+	}
+}
+
+func TestForEachPropagatesCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, testHeader())
+	w.WriteAct(0, 0)
+	w.Flush()
+	r, _ := NewReader(&buf)
+	sentinel := errors.New("stop")
+	if err := r.ForEach(func(Event) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"fmt"
+
+	"tivapromi/internal/rng"
+)
+
+// Attacker models the paper's attacker code: cache-flush hammering in the
+// style of Kim et al. [12], with the number of aggressor rows per targeted
+// bank ramping gradually from MinAggressors to MaxAggressors over the
+// planned access budget. Because every attacker access is preceded by a
+// CLFLUSH, each one reaches DRAM; aggressors are visited round-robin, so
+// consecutive accesses hit different rows and every access is a row
+// activation.
+type Attacker struct {
+	cfg AttackerConfig
+
+	// aggressors[b] lists the full aggressor schedule for targeted bank
+	// index b; the active prefix grows with the ramp.
+	aggressors [][]int
+	victims    [][]int
+	conflict   []int // per-bank dummy row forcing row conflicts when k == 1
+
+	issued uint64
+	pos    int // round-robin cursor
+	bankAt int // round-robin over targeted banks
+	src    *rng.XorShift64Star
+}
+
+// AttackerConfig describes the attack campaign.
+type AttackerConfig struct {
+	// TargetBanks are the banks under attack.
+	TargetBanks []int
+	// RowsPerBank bounds row addresses.
+	RowsPerBank int
+	// MinAggressors..MaxAggressors is the ramp of aggressor rows per
+	// targeted bank (1..20 in the paper).
+	MinAggressors int
+	MaxAggressors int
+	// PlannedAccesses is the access budget over which the ramp completes.
+	PlannedAccesses uint64
+	// BurstAccesses is how long the attacker dwells on one victim's
+	// aggressor pair before rotating to the next victim in the active
+	// set. Hammering is sequential (one victim at a time at full rate,
+	// like a real flush+reload loop); the ramp only grows the rotation
+	// set. Zero selects a default of 65536 — roughly a full refresh
+	// window of per-bank hammering, so each victim in the rotation gets
+	// a flip-capable dwell when its turn comes.
+	BurstAccesses uint64
+	// Seed drives victim placement.
+	Seed uint64
+}
+
+// Validate reports configuration problems.
+func (c AttackerConfig) Validate() error {
+	switch {
+	case len(c.TargetBanks) == 0:
+		return fmt.Errorf("workload: attacker needs at least one target bank")
+	case c.RowsPerBank < 64:
+		return fmt.Errorf("workload: RowsPerBank = %d too small for an attack", c.RowsPerBank)
+	case c.MinAggressors < 1 || c.MaxAggressors < c.MinAggressors:
+		return fmt.Errorf("workload: bad aggressor ramp [%d, %d]", c.MinAggressors, c.MaxAggressors)
+	case c.PlannedAccesses == 0:
+		return fmt.Errorf("workload: PlannedAccesses must be positive")
+	}
+	return nil
+}
+
+// DefaultAttackerConfig is the paper's campaign: 1→20 aggressors per
+// targeted bank.
+func DefaultAttackerConfig(targetBanks []int, rowsPerBank int, planned uint64, seed uint64) AttackerConfig {
+	return AttackerConfig{
+		TargetBanks:     targetBanks,
+		RowsPerBank:     rowsPerBank,
+		MinAggressors:   1,
+		MaxAggressors:   20,
+		PlannedAccesses: planned,
+		Seed:            seed,
+	}
+}
+
+// NewAttacker builds the attacker, placing victims pseudo-randomly but
+// well-separated within each targeted bank.
+func NewAttacker(cfg AttackerConfig) (*Attacker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BurstAccesses == 0 {
+		cfg.BurstAccesses = 65536
+	}
+	a := &Attacker{
+		cfg:        cfg,
+		aggressors: make([][]int, len(cfg.TargetBanks)),
+		victims:    make([][]int, len(cfg.TargetBanks)),
+		conflict:   make([]int, len(cfg.TargetBanks)),
+		src:        rng.NewXorShift64Star(cfg.Seed ^ 0xa77ac8),
+	}
+	nVictims := (cfg.MaxAggressors + 1) / 2
+	for b := range cfg.TargetBanks {
+		stride := cfg.RowsPerBank / (nVictims + 2)
+		offset := 2 + rng.Intn(a.src, stride-2)
+		for j := 0; j < nVictims; j++ {
+			v := offset + j*stride
+			a.victims[b] = append(a.victims[b], v)
+			// Double-sided pair: both neighbors of the victim.
+			a.aggressors[b] = append(a.aggressors[b], v-1, v+1)
+		}
+		a.aggressors[b] = a.aggressors[b][:cfg.MaxAggressors]
+		a.conflict[b] = (offset + nVictims*stride + stride/2) % cfg.RowsPerBank
+	}
+	return a, nil
+}
+
+// Name implements Generator.
+func (a *Attacker) Name() string { return "attacker" }
+
+// ActiveAggressors returns the current aggressor count per targeted bank
+// (the ramp position).
+func (a *Attacker) ActiveAggressors() int {
+	span := a.cfg.MaxAggressors - a.cfg.MinAggressors + 1
+	k := a.cfg.MinAggressors + int(uint64(span)*a.issued/a.cfg.PlannedAccesses)
+	if k > a.cfg.MaxAggressors {
+		k = a.cfg.MaxAggressors
+	}
+	return k
+}
+
+// Next implements Generator: the attacker dwells on one victim's
+// aggressor pair per bank (alternating its two sides at full rate — every
+// access a row conflict), rotating to the next victim of the active set
+// every BurstAccesses. With a single active aggressor, accesses alternate
+// with a conflict row so each hammer still causes an activation under an
+// open-page controller.
+func (a *Attacker) Next() Access {
+	k := a.ActiveAggressors()
+	a.issued++
+	b := a.bankAt
+	a.bankAt = (a.bankAt + 1) % len(a.cfg.TargetBanks)
+	if b == 0 {
+		a.pos++
+	}
+	return a.accessFor(b, k)
+}
+
+func (a *Attacker) accessFor(b, k int) Access {
+	bank := a.cfg.TargetBanks[b]
+	if k == 1 {
+		// Alternate the single aggressor and a conflict row.
+		if a.pos&1 == 0 {
+			return Access{Bank: bank, Row: a.aggressors[b][0]}
+		}
+		return Access{Bank: bank, Row: a.conflict[b]}
+	}
+	// Sequential hammering: burst on one victim's pair, then rotate.
+	nv := (k + 1) / 2 // victims covered by k aggressor rows
+	vi := int(uint64(a.pos) / a.cfg.BurstAccesses % uint64(nv))
+	lo := 2 * vi
+	hi := lo + 2
+	if hi > k {
+		hi = k // odd k: the last victim is hammered single-sided
+	}
+	pair := a.aggressors[b][lo:hi]
+	if len(pair) == 1 {
+		if a.pos&1 == 0 {
+			return Access{Bank: bank, Row: pair[0]}
+		}
+		return Access{Bank: bank, Row: a.conflict[b]}
+	}
+	return Access{Bank: bank, Row: pair[a.pos&1]}
+}
+
+// AggressorSet returns every (bank, row) the campaign will ever hammer,
+// the ground truth used for false-positive accounting.
+func (a *Attacker) AggressorSet() map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for b, bank := range a.cfg.TargetBanks {
+		for _, r := range a.aggressors[b] {
+			set[[2]int{bank, r}] = true
+		}
+	}
+	return set
+}
+
+// VictimSet returns every victim (bank, row) of the campaign.
+func (a *Attacker) VictimSet() map[[2]int]bool {
+	set := make(map[[2]int]bool)
+	for b, bank := range a.cfg.TargetBanks {
+		for _, v := range a.victims[b] {
+			set[[2]int{bank, v}] = true
+		}
+	}
+	return set
+}

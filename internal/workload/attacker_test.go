@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"testing"
+)
+
+func testAttacker(t *testing.T, planned uint64) *Attacker {
+	t.Helper()
+	a, err := NewAttacker(DefaultAttackerConfig([]int{1, 3}, testRows, planned, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAttackerConfigValidate(t *testing.T) {
+	good := DefaultAttackerConfig([]int{0}, testRows, 1000, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AttackerConfig{
+		{TargetBanks: nil, RowsPerBank: testRows, MinAggressors: 1, MaxAggressors: 20, PlannedAccesses: 1},
+		{TargetBanks: []int{0}, RowsPerBank: 10, MinAggressors: 1, MaxAggressors: 20, PlannedAccesses: 1},
+		{TargetBanks: []int{0}, RowsPerBank: testRows, MinAggressors: 0, MaxAggressors: 20, PlannedAccesses: 1},
+		{TargetBanks: []int{0}, RowsPerBank: testRows, MinAggressors: 5, MaxAggressors: 2, PlannedAccesses: 1},
+		{TargetBanks: []int{0}, RowsPerBank: testRows, MinAggressors: 1, MaxAggressors: 20, PlannedAccesses: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestAttackerRampGrows(t *testing.T) {
+	a := testAttacker(t, 10000)
+	if got := a.ActiveAggressors(); got != 1 {
+		t.Fatalf("initial aggressors = %d, want 1", got)
+	}
+	for i := 0; i < 5000; i++ {
+		a.Next()
+	}
+	mid := a.ActiveAggressors()
+	if mid < 8 || mid > 13 {
+		t.Fatalf("mid-campaign aggressors = %d, want ≈10", mid)
+	}
+	for i := 0; i < 5000; i++ {
+		a.Next()
+	}
+	if got := a.ActiveAggressors(); got != 20 {
+		t.Fatalf("final aggressors = %d, want 20 (clamped)", got)
+	}
+}
+
+func TestAttackerTargetsOnlyConfiguredBanks(t *testing.T) {
+	a := testAttacker(t, 10000)
+	for i := 0; i < 10000; i++ {
+		acc := a.Next()
+		if acc.Bank != 1 && acc.Bank != 3 {
+			t.Fatalf("attacker hit bank %d", acc.Bank)
+		}
+	}
+}
+
+func TestAttackerAlternatesRowsAtKOne(t *testing.T) {
+	// With one active aggressor, consecutive accesses to the same bank
+	// must alternate rows — otherwise an open-page controller would
+	// absorb the hammer as row hits.
+	a, err := NewAttacker(DefaultAttackerConfig([]int{0}, testRows, 1<<40, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := a.Next()
+	for i := 0; i < 1000; i++ {
+		cur := a.Next()
+		if cur.Row == prev.Row {
+			t.Fatalf("same-row consecutive accesses at k=1 (iteration %d)", i)
+		}
+		prev = cur
+	}
+}
+
+func TestAttackerHammersAggressorsRoundRobin(t *testing.T) {
+	a, err := NewAttacker(AttackerConfig{
+		TargetBanks: []int{0}, RowsPerBank: testRows,
+		MinAggressors: 4, MaxAggressors: 4, PlannedAccesses: 1 << 40,
+		BurstAccesses: 500, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		counts[a.Next().Row]++
+	}
+	agg := a.AggressorSet()
+	if len(agg) != 4 {
+		t.Fatalf("aggressor set size %d, want 4", len(agg))
+	}
+	// Sequential bursts of 500 over two victim pairs: each of the four
+	// aggressor rows gets two 250-access half-bursts in 4000 accesses.
+	for key := range agg {
+		if counts[key[1]] < 600 {
+			t.Fatalf("aggressor row %d hammered only %d times", key[1], counts[key[1]])
+		}
+	}
+}
+
+func TestAggressorsAreVictimNeighbors(t *testing.T) {
+	a := testAttacker(t, 1000)
+	victims := a.VictimSet()
+	for key := range a.AggressorSet() {
+		bank, row := key[0], key[1]
+		if !victims[[2]int{bank, row - 1}] && !victims[[2]int{bank, row + 1}] {
+			t.Fatalf("aggressor (b%d, r%d) not adjacent to any victim", bank, row)
+		}
+	}
+}
+
+func TestAggressorSetsDisjointFromVictims(t *testing.T) {
+	a := testAttacker(t, 1000)
+	victims := a.VictimSet()
+	for key := range a.AggressorSet() {
+		if victims[key] {
+			t.Fatalf("row %v is both aggressor and victim", key)
+		}
+	}
+}
+
+func TestAttackerReachesHammerRate(t *testing.T) {
+	// A sustained campaign must put enough activations on its aggressors
+	// to be dangerous: hammering one bank with k=2, all accesses land on
+	// the two aggressor rows.
+	a, err := NewAttacker(AttackerConfig{
+		TargetBanks: []int{0}, RowsPerBank: testRows,
+		MinAggressors: 2, MaxAggressors: 2, PlannedAccesses: 1 << 40, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRow := map[int]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		perRow[a.Next().Row]++
+	}
+	for key := range a.AggressorSet() {
+		if perRow[key[1]] < n/2-1000 {
+			t.Fatalf("aggressor %d got %d of %d accesses", key[1], perRow[key[1]], n)
+		}
+	}
+}

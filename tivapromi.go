@@ -1,0 +1,203 @@
+// Package tivapromi is a simulation library for DRAM Row-Hammer
+// mitigation research, built around a from-scratch reproduction of
+// "TiVaPRoMi: Time-Varying Probabilistic Row-Hammer Mitigation"
+// (Nassar, Bauer, Henkel — DATE 2021).
+//
+// The library bundles:
+//
+//   - a DDR4-parameterized DRAM device model with refresh windows,
+//     refresh-address policies, and a neighbor-disturbance (bit-flip)
+//     model;
+//   - an open-page memory-controller model with the Row-Hammer interrupt
+//     path of the paper's Fig. 1;
+//   - nine mitigation techniques: the four TiVaPRoMi variants (LiPRoMi,
+//     LoPRoMi, LoLiPRoMi, CaPRoMi) and five baselines from the literature
+//     (PARA, ProHit, MRLoc, TWiCe, CRA);
+//   - SPEC-like synthetic workloads plus a cache-flush Row-Hammer
+//     attacker;
+//   - an experiment harness measuring activation overhead,
+//     false-positive rate, flips, flooding resistance, and vulnerability,
+//     plus an FPGA LUT cost model — everything needed to regenerate the
+//     paper's tables and figures (see cmd/experiments).
+//
+// Quick start:
+//
+//	cfg := tivapromi.DefaultSimConfig()
+//	res, err := tivapromi.RunSimulation(cfg, "LoLiPRoMi")
+//	fmt.Printf("overhead %.4f%%, flips %d\n", res.OverheadPct, res.Flips)
+//
+// Everything here is a façade over the internal packages; the types are
+// aliases, so values flow freely between the two layers.
+package tivapromi
+
+import (
+	"tivapromi/internal/core"
+	"tivapromi/internal/dram"
+	"tivapromi/internal/memctrl"
+	"tivapromi/internal/mitigation"
+	_ "tivapromi/internal/mitigation/all" // register every technique
+	"tivapromi/internal/sim"
+	"tivapromi/internal/workload"
+)
+
+// Device-side types.
+type (
+	// Params describes the simulated DRAM device (Table I).
+	Params = dram.Params
+	// Device is the simulated DRAM.
+	Device = dram.Device
+	// FlipEvent records a successful Row-Hammer bit flip.
+	FlipEvent = dram.FlipEvent
+	// RefreshPolicy decides which rows an auto-refresh interval restores.
+	RefreshPolicy = dram.RefreshPolicy
+	// Controller is the memory-controller model (Fig. 1).
+	Controller = memctrl.Controller
+	// ControllerConfig sets the controller's service times.
+	ControllerConfig = memctrl.Config
+)
+
+// Mitigation-side types.
+type (
+	// Mitigator is the interface all Row-Hammer mitigations implement.
+	Mitigator = mitigation.Mitigator
+	// Target describes the protected device to a mitigation factory.
+	Target = mitigation.Target
+	// Command is a maintenance command emitted by a mitigation.
+	Command = mitigation.Command
+	// Variant selects a purely probabilistic TiVaPRoMi weighting scheme.
+	Variant = core.Variant
+	// CoreConfig parameterizes LiPRoMi/LoPRoMi/LoLiPRoMi.
+	CoreConfig = core.Config
+	// CaConfig parameterizes CaPRoMi.
+	CaConfig = core.CaConfig
+)
+
+// Harness types.
+type (
+	// SimConfig describes one simulation run.
+	SimConfig = sim.Config
+	// SimResult is the outcome of one run.
+	SimResult = sim.Result
+	// SimSummary aggregates runs across seeds (µ±σ).
+	SimSummary = sim.Summary
+	// FloodResult reports the Section IV flooding experiment.
+	FloodResult = sim.FloodResult
+	// VulnReport reproduces Table III's vulnerability column.
+	VulnReport = sim.VulnReport
+	// Workload generates DRAM access streams.
+	Workload = workload.Generator
+	// Attacker is the cache-flush Row-Hammer attacker.
+	Attacker = workload.Attacker
+)
+
+// TiVaPRoMi variants.
+const (
+	LiPRoMi   = core.LiPRoMi
+	LoPRoMi   = core.LoPRoMi
+	LoLiPRoMi = core.LoLiPRoMi
+)
+
+// Maintenance-command kinds, for implementing custom mitigations against
+// the Mitigator interface (see examples/custom_mitigation).
+const (
+	ActN       = mitigation.ActN
+	ActNOne    = mitigation.ActNOne
+	RefreshRow = mitigation.RefreshRow
+)
+
+// MitigationFactory builds a Mitigator for a target device; assign one to
+// SimConfig.Factory to run a custom technique through the harness.
+type MitigationFactory = mitigation.Factory
+
+// PaperParams returns the paper's full Table I device configuration.
+func PaperParams() Params { return dram.PaperParams() }
+
+// ScaledParams returns the fast structure-preserving configuration used
+// by default in tests and examples.
+func ScaledParams() Params { return dram.ScaledParams() }
+
+// DefaultSimConfig returns the standard mixed-load-plus-attacker setup.
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// Techniques returns the names of all registered mitigation techniques.
+func Techniques() []string { return mitigation.Names() }
+
+// PaperTechniques returns the paper's nine techniques in Table III order.
+func PaperTechniques() []string { return sim.TechniqueNames() }
+
+// ExtensionTechniques returns the techniques implemented beyond the
+// paper: CAT (adaptive counter tree), TRR (commodity in-DRAM sampler)
+// and QuaPRoMi (quadratic weighting).
+func ExtensionTechniques() []string { return sim.ExtensionTechniques() }
+
+// NewMitigation builds a registered technique by name for a target
+// device.
+func NewMitigation(name string, t Target, seed uint64) (Mitigator, error) {
+	f, err := mitigation.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(t, seed), nil
+}
+
+// NewTiVaPRoMi builds one of the purely probabilistic variants directly,
+// exposing the concrete type for white-box use.
+func NewTiVaPRoMi(v Variant, banks int, cfg CoreConfig, seed uint64) (*core.TiVaPRoMi, error) {
+	return core.New(v, banks, cfg, seed)
+}
+
+// NewCaPRoMi builds the counter-assisted variant directly.
+func NewCaPRoMi(banks int, cfg CaConfig, seed uint64) (*core.CaPRoMi, error) {
+	return core.NewCa(banks, cfg, seed)
+}
+
+// NewDevice builds a DRAM device; a nil policy defaults to the
+// contiguous-block ("neighbors") refresh policy.
+func NewDevice(p Params, policy RefreshPolicy) (*Device, error) {
+	return dram.New(p, policy)
+}
+
+// NewController builds a memory controller over dev with the given
+// mitigation (nil for an unprotected system).
+func NewController(dev *Device, mit Mitigator) (*Controller, error) {
+	return memctrl.New(memctrl.DefaultConfig(), dev, mit)
+}
+
+// SPECMix returns the default SPEC-like mixed workload.
+func SPECMix(banks, rowsPerBank int, seed uint64) Workload {
+	return workload.SPECMix(banks, rowsPerBank, seed)
+}
+
+// NewAttacker builds the ramping cache-flush attacker.
+func NewAttacker(cfg workload.AttackerConfig) (*Attacker, error) {
+	return workload.NewAttacker(cfg)
+}
+
+// AttackerConfig describes an attack campaign.
+type AttackerConfig = workload.AttackerConfig
+
+// RunSimulation executes one simulation of a technique ("" for an
+// unprotected system).
+func RunSimulation(cfg SimConfig, technique string) (SimResult, error) {
+	return sim.Run(cfg, technique)
+}
+
+// RunSeeds executes RunSimulation across seeds in parallel and aggregates
+// mean ± stddev.
+func RunSeeds(cfg SimConfig, technique string, seeds []uint64) (SimSummary, error) {
+	return sim.RunSeeds(cfg, technique, seeds)
+}
+
+// Seeds returns n deterministic seeds derived from base.
+func Seeds(base uint64, n int) []uint64 { return sim.Seeds(base, n) }
+
+// Flood runs the Section IV flooding experiment for one technique.
+func Flood(technique string, p Params, rate, trials int, seed uint64) (FloodResult, error) {
+	return sim.Flood(technique, p, rate, trials, seed)
+}
+
+// AnalyzeVulnerability runs the Table III vulnerability probes for one
+// technique.
+func AnalyzeVulnerability(technique string, p Params, seed uint64) (VulnReport, error) {
+	return sim.AnalyzeVulnerability(technique, p, seed)
+}

@@ -1,0 +1,116 @@
+package tivapromi
+
+import (
+	"testing"
+)
+
+func TestFacadeParams(t *testing.T) {
+	p := PaperParams()
+	if p.RefInt != 8192 || p.FlipThreshold != 139000 {
+		t.Fatalf("paper params wrong: %+v", p)
+	}
+	s := ScaledParams()
+	if s.RefInt != 1024 {
+		t.Fatalf("scaled params wrong: %+v", s)
+	}
+	if err := DefaultSimConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTechniquesRegistered(t *testing.T) {
+	names := Techniques()
+	if len(names) < 9 {
+		t.Fatalf("only %d techniques registered: %v", len(names), names)
+	}
+	if got := len(PaperTechniques()); got != 9 {
+		t.Fatalf("paper techniques = %d", got)
+	}
+	for _, name := range PaperTechniques() {
+		m, err := NewMitigation(name, Target{
+			Banks: 2, RowsPerBank: 16384, RefInt: 1024, FlipThreshold: 16384,
+		}, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("%s built %s", name, m.Name())
+		}
+	}
+}
+
+func TestFacadeDirectConstructors(t *testing.T) {
+	cfg := CoreConfig{RowsPerBank: 16384, RefInt: 1024, HistoryEntries: 32, RowBits: 14}
+	m, err := NewTiVaPRoMi(LoLiPRoMi, 2, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Variant() != LoLiPRoMi {
+		t.Fatal("variant lost")
+	}
+	ca, err := NewCaPRoMi(2, CaConfig{
+		Config:         cfg,
+		CounterEntries: 64, LockThreshold: 32, MaxActsPerInterval: 165,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca.Name() != "CaPRoMi" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestFacadeDeviceAndController(t *testing.T) {
+	dev, err := NewDevice(ScaledParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(dev, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.AccessRow(0, 100, false)
+	if dev.Stats().Activates != 1 {
+		t.Fatal("controller did not drive the device")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Windows = 1
+	cfg.MinAggressors, cfg.MaxAggressors = 2, 2
+	res, err := RunSimulation(cfg, "CaPRoMi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flips != 0 {
+		t.Fatalf("CaPRoMi flipped %d", res.Flips)
+	}
+	sum, err := RunSeeds(cfg, "PARA", Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Overhead.N() != 2 {
+		t.Fatal("seed sweep incomplete")
+	}
+}
+
+func TestFacadeWorkloadAndAttacker(t *testing.T) {
+	w := SPECMix(4, 16384, 1)
+	for i := 0; i < 1000; i++ {
+		a := w.Next()
+		if a.Bank < 0 || a.Bank >= 4 || a.Row < 0 || a.Row >= 16384 {
+			t.Fatalf("bad access %+v", a)
+		}
+	}
+	att, err := NewAttacker(AttackerConfig{
+		TargetBanks: []int{0}, RowsPerBank: 16384,
+		MinAggressors: 1, MaxAggressors: 20, PlannedAccesses: 1000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if att.Next().Bank != 0 {
+		t.Fatal("attacker missed its bank")
+	}
+}
