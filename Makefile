@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples fig4 clean
+.PHONY: all build vet test test-short race check bench experiments examples fig4 clean
 
 all: build vet test
 
@@ -17,6 +17,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Race-detect the concurrent machinery: the hardened seed-sweep runner
+# and the fault-injection framework it drives.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/faults/...
+
+# The full pre-merge gate: build, vet, tests, race tests.
+check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

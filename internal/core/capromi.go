@@ -80,9 +80,12 @@ type CaPRoMi struct {
 	cnts   [][]caEntry
 	bern   *rng.Bernoulli
 	src    *rng.LFSR32
-	repler *rng.XorShift64Star // replacement-victim chooser
-	seed   uint64
-	shift  uint
+	// override, when non-nil, replaces the built-in LFSR on the Bernoulli
+	// decision path (fault-injection studies).
+	override rng.Source
+	repler   *rng.XorShift64Star // replacement-victim chooser
+	seed     uint64
+	shift    uint
 	// ReplaceFails counts failed probabilistic replacements (all entries
 	// locked), the Fig. 3 "fail" edge.
 	ReplaceFails uint64
@@ -114,6 +117,16 @@ func NewCa(banks int, cfg CaConfig, seed uint64) (*CaPRoMi, error) {
 	}
 	c.Reset()
 	return c, nil
+}
+
+// MustNewCa is NewCa for configurations already validated by the caller;
+// it panics on error (an invariant violation in a leaf package).
+func MustNewCa(banks int, cfg CaConfig, seed uint64) *CaPRoMi {
+	c, err := NewCa(banks, cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
 
 // CaFactory adapts NewCa to the mitigation registry.
@@ -205,17 +218,76 @@ func (c *CaPRoMi) OnNewWindow() {
 	}
 }
 
-// Reset implements mitigation.Mitigator.
+// Reset implements mitigation.Mitigator. An installed RNG override
+// survives the reset but is reseeded so replays stay deterministic.
 func (c *CaPRoMi) Reset() {
 	c.OnNewWindow()
 	c.ReplaceFails = 0
 	c.src = rng.NewLFSR32(c.seed ^ 0xca9a0)
+	if c.override != nil {
+		c.override.Seed(c.seed ^ 0xca9a0)
+	}
+	c.rebuildBernoulli()
+	c.repler = rng.NewXorShift64Star(c.seed ^ 0x4e91ace)
+}
+
+// rebuildBernoulli rewires the comparator onto the active entropy path.
+func (c *CaPRoMi) rebuildBernoulli() {
+	src := rng.Source(c.src)
+	if c.override != nil {
+		src = c.override
+	}
 	bits := int(ProbBits(c.cfg.RefInt)) + c.cfg.ProbBitsDelta
 	if bits < 1 {
 		bits = 1
 	}
-	c.bern = rng.NewBernoulli(c.src, uint(bits))
-	c.repler = rng.NewXorShift64Star(c.seed ^ 0x4e91ace)
+	c.bern = rng.NewBernoulli(src, uint(bits))
+}
+
+// SetRandSource implements mitigation.RandSettable: it reroutes the
+// collective-decision Bernoulli path onto src (nil restores the built-in
+// LFSR). The replacement-victim chooser keeps its own generator — the
+// modeled fault is in the decision LFSR, the paper's security-critical
+// entropy.
+func (c *CaPRoMi) SetRandSource(src rng.Source) {
+	c.override = src
+	c.rebuildBernoulli()
+}
+
+// InjectStateFault implements mitigation.StateInjectable: one bit flip in
+// a randomly chosen bank, hitting the counter table when it has live
+// entries (row address, count, history link or lock bit) and the history
+// table otherwise. Flipped row addresses are wrapped into the bank, as
+// the row decoder of a real device would.
+func (c *CaPRoMi) InjectStateFault(src rng.Source) bool {
+	bank := rng.Intn(src, len(c.cnts))
+	tbl := c.cnts[bank]
+	if len(tbl) == 0 || rng.Intn(src, 2) == 0 {
+		return c.hist[bank].InjectBitFlip(src, c.cfg.RowBits, c.cfg.intervalBits())
+	}
+	e := &tbl[rng.Intn(src, len(tbl))]
+	switch rng.Intn(src, 4) {
+	case 0:
+		e.row ^= 1 << rng.Intn(src, max(c.cfg.RowBits, 1))
+		if int(e.row) >= c.cfg.RowsPerBank {
+			e.row = int32(int(e.row) % c.cfg.RowsPerBank)
+		}
+	case 1:
+		cntBits := 1
+		for v := c.cfg.MaxActsPerInterval; v > 0; v >>= 1 {
+			cntBits++
+		}
+		e.cnt ^= 1 << rng.Intn(src, cntBits)
+	case 2:
+		if e.hist < 0 {
+			e.hist = int32(rng.Intn(src, c.cfg.RefInt))
+		} else {
+			e.hist ^= 1 << rng.Intn(src, max(c.cfg.intervalBits(), 1))
+		}
+	default:
+		e.locked = !e.locked
+	}
+	return true
 }
 
 // TableBytesPerBank implements mitigation.Mitigator.

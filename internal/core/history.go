@@ -1,5 +1,7 @@
 package core
 
+import "tivapromi/internal/rng"
+
 // HistoryTable is the paper's small per-bank table of rows that already
 // received an extra activation, together with the refresh interval in
 // which the trigger happened. Replacement is FIFO; the table is cleared
@@ -64,6 +66,32 @@ func (h *HistoryTable) Clear() {
 		h.valid[i] = false
 	}
 	h.next = 0
+}
+
+// InjectBitFlip flips one random bit of one random slot, modeling an SRAM
+// single-event upset: the valid bit, a row-address bit (within rowBits) or
+// an interval-timestamp bit (within intervalBits). Field widths bound what
+// a real fault can express — a flipped timestamp stays inside the interval
+// register's range. It reports whether stored state changed.
+func (h *HistoryTable) InjectBitFlip(src rng.Source, rowBits, intervalBits int) bool {
+	i := rng.Intn(src, len(h.rows))
+	switch rng.Intn(src, 3) {
+	case 0:
+		// Valid-bit upset: a live entry vanishes (a tracked aggressor is
+		// forgotten) or a stale slot revives with garbage.
+		h.valid[i] = !h.valid[i]
+	case 1:
+		if rowBits < 1 {
+			rowBits = 1
+		}
+		h.rows[i] ^= 1 << rng.Intn(src, rowBits)
+	default:
+		if intervalBits < 1 {
+			intervalBits = 1
+		}
+		h.intervals[i] ^= 1 << rng.Intn(src, intervalBits)
+	}
+	return true
 }
 
 // Occupancy returns the number of valid entries.

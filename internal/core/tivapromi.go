@@ -125,8 +125,12 @@ type TiVaPRoMi struct {
 	tables  []*HistoryTable
 	bern    *rng.Bernoulli
 	src     *rng.LFSR32
-	seed    uint64
-	shift   uint // log2(RowsPerInterval): fr = row >> shift
+	// override, when non-nil, replaces the built-in LFSR on the Bernoulli
+	// decision path (fault-injection studies; see
+	// mitigation.RandSettable).
+	override rng.Source
+	seed     uint64
+	shift    uint // log2(RowsPerInterval): fr = row >> shift
 }
 
 // New builds a TiVaPRoMi instance for the given bank count. It returns an
@@ -249,15 +253,45 @@ func (t *TiVaPRoMi) OnNewWindow() {
 	}
 }
 
-// Reset implements mitigation.Mitigator.
+// Reset implements mitigation.Mitigator. An installed RNG override
+// survives the reset (hardware RNG faults do not heal on state reset) but
+// is reseeded so replays stay deterministic.
 func (t *TiVaPRoMi) Reset() {
 	t.OnNewWindow()
 	t.src = rng.NewLFSR32(t.seed ^ 0x7177a)
+	if t.override != nil {
+		t.override.Seed(t.seed ^ 0x7177a)
+	}
+	t.rebuildBernoulli()
+}
+
+// rebuildBernoulli rewires the comparator onto the active entropy path.
+func (t *TiVaPRoMi) rebuildBernoulli() {
+	src := rng.Source(t.src)
+	if t.override != nil {
+		src = t.override
+	}
 	bits := int(ProbBits(t.cfg.RefInt)) + t.cfg.ProbBitsDelta
 	if bits < 1 {
 		bits = 1
 	}
-	t.bern = rng.NewBernoulli(t.src, uint(bits))
+	t.bern = rng.NewBernoulli(src, uint(bits))
+}
+
+// SetRandSource implements mitigation.RandSettable: it reroutes the
+// Bernoulli decision path onto src (nil restores the built-in LFSR)
+// without touching table state — the fault arrives mid-run.
+func (t *TiVaPRoMi) SetRandSource(src rng.Source) {
+	t.override = src
+	t.rebuildBernoulli()
+}
+
+// InjectStateFault implements mitigation.StateInjectable: one bit flip in
+// a randomly chosen bank's history table (valid bit, row address or
+// interval timestamp), modeling an SRAM single-event upset.
+func (t *TiVaPRoMi) InjectStateFault(src rng.Source) bool {
+	bank := rng.Intn(src, len(t.tables))
+	return t.tables[bank].InjectBitFlip(src, t.cfg.RowBits, t.cfg.intervalBits())
 }
 
 // TableBytesPerBank implements mitigation.Mitigator.

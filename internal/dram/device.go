@@ -279,6 +279,24 @@ func (d *Device) AdvanceInterval() []int {
 // for tests and white-box experiments.
 func (d *Device) Disturbance(bank, prow int) uint32 { return d.disturb[bank][prow] }
 
+// InjectDisturbance adds n disturbance counts to a physical row without
+// an activation, modeling retention-weakened cells (a weak cell reaches
+// the flip threshold with fewer real hammering activations). Threshold
+// crossings are recorded exactly like activation-induced ones, so a
+// mitigation provisioned for the nominal threshold is measurably stressed.
+// It is a fault-injection entry point; normal simulation never calls it.
+func (d *Device) InjectDisturbance(bank, prow int, n uint32) {
+	if bank < 0 || bank >= d.p.Banks || prow < 0 || prow >= d.p.RowsPerBank || n == 0 {
+		return
+	}
+	// Apply in one step but reuse the flip bookkeeping of a single
+	// disturbance for the threshold crossing.
+	if c := d.disturb[bank][prow]; n > 1 && c+n-1 > c { // guard overflow
+		d.disturb[bank][prow] = c + n - 1
+	}
+	d.disturbNeighbor(bank, prow)
+}
+
 func (d *Device) checkAddr(bank, row int) {
 	if bank < 0 || bank >= d.p.Banks || row < 0 || row >= d.p.RowsPerBank {
 		panic(fmt.Sprintf("dram: address out of range: bank %d row %d", bank, row))

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"io"
+
+	"tivapromi/internal/rng"
+)
+
+// CorruptingReader wraps an io.Reader and flips one random bit in each
+// passing byte with probability rate — deterministic bit rot for a trace
+// stream (a failing disk, a truncated transfer, a hostile input). It is
+// the trace-replay injector: internal/trace's reader must survive any
+// output of this wrapper with a typed error, never a panic; the fuzz and
+// corruption tests assert exactly that.
+type CorruptingReader struct {
+	r    io.Reader
+	gate *rng.XorShift64Star
+	pick *rng.XorShift64Star
+	r32  uint64
+	// Flipped counts corrupted bytes.
+	Flipped uint64
+}
+
+// NewCorruptingReader wraps r with a per-byte corruption probability
+// (clamped to [0, 1]) driven by seed.
+func NewCorruptingReader(r io.Reader, rate float64, seed uint64) *CorruptingReader {
+	return &CorruptingReader{
+		r:    r,
+		gate: rng.NewXorShift64Star(seed ^ 0xb17f11),
+		pick: rng.NewXorShift64Star(seed ^ 0x0ddb17),
+		r32:  rate32(rate),
+	}
+}
+
+// Read implements io.Reader.
+func (c *CorruptingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	for i := 0; i < n; i++ {
+		if c.gate.Uint64()&0xffffffff < c.r32 {
+			p[i] ^= 1 << (c.pick.Uint64() & 7)
+			c.Flipped++
+		}
+	}
+	return n, err
+}

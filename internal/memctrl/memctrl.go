@@ -13,11 +13,30 @@
 package memctrl
 
 import (
+	"context"
 	"fmt"
 
 	"tivapromi/internal/addr"
 	"tivapromi/internal/dram"
 	"tivapromi/internal/mitigation"
+)
+
+// Disposition is a command filter's verdict on one mitigation command,
+// modeling faults on the maintenance-command path between controller and
+// device.
+type Disposition int
+
+const (
+	// Deliver executes the command normally.
+	Deliver Disposition = iota
+	// Drop discards the command: the neighbor refresh never happens (a
+	// lost act_n on a marginal bus, or an arbiter that starves the
+	// Row-Hammer interrupt path under load).
+	Drop
+	// Delay postpones the command to the next refresh-interval boundary —
+	// one service-priority inversion late, the QPRAC imperfect-service
+	// scenario.
+	Delay
 )
 
 // Config sets the controller's timing model in nanoseconds.
@@ -57,6 +76,10 @@ type Stats struct {
 	// handshake implies).
 	PendingPeak int
 	Overflows   uint64
+	// DroppedCmds and DelayedCmds count commands a fault filter discarded
+	// or postponed (zero without a filter installed).
+	DroppedCmds uint64
+	DelayedCmds uint64
 }
 
 // Controller drives a dram.Device, optionally with a mitigation attached.
@@ -73,9 +96,11 @@ type Controller struct {
 	trfc     uint64
 
 	pending []mitigation.Command
+	delayed []mitigation.Command
 	scratch []mitigation.Command
 	stats   Stats
 	hook    func(mitigation.Command)
+	filter  func(mitigation.Command) Disposition
 }
 
 // New builds a controller over dev with the given mitigation (nil for
@@ -107,6 +132,13 @@ func (c *Controller) Device() *dram.Device { return c.dev }
 // the controller executes. The experiment harness uses it to classify
 // commands against attack ground truth (false-positive accounting).
 func (c *Controller) SetCommandHook(fn func(mitigation.Command)) { c.hook = fn }
+
+// SetCommandFilter installs a fault filter consulted for every mitigation
+// command before it is buffered. Dropped commands never reach the device;
+// delayed commands execute at the next refresh-interval boundary (once —
+// a promoted command is not re-filtered, so a filter cannot starve the
+// path forever). A nil filter delivers everything.
+func (c *Controller) SetCommandFilter(fn func(mitigation.Command) Disposition) { c.filter = fn }
 
 // Stats returns the controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -154,6 +186,17 @@ func (c *Controller) AccessAddr(m *addr.Mapper, pa uint64, write bool) {
 // and executes the command immediately (the wait handshake).
 func (c *Controller) enqueue(cmds []mitigation.Command) {
 	for _, cmd := range cmds {
+		if c.filter != nil {
+			switch c.filter(cmd) {
+			case Drop:
+				c.stats.DroppedCmds++
+				continue
+			case Delay:
+				c.stats.DelayedCmds++
+				c.delayed = append(c.delayed, cmd)
+				continue
+			}
+		}
 		if len(c.pending) >= c.cfg.PendingCap {
 			c.stats.Overflows++
 			c.execute(cmd)
@@ -216,6 +259,13 @@ func (c *Controller) advanceNoRefresh(ns uint64) {
 // observes ref, its commands execute, the device refreshes, rows close,
 // and a completed window resets window-scoped mitigation state.
 func (c *Controller) fireRefreshInterval() {
+	// Promote fault-delayed commands first: they execute one interval
+	// late, bypassing the filter so a command is delayed at most once.
+	if len(c.delayed) > 0 {
+		c.pending = append(c.pending, c.delayed...)
+		c.delayed = c.delayed[:0]
+		c.drain()
+	}
 	if c.mit != nil {
 		c.scratch = c.mit.OnRefreshInterval(c.dev.IntervalInWindow(), c.scratch[:0])
 		c.enqueue(c.scratch)
@@ -240,6 +290,25 @@ func (c *Controller) RunIntervals(n int, next func() (bank, row int, write bool)
 		bank, row, write := next()
 		c.AccessRow(bank, row, write)
 	}
+}
+
+// RunIntervalsCtx is RunIntervals with cooperative cancellation: the
+// context is polled every 1024 accesses (cheap enough for the hot loop,
+// fine-grained enough that a canceled seed sweep stops within
+// microseconds of simulated progress). It returns ctx.Err() when the run
+// was cut short, nil on normal completion.
+func (c *Controller) RunIntervalsCtx(ctx context.Context, n int, next func() (bank, row int, write bool)) error {
+	target := c.dev.Interval() + n
+	for i := 0; c.dev.Interval() < target; i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		bank, row, write := next()
+		c.AccessRow(bank, row, write)
+	}
+	return nil
 }
 
 // ExtraActivations returns the total mitigation-issued activations the

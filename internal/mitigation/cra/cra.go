@@ -12,6 +12,7 @@ package cra
 
 import (
 	"tivapromi/internal/mitigation"
+	"tivapromi/internal/rng"
 )
 
 // CRA is the mitigation state. Create instances with New.
@@ -78,6 +79,18 @@ func (c *CRA) TableBytesPerBank() int { return c.rowsPB * c.cntBits / 8 }
 // EscalatesUnderAttack implements mitigation.Escalation: counting is
 // deterministic escalation.
 func (c *CRA) EscalatesUnderAttack() bool { return true }
+
+// InjectStateFault implements mitigation.StateInjectable: one bit flip in
+// a random row's activation counter. CRA's per-row counters are the
+// largest SRAM/DRAM-resident state of any technique here, making it the
+// most exposed to SEUs per unit time — the storage-versus-resilience
+// trade-off the degradation sweep quantifies.
+func (c *CRA) InjectStateFault(src rng.Source) bool {
+	bank := rng.Intn(src, len(c.counters))
+	row := rng.Intn(src, c.rowsPB)
+	c.counters[bank][row] ^= 1 << rng.Intn(src, max(c.cntBits, 1))
+	return true
+}
 
 // ActCycles implements mitigation.CycleModel: direct-indexed counter
 // increment and compare.

@@ -16,6 +16,8 @@ package mitigation
 import (
 	"fmt"
 	"sort"
+
+	"tivapromi/internal/rng"
 )
 
 // CommandKind distinguishes the two maintenance commands mitigations use.
@@ -106,6 +108,30 @@ type CycleModel interface {
 	ActCycles() int
 	// RefCycles is the FSM loop length after an observed ref command.
 	RefCycles() int
+}
+
+// StateInjectable is implemented by mitigations whose internal SRAM state
+// (history tables, counter tables) can be corrupted for fault-injection
+// studies. An injection models a single-event upset: one bit of one live
+// state element flips. Implementations must mask flipped fields to their
+// hardware widths so a corrupted mitigation degrades — misses victims,
+// triggers spuriously — but never emits an out-of-range command; address
+// decoders bound what a real SRAM fault can express.
+type StateInjectable interface {
+	// InjectStateFault flips one random bit of live mitigation state,
+	// drawing all randomness from src. It reports whether any state was
+	// modified (techniques with no live entries at the moment of
+	// injection return false).
+	InjectStateFault(src rng.Source) bool
+}
+
+// RandSettable is implemented by probabilistic mitigations whose decision
+// entropy can be rerouted for fault-injection studies (stuck, biased or
+// periodic LFSR output). Passing nil restores the built-in generator.
+// Reset must preserve an installed override — a hardware RNG fault does
+// not heal on state reset — but reseed it so replays stay deterministic.
+type RandSettable interface {
+	SetRandSource(src rng.Source)
 }
 
 // Target describes the protected device to a mitigation factory.

@@ -35,6 +35,8 @@ func RunContract(t *testing.T, factory mitigation.Factory) {
 	t.Run("CycleBudgets", func(t *testing.T) { checkCycleBudgets(t, factory) })
 	t.Run("StorageReported", func(t *testing.T) { checkStorage(t, factory) })
 	t.Run("SustainedAttackAnswered", func(t *testing.T) { checkSustainedAttack(t, factory) })
+	t.Run("DeterministicAfterFaultRestore", func(t *testing.T) { checkFaultRestore(t, factory) })
+	t.Run("ValidUnderStuckRNG", func(t *testing.T) { checkStuckRNG(t, factory) })
 }
 
 // drive pushes a deterministic mixed stream (hot rows + scattered rows +
@@ -218,6 +220,62 @@ func checkSustainedAttack(t *testing.T, factory mitigation.Factory) {
 	}
 	if protective == 0 {
 		t.Fatal("a full window of max-rate hammering produced no protection")
+	}
+}
+
+func checkFaultRestore(t *testing.T, factory mitigation.Factory) {
+	// Techniques exposing SRAM state for fault injection must come back
+	// deterministic after an inject/Reset cycle: corrupt the live state
+	// heavily, Reset, and the replay must match a fresh instance command
+	// for command. This is the property the degradation sweeps rely on —
+	// a Reset between campaign points fully discards injected damage.
+	m := factory(Target(), 7)
+	si, ok := m.(mitigation.StateInjectable)
+	if !ok {
+		t.Skip("no injectable state")
+	}
+	drive(m, 3, 50)
+	inj := rng.NewXorShift64Star(0xfa017)
+	for i := 0; i < 64; i++ {
+		si.InjectStateFault(inj)
+	}
+	m.Reset()
+	a := drive(m, 3, 200)
+	b := drive(factory(Target(), 7), 3, 200)
+	if len(a) != len(b) {
+		t.Fatalf("post-fault replay produced %d commands, fresh instance %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("command %d diverged after fault/restore: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func checkStuckRNG(t *testing.T, factory mitigation.Factory) {
+	// Techniques with a hardware Bernoulli path must degrade gracefully
+	// when the LFSR sticks: whatever they still emit stays well-formed.
+	// Both extremes are driven — stuck-at-ones (non-selection: protection
+	// silently stops) and stuck-at-zero (every comparison fires).
+	tgt := Target()
+	for _, stuck := range []uint64{0, ^uint64(0)} {
+		m := factory(tgt, 1)
+		rs, ok := m.(mitigation.RandSettable)
+		if !ok {
+			t.Skip("no RNG to degrade")
+		}
+		rs.SetRandSource(rng.NewStuckSource(stuck))
+		for _, cmd := range drive(m, 1, 300) {
+			if cmd.Bank < 0 || cmd.Bank >= tgt.Banks {
+				t.Fatalf("stuck=%#x: command bank %d out of range", stuck, cmd.Bank)
+			}
+			if cmd.Row < 0 || cmd.Row >= tgt.RowsPerBank {
+				t.Fatalf("stuck=%#x: command row %d out of range", stuck, cmd.Row)
+			}
+			if cmd.Kind == mitigation.ActNOne && cmd.Side != 1 && cmd.Side != -1 {
+				t.Fatalf("stuck=%#x: one-sided command with side %d", stuck, cmd.Side)
+			}
+		}
 	}
 }
 

@@ -25,8 +25,11 @@ type PARA struct {
 	bits   uint
 	bern   *rng.Bernoulli
 	src    *rng.LFSR32
-	side   *rng.XorShift64Star
-	seed   uint64
+	// override, when non-nil, replaces the built-in LFSR on the Bernoulli
+	// decision path (fault-injection studies).
+	override rng.Source
+	side     *rng.XorShift64Star
+	seed     uint64
 }
 
 // New returns a PARA instance with probability weight*2^-bits.
@@ -80,11 +83,33 @@ func (p *PARA) OnRefreshInterval(_ int, cmds []mitigation.Command) []mitigation.
 // OnNewWindow implements mitigation.Mitigator; PARA keeps no window state.
 func (p *PARA) OnNewWindow() {}
 
-// Reset implements mitigation.Mitigator.
+// Reset implements mitigation.Mitigator. An installed RNG override
+// survives the reset but is reseeded so replays stay deterministic.
 func (p *PARA) Reset() {
 	p.src = rng.NewLFSR32(p.seed)
-	p.bern = rng.NewBernoulli(p.src, p.bits)
+	if p.override != nil {
+		p.override.Seed(p.seed)
+	}
+	p.rebuildBernoulli()
 	p.side = rng.NewXorShift64Star(p.seed ^ 0x51de)
+}
+
+// rebuildBernoulli rewires the comparator onto the active entropy path.
+func (p *PARA) rebuildBernoulli() {
+	src := rng.Source(p.src)
+	if p.override != nil {
+		src = p.override
+	}
+	p.bern = rng.NewBernoulli(src, p.bits)
+}
+
+// SetRandSource implements mitigation.RandSettable: it reroutes the
+// trigger decision onto src (nil restores the built-in LFSR). PARA is the
+// purest demonstration of the Loaded Dice non-selection problem — with a
+// stuck selector the technique is indistinguishable from no mitigation.
+func (p *PARA) SetRandSource(src rng.Source) {
+	p.override = src
+	p.rebuildBernoulli()
 }
 
 // TableBytesPerBank implements mitigation.Mitigator: PARA is stateless.

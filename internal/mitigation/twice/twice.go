@@ -15,6 +15,7 @@ package twice
 
 import (
 	"tivapromi/internal/mitigation"
+	"tivapromi/internal/rng"
 )
 
 // Config parameterizes TWiCe.
@@ -190,6 +191,32 @@ func (t *TWiCe) RefCycles() int { return t.cfg.MaxEntries }
 // Live returns the current number of live entries in a bank's table,
 // for occupancy studies.
 func (t *TWiCe) Live(bank int) int { return len(t.banks[bank].entries) }
+
+// InjectStateFault implements mitigation.StateInjectable: one bit flip in
+// the activation count or lifetime field of a random live entry (SRAM
+// SEU). A count flipped high fires a premature act_n; flipped low (or a
+// corrupted lifetime) the pruning rule silently evicts a real aggressor —
+// the dangerous direction for a counter-based guarantee. Row-address CAM
+// bits are left alone: the CAM index must stay coherent, and the count
+// fields already cover both failure directions.
+func (t *TWiCe) InjectStateFault(src rng.Source) bool {
+	// Deterministically scan from a random bank for one with live entries.
+	start := rng.Intn(src, len(t.banks))
+	for off := 0; off < len(t.banks); off++ {
+		tb := &t.banks[(start+off)%len(t.banks)]
+		if len(tb.entries) == 0 {
+			continue
+		}
+		e := &tb.entries[rng.Intn(src, len(tb.entries))]
+		if rng.Intn(src, 2) == 0 {
+			e.cnt ^= 1 << rng.Intn(src, max(bitsFor(t.cfg.ThRH), 1))
+		} else {
+			e.life ^= 1 << rng.Intn(src, max(bitsFor(uint32(t.cfg.RefInt)), 1))
+		}
+		return true
+	}
+	return false
+}
 
 // EscalatesUnderAttack implements mitigation.Escalation: counting is
 // deterministic escalation.

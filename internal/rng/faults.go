@@ -1,0 +1,111 @@
+package rng
+
+// Fault-model sources. Row-Hammer mitigations draw their probabilistic
+// decisions from small hardware LFSRs; when that machinery misbehaves the
+// security argument silently erodes (the "non-selection" problem of
+// Loaded Dice: a stuck selector means victims are never chosen). The
+// wrappers here degrade a Source in the three classic hardware failure
+// modes — stuck-at, biased, and short-period output — deterministically,
+// so degradation experiments are reproducible from a seed.
+
+// StuckSource models a stuck-at LFSR: every draw returns the same word.
+// A stuck-at-zero register makes every Bernoulli comparison succeed
+// (values below any positive weight); stuck-at-ones makes protection
+// silently stop. Both extremes matter: the first is a denial-of-service
+// on the command path, the second is the Loaded Dice non-selection case.
+type StuckSource struct {
+	// Value is the word returned by every draw.
+	Value uint64
+}
+
+// NewStuckSource returns a source stuck at value.
+func NewStuckSource(value uint64) *StuckSource { return &StuckSource{Value: value} }
+
+// Uint64 implements Source.
+func (s *StuckSource) Uint64() uint64 { return s.Value }
+
+// Seed implements Source; a stuck register ignores reseeding.
+func (s *StuckSource) Seed(uint64) {}
+
+// BiasedSource models intermittent output bias: with probability
+// Rate (16-bit fixed point) a draw has OrMask forced high, pushing the
+// comparison value above typical trigger weights and suppressing
+// protective decisions. The bias decision stream is deterministic and
+// independent of the degraded stream.
+type BiasedSource struct {
+	src    Source
+	gate   *XorShift64Star
+	orMask uint64
+	rate16 uint64 // bias probability in 1/65536 units
+	seed   uint64
+}
+
+// NewBiasedSource wraps src, forcing orMask into a fraction `rate` of the
+// draws (rate clamped to [0, 1]).
+func NewBiasedSource(src Source, orMask uint64, rate float64, seed uint64) *BiasedSource {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	b := &BiasedSource{src: src, orMask: orMask, rate16: uint64(rate * 65536), seed: seed}
+	b.gate = NewXorShift64Star(seed ^ 0xb1a5)
+	return b
+}
+
+// Uint64 implements Source.
+func (b *BiasedSource) Uint64() uint64 {
+	v := b.src.Uint64()
+	if b.gate.Uint64()&0xffff < b.rate16 {
+		v |= b.orMask
+	}
+	return v
+}
+
+// Seed implements Source, reseeding both the wrapped stream and the bias
+// gate so replays reproduce.
+func (b *BiasedSource) Seed(seed uint64) {
+	b.seed = seed
+	b.src.Seed(seed)
+	b.gate = NewXorShift64Star(seed ^ 0xb1a5)
+}
+
+// PeriodicSource models a degenerated LFSR caught in a short cycle (a
+// feedback-tap fault collapses the maximum-length polynomial into a small
+// subcycle): the first `period` draws of the wrapped stream repeat
+// forever. Periodic randomness lets an attacker phase-lock to the
+// mitigation's decisions.
+type PeriodicSource struct {
+	src    Source
+	buf    []uint64
+	pos    int
+	period int
+}
+
+// NewPeriodicSource wraps src with the given cycle length (minimum 1).
+func NewPeriodicSource(src Source, period int) *PeriodicSource {
+	if period < 1 {
+		period = 1
+	}
+	return &PeriodicSource{src: src, period: period}
+}
+
+// Uint64 implements Source.
+func (p *PeriodicSource) Uint64() uint64 {
+	if len(p.buf) < p.period {
+		v := p.src.Uint64()
+		p.buf = append(p.buf, v)
+		return v
+	}
+	v := p.buf[p.pos]
+	p.pos = (p.pos + 1) % p.period
+	return v
+}
+
+// Seed implements Source, recapturing the cycle from the reseeded stream.
+func (p *PeriodicSource) Seed(seed uint64) {
+	p.src.Seed(seed)
+	p.buf = p.buf[:0]
+	p.pos = 0
+}

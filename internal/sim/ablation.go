@@ -54,14 +54,18 @@ func AblateCounterSize(cfg Config, sizes []int, seeds []uint64) ([]AblationPoint
 	var out []AblationPoint
 	for _, size := range sizes {
 		size := size
+		// Validate the swept configuration up front, where an error can be
+		// returned; the factory then uses the Must constructor on a config
+		// already known good instead of panicking mid-sweep inside a worker.
+		probe := core.DefaultCaConfig(cfg.Params.RowsPerBank, cfg.Params.RefInt)
+		probe.CounterEntries = size
+		if err := probe.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: counter ablation size %d: %w", size, err)
+		}
 		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
 			c := core.DefaultCaConfig(t.RowsPerBank, t.RefInt)
 			c.CounterEntries = size
-			m, err := core.NewCa(t.Banks, c, seed)
-			if err != nil {
-				panic(err)
-			}
-			return m
+			return core.MustNewCa(t.Banks, c, seed)
 		}
 		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size), factory, seeds)
 		if err != nil {

@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk format. Bump it when Result or the
+// fingerprint recipe changes so a stale file is ignored instead of
+// misinterpreted.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON document written to disk. Entries map a sweep
+// fingerprint to the per-seed results that completed; Summary is never
+// stored because stats.Welford carries unexported state — the summary is
+// recomputed from the results with Summarize, which is order-stable, so a
+// resumed sweep reproduces the original tables byte for byte.
+type checkpointFile struct {
+	Version int                          `json:"version"`
+	Sweeps  map[string]*checkpointSweep  `json:"sweeps"`
+	Outputs map[string]checkpointOutput  `json:"outputs,omitempty"`
+}
+
+// checkpointSweep holds the completed seeds of one fingerprinted sweep.
+type checkpointSweep struct {
+	// Done maps seed → completed result. Seeds absent from the map were
+	// not finished when the checkpoint was written and will be re-run.
+	Done map[string]Result `json:"done"`
+}
+
+// checkpointOutput caches one fully rendered experiment section (used by
+// cmd/experiments to resume `all` at section granularity).
+type checkpointOutput struct {
+	Text string `json:"text"`
+}
+
+// Checkpoint is a JSON-backed store of completed per-seed results, keyed
+// by a fingerprint of (config, technique, seeds). A hardened sweep writes
+// each seed's result through the checkpoint as it completes; a re-run of
+// the same sweep skips the seeds already on disk. The zero value (or a
+// nil *Checkpoint) is a no-op store, so callers can thread one pointer
+// unconditionally.
+//
+// Writes are atomic (temp file + rename in the checkpoint's directory), so
+// a sweep killed mid-write leaves the previous consistent snapshot behind,
+// never a torn file. A Checkpoint is safe for concurrent use by the worker
+// pool.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	data checkpointFile
+	// dirty counts results accepted since the last flush.
+	dirty int
+	// FlushEvery bounds how many new results accumulate in memory before
+	// an automatic flush (default 1: write through on every result, the
+	// safest setting for multi-hour sweeps).
+	FlushEvery int
+}
+
+// LoadCheckpoint opens or creates a checkpoint at path. A missing file is
+// an empty checkpoint; a corrupt or version-mismatched file is also
+// treated as empty (the sweep re-runs, which is always safe) rather than
+// failing the experiment.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	if path == "" {
+		return nil, fmt.Errorf("sim: empty checkpoint path")
+	}
+	c := &Checkpoint{path: path, FlushEvery: 1}
+	c.data.Version = checkpointVersion
+	c.data.Sweeps = make(map[string]*checkpointSweep)
+	c.data.Outputs = make(map[string]checkpointOutput)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("sim: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(raw, &f); err != nil || f.Version != checkpointVersion {
+		// Unreadable or stale format: start fresh, don't guess.
+		return c, nil
+	}
+	if f.Sweeps != nil {
+		c.data.Sweeps = f.Sweeps
+	}
+	if f.Outputs != nil {
+		c.data.Outputs = f.Outputs
+	}
+	return c, nil
+}
+
+// Path returns the checkpoint's file path ("" for a nil checkpoint).
+func (c *Checkpoint) Path() string {
+	if c == nil {
+		return ""
+	}
+	return c.path
+}
+
+// lookup returns the cached result for one seed of a fingerprinted sweep.
+func (c *Checkpoint) lookup(fp string, seed uint64) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := c.data.Sweeps[fp]
+	if sw == nil {
+		return Result{}, false
+	}
+	r, ok := sw.Done[seedKey(seed)]
+	return r, ok
+}
+
+// record stores one completed seed result and flushes according to
+// FlushEvery. Errors are returned so the runner can surface a read-only
+// checkpoint directory instead of silently losing progress.
+func (c *Checkpoint) record(fp string, seed uint64, res Result) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sw := c.data.Sweeps[fp]
+	if sw == nil {
+		sw = &checkpointSweep{Done: make(map[string]Result)}
+		c.data.Sweeps[fp] = sw
+	}
+	sw.Done[seedKey(seed)] = res
+	c.dirty++
+	every := c.FlushEvery
+	if every <= 0 {
+		every = 1
+	}
+	if c.dirty >= every {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+// Output returns the cached rendered text for a named experiment section.
+func (c *Checkpoint) Output(name string) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out, ok := c.data.Outputs[name]
+	return out.Text, ok
+}
+
+// PutOutput caches the rendered text of a named experiment section and
+// flushes immediately, so a killed `experiments all` resumes past every
+// section that finished rendering.
+func (c *Checkpoint) PutOutput(name, text string) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.data.Outputs[name] = checkpointOutput{Text: text}
+	return c.flushLocked()
+}
+
+// Flush forces pending state to disk.
+func (c *Checkpoint) Flush() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// flushLocked writes the checkpoint atomically: marshal, write a temp file
+// in the same directory, rename over the target. Requires c.mu held.
+func (c *Checkpoint) flushLocked() error {
+	raw, err := json.MarshalIndent(&c.data, "", " ")
+	if err != nil {
+		return fmt.Errorf("sim: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("sim: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sim: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmpName, c.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("sim: rename checkpoint: %w", err)
+	}
+	c.dirty = 0
+	return nil
+}
+
+// seedKey renders a seed as a stable JSON map key.
+func seedKey(seed uint64) string { return fmt.Sprintf("%#x", seed) }
+
+// Fingerprint derives the checkpoint key for one sweep. It hashes the
+// JSON encoding of the config (Factory is excluded via its json:"-" tag;
+// FactoryLabel stands in for it), the technique name and the sorted seed
+// set, so any change to the experiment invalidates the cached results
+// instead of silently reusing them.
+func Fingerprint(cfg Config, technique string, seeds []uint64) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Encoding errors are impossible for these types; ignore them so the
+	// fingerprint is infallible at call sites.
+	_ = enc.Encode(cfg)
+	_ = enc.Encode(technique)
+	sorted := append([]uint64(nil), seeds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	_ = enc.Encode(sorted)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Runner bundles the hardened pool configuration with an optional
+// checkpoint. It is the front door for experiment drivers: construct one
+// Runner per process, call RunSeeds for every sweep, and killed processes
+// resume from whatever the checkpoint captured.
+type Runner struct {
+	Config     RunnerConfig
+	Checkpoint *Checkpoint // nil disables persistence
+}
+
+// NewRunner returns a Runner with DefaultRunnerConfig and no checkpoint.
+func NewRunner() *Runner { return &Runner{Config: DefaultRunnerConfig()} }
+
+// RunSeeds executes the sweep under ctx, consulting the checkpoint for
+// already-completed seeds and recording each newly completed seed as it
+// finishes. The summary always aggregates results in seed order —
+// checkpointed and fresh alike — so resumed and uninterrupted runs emit
+// identical tables.
+func (r *Runner) RunSeeds(ctx context.Context, cfg Config, technique string, seeds []uint64) (Summary, []*RunError, error) {
+	if len(seeds) == 0 {
+		return Summary{}, nil, fmt.Errorf("sim: no seeds")
+	}
+	fp := Fingerprint(cfg, technique, seeds)
+
+	cached := make([]*Result, len(seeds))
+	var todo []uint64
+	todoIdx := make(map[uint64]int, len(seeds))
+	for i, s := range seeds {
+		if res, ok := r.Checkpoint.lookup(fp, s); ok {
+			resCopy := res
+			cached[i] = &resCopy
+			continue
+		}
+		if _, dup := todoIdx[s]; !dup {
+			todoIdx[s] = i
+			todo = append(todo, s)
+		}
+	}
+
+	var failed []*RunError
+	if len(todo) > 0 {
+		rc := r.Config
+		inner := rc.runFn
+		if inner == nil {
+			inner = RunCtx
+		}
+		var mu sync.Mutex
+		fresh := make(map[uint64]Result, len(todo))
+		var ckptErr error
+		rc.runFn = func(ctx context.Context, c Config, tech string) (Result, error) {
+			res, err := inner(ctx, c, tech)
+			if err == nil {
+				mu.Lock()
+				fresh[c.Seed] = res
+				if e := r.Checkpoint.record(fp, c.Seed, res); e != nil && ckptErr == nil {
+					ckptErr = e
+				}
+				mu.Unlock()
+			}
+			return res, err
+		}
+		_, errs, err := RunSeedsCtx(ctx, rc, cfg, technique, todo)
+		if err != nil {
+			return Summary{}, nil, err
+		}
+		failed = errs
+		if ckptErr != nil {
+			return Summary{}, nil, ckptErr
+		}
+		for s, res := range fresh {
+			resCopy := res
+			cached[todoIdx[s]] = &resCopy
+		}
+	}
+
+	// Aggregate in seed order regardless of completion order or cache
+	// provenance.
+	var completed []Result
+	for i := range seeds {
+		if cached[i] == nil {
+			// Duplicate seeds share the first occurrence's result.
+			if j, ok := todoIdx[seeds[i]]; ok && cached[j] != nil {
+				completed = append(completed, *cached[j])
+			}
+			continue
+		}
+		completed = append(completed, *cached[i])
+	}
+	return Summarize(completed), failed, nil
+}

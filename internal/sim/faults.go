@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"tivapromi/internal/faults"
+)
+
+// FaultPoint is one cell of a degradation table: one technique under one
+// fault model at one rate, averaged over the sweep's seeds.
+type FaultPoint struct {
+	Technique   string
+	Model       faults.Model
+	Rate        float64
+	Flips       float64 // mean bit flips per run
+	OverheadPct float64 // mean act_n overhead (%)
+	FPRPct      float64 // mean false-positive rate (%)
+	Injected    float64 // mean state faults applied per run
+	Dropped     float64 // mean mitigation commands dropped per run
+	Delayed     float64 // mean mitigation commands delayed per run
+	Errors      int     // seeds that failed (panic, timeout, cancellation)
+}
+
+// FaultSweepConfig describes one degradation campaign.
+type FaultSweepConfig struct {
+	// Base is the simulation configuration swept; its Fault field is
+	// overwritten per point.
+	Base Config
+	// Techniques are the mitigations to degrade (registry names).
+	Techniques []string
+	// Models are the fault mechanisms to apply. A leading faults.None
+	// yields the healthy baseline row.
+	Models []faults.Model
+	// Rates are the per-event fault probabilities swept for each model.
+	Rates []float64
+	// Seeds are the simulation seeds averaged per point.
+	Seeds []uint64
+	// FaultSeed derives the injector randomness (combined per run with
+	// the simulation seed inside RunCtx, so every (sim seed, fault seed)
+	// pair is bit-reproducible).
+	FaultSeed uint64
+}
+
+// FaultSweep runs the full techniques × models × rates grid under the
+// hardened runner and returns one FaultPoint per cell, in deterministic
+// row-major order (technique, then model, then rate). The None model
+// contributes a single rate-0 baseline point per technique regardless of
+// the configured rates. A nil runner uses NewRunner().
+func FaultSweep(ctx context.Context, r *Runner, sc FaultSweepConfig) ([]FaultPoint, error) {
+	if r == nil {
+		r = NewRunner()
+	}
+	if len(sc.Techniques) == 0 || len(sc.Models) == 0 || len(sc.Seeds) == 0 {
+		return nil, fmt.Errorf("sim: fault sweep needs techniques, models and seeds")
+	}
+	if len(sc.Rates) == 0 {
+		sc.Rates = []float64{0}
+	}
+	var points []FaultPoint
+	for _, tech := range sc.Techniques {
+		for _, model := range sc.Models {
+			rates := sc.Rates
+			if model == faults.None {
+				rates = []float64{0}
+			}
+			for _, rate := range rates {
+				cfg := sc.Base
+				cfg.Fault = faults.Plan{Model: model, Rate: rate, Seed: sc.FaultSeed}
+				sum, runErrs, err := r.RunSeeds(ctx, cfg, tech, sc.Seeds)
+				if err != nil {
+					return points, fmt.Errorf("sim: fault sweep %s/%s@%g: %w", tech, model, rate, err)
+				}
+				points = append(points, faultPoint(tech, model, rate, sum, len(runErrs)))
+				if err := ctx.Err(); err != nil {
+					return points, err
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// faultPoint converts a sweep summary into one table cell.
+func faultPoint(tech string, model faults.Model, rate float64, sum Summary, errs int) FaultPoint {
+	n := float64(len(sum.Runs))
+	mean := func(total uint64) float64 {
+		if n == 0 {
+			return 0
+		}
+		return float64(total) / n
+	}
+	return FaultPoint{
+		Technique:   tech,
+		Model:       model,
+		Rate:        rate,
+		Flips:       mean(uint64(sum.TotalFlips)),
+		OverheadPct: sum.Overhead.Mean() * 100,
+		FPRPct:      sum.FPR.Mean() * 100,
+		Injected:    mean(sum.InjectedFaults),
+		Dropped:     mean(sum.DroppedCmds),
+		Delayed:     mean(sum.DelayedCmds),
+		Errors:      errs,
+	}
+}

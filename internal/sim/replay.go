@@ -103,7 +103,11 @@ func RecordTrace(cfg Config, w *trace.Writer) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	dev, err := dram.New(cfg.Params, cfg.policy(cfg.Seed))
+	pol, err := cfg.policy(cfg.Seed)
+	if err != nil {
+		return err
+	}
+	dev, err := dram.New(cfg.Params, pol)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrPermanent marks failures that retrying cannot fix: invalid
+// configurations, unknown techniques, per-run deadline overruns of a
+// deterministic simulation. errors.Is(err, ErrPermanent) reports whether
+// an error carries the mark.
+var ErrPermanent = errors.New("permanent failure")
+
+// permanent marks err as non-retriable.
+func permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrPermanent, err)
+}
+
+// PanicError is a worker panic converted into an error, preserving the
+// panic value and the goroutine stack at recovery time.
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// RunError records one seed's failure inside a sweep. A sweep with
+// RunErrors still carries every completed seed's result — partial results
+// survive worker failures.
+type RunError struct {
+	Seed     uint64
+	Attempts int // runs attempted for this seed (≥ 1)
+	Err      error
+}
+
+// Error implements error.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("sim: seed %#x failed after %d attempt(s): %v", e.Seed, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// RunnerConfig tunes the hardened seed-sweep runner.
+type RunnerConfig struct {
+	// Workers bounds the worker pool (≤ 0 means GOMAXPROCS). The old
+	// runner launched one bare goroutine per seed; a paper-scale sweep
+	// over hundreds of seeds would stampede the scheduler and defeat the
+	// per-run memory locality the Device model relies on.
+	Workers int
+	// PerRunTimeout is the deadline for one simulation (0 = none). A
+	// deterministic run that overruns it is recorded as a permanent
+	// RunError — retrying would overrun again.
+	PerRunTimeout time.Duration
+	// Retries is the number of re-attempts for transient failures (a
+	// worker panic, or an error marked transient by a custom factory).
+	// Permanent and context errors are never retried.
+	Retries int
+	// Backoff is the base delay before a retry, doubling per attempt
+	// (default 10ms). Sleeps are context-aware: cancellation cuts them
+	// short.
+	Backoff time.Duration
+
+	// runFn overrides the run function for tests (nil = RunCtx).
+	runFn func(context.Context, Config, string) (Result, error)
+}
+
+// DefaultRunnerConfig returns the standard pool sizing: GOMAXPROCS
+// workers, no per-run deadline, two retries with 10ms base backoff.
+func DefaultRunnerConfig() RunnerConfig {
+	return RunnerConfig{Retries: 2, Backoff: 10 * time.Millisecond}
+}
+
+func (rc RunnerConfig) workers(jobs int) int {
+	w := rc.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (rc RunnerConfig) backoff(attempt int) time.Duration {
+	b := rc.Backoff
+	if b <= 0 {
+		b = 10 * time.Millisecond
+	}
+	return b << uint(attempt)
+}
+
+// RunSeedsCtx executes Run for every seed under ctx with a bounded worker
+// pool, per-run deadlines, panic recovery and retry-with-backoff, then
+// aggregates whatever completed. Worker panics become structured
+// RunErrors instead of crashing the process, and cancellation returns the
+// partial Summary alongside per-seed context errors — a multi-hour sweep
+// killed at 90% keeps its 90%.
+//
+// The returned error is non-nil only for unusable inputs (no seeds);
+// per-seed failures, including cancellation, are reported in the RunError
+// slice (ordered by seed position) while the Summary covers the seeds
+// that finished.
+func RunSeedsCtx(ctx context.Context, rc RunnerConfig, cfg Config, technique string, seeds []uint64) (Summary, []*RunError, error) {
+	if len(seeds) == 0 {
+		return Summary{}, nil, fmt.Errorf("sim: no seeds")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := rc.runFn
+	if run == nil {
+		run = RunCtx
+	}
+
+	results := make([]*Result, len(seeds))
+	errs := make([]*RunError, len(seeds))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < rc.workers(len(seeds)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				c := cfg
+				c.Seed = seeds[i]
+				res, attempts, err := runWithRetry(ctx, rc, run, c, technique)
+				if err != nil {
+					errs[i] = &RunError{Seed: seeds[i], Attempts: attempts, Err: err}
+					continue
+				}
+				results[i] = &res
+			}
+		}()
+	}
+feed:
+	for i := range seeds {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark every unfed seed as canceled without attempting it.
+			for j := i; j < len(seeds); j++ {
+				if errs[j] == nil && results[j] == nil {
+					errs[j] = &RunError{Seed: seeds[j], Attempts: 0, Err: ctx.Err()}
+				}
+			}
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var completed []Result
+	var failed []*RunError
+	for i := range seeds {
+		switch {
+		case results[i] != nil:
+			completed = append(completed, *results[i])
+		case errs[i] != nil:
+			failed = append(failed, errs[i])
+		}
+	}
+	return Summarize(completed), failed, nil
+}
+
+// runWithRetry attempts one seed with panic recovery, a per-run deadline
+// and exponential backoff between attempts.
+func runWithRetry(ctx context.Context, rc RunnerConfig, run func(context.Context, Config, string) (Result, error), cfg Config, technique string) (Result, int, error) {
+	var lastErr error
+	attempts := 0
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return Result{}, attempts, lastErr
+			}
+			return Result{}, attempts, err
+		}
+		attempts++
+		res, err := runOnce(ctx, rc, run, cfg, technique)
+		if err == nil {
+			return res, attempts, nil
+		}
+		lastErr = err
+		if attempt >= rc.Retries || !retriable(ctx, err) {
+			return Result{}, attempts, err
+		}
+		if !sleepCtx(ctx, rc.backoff(attempt)) {
+			return Result{}, attempts, lastErr
+		}
+	}
+}
+
+// runOnce executes one simulation, converting a panic into a PanicError
+// and enforcing the per-run deadline.
+func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Config, string) (Result, error), cfg Config, technique string) (res Result, err error) {
+	runCtx := ctx
+	if rc.PerRunTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, rc.PerRunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	res, err = run(runCtx, cfg, technique)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+		// The per-run deadline fired, not the sweep's context: the run is
+		// deterministic, so a retry would overrun again.
+		err = permanent(err)
+	}
+	return res, err
+}
+
+// retriable reports whether a failure is worth another attempt: panics
+// and unmarked errors are retried; permanent marks and sweep-level
+// cancellation are not.
+func retriable(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, ErrPermanent) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// sleepCtx waits d or until ctx is done; it reports whether the full wait
+// elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubRunner builds a RunnerConfig whose run function is fn, with retries
+// disabled unless configured otherwise.
+func stubRunner(fn func(context.Context, Config, string) (Result, error)) RunnerConfig {
+	rc := DefaultRunnerConfig()
+	rc.Retries = 0
+	rc.Backoff = time.Microsecond
+	rc.runFn = fn
+	return rc
+}
+
+func TestRunSeedsCtxNoSeeds(t *testing.T) {
+	_, _, err := RunSeedsCtx(context.Background(), DefaultRunnerConfig(), fastConfig(), "", nil)
+	if err == nil {
+		t.Fatal("empty seed set accepted")
+	}
+}
+
+func TestRunSeedsCtxAggregatesAllSeeds(t *testing.T) {
+	rc := stubRunner(func(_ context.Context, c Config, _ string) (Result, error) {
+		return Result{Seed: c.Seed, Flips: 1, TotalActs: 10, ExtraActs: 1}, nil
+	})
+	seeds := Seeds(1, 8)
+	sum, runErrs, err := RunSeedsCtx(context.Background(), rc, fastConfig(), "", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runErrs) != 0 {
+		t.Fatalf("unexpected run errors: %v", runErrs)
+	}
+	if len(sum.Runs) != len(seeds) || sum.TotalFlips != len(seeds) {
+		t.Fatalf("got %d runs / %d flips, want %d / %d", len(sum.Runs), sum.TotalFlips, len(seeds), len(seeds))
+	}
+	// Aggregation must follow seed order regardless of worker scheduling.
+	for i, r := range sum.Runs {
+		if r.Seed != seeds[i] {
+			t.Fatalf("run %d has seed %#x, want %#x", i, r.Seed, seeds[i])
+		}
+	}
+}
+
+func TestRunSeedsCtxPanicBecomesRunError(t *testing.T) {
+	rc := stubRunner(func(_ context.Context, c Config, _ string) (Result, error) {
+		if c.Seed == 3 {
+			panic("worker exploded")
+		}
+		return Result{Seed: c.Seed}, nil
+	})
+	seeds := []uint64{1, 2, 3, 4}
+	sum, runErrs, err := RunSeedsCtx(context.Background(), rc, fastConfig(), "", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Runs) != 3 {
+		t.Fatalf("completed %d runs, want 3 (partial results must survive a panic)", len(sum.Runs))
+	}
+	if len(runErrs) != 1 || runErrs[0].Seed != 3 {
+		t.Fatalf("run errors = %v, want exactly seed 3", runErrs)
+	}
+	var pe *PanicError
+	if !errors.As(runErrs[0].Err, &pe) {
+		t.Fatalf("error %v does not unwrap to PanicError", runErrs[0].Err)
+	}
+	if pe.Stack == "" {
+		t.Fatal("panic stack not captured")
+	}
+}
+
+func TestRunSeedsCtxRetriesTransientFailures(t *testing.T) {
+	var calls atomic.Int64
+	rc := stubRunner(func(_ context.Context, c Config, _ string) (Result, error) {
+		if calls.Add(1) < 3 {
+			return Result{}, fmt.Errorf("transient glitch")
+		}
+		return Result{Seed: c.Seed}, nil
+	})
+	rc.Retries = 3
+	sum, runErrs, err := RunSeedsCtx(context.Background(), rc, fastConfig(), "", []uint64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runErrs) != 0 {
+		t.Fatalf("seed failed despite retries: %v", runErrs)
+	}
+	if len(sum.Runs) != 1 || calls.Load() != 3 {
+		t.Fatalf("runs=%d calls=%d, want 1 run after 3 calls", len(sum.Runs), calls.Load())
+	}
+}
+
+func TestRunSeedsCtxPermanentNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	rc := stubRunner(func(context.Context, Config, string) (Result, error) {
+		calls.Add(1)
+		return Result{}, permanent(fmt.Errorf("bad config"))
+	})
+	rc.Retries = 5
+	_, runErrs, err := RunSeedsCtx(context.Background(), rc, fastConfig(), "", []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("permanent failure attempted %d times, want 1", calls.Load())
+	}
+	if len(runErrs) != 1 || !errors.Is(runErrs[0], ErrPermanent) {
+		t.Fatalf("run errors = %v, want one ErrPermanent", runErrs)
+	}
+	if runErrs[0].Attempts != 1 {
+		t.Fatalf("Attempts = %d, want 1", runErrs[0].Attempts)
+	}
+}
+
+func TestRunSeedsCtxPerRunTimeoutIsPermanent(t *testing.T) {
+	var calls atomic.Int64
+	rc := stubRunner(func(ctx context.Context, c Config, _ string) (Result, error) {
+		calls.Add(1)
+		<-ctx.Done() // simulate a run that overruns its deadline
+		return Result{}, ctx.Err()
+	})
+	rc.Retries = 4
+	rc.PerRunTimeout = 5 * time.Millisecond
+	_, runErrs, err := RunSeedsCtx(context.Background(), rc, fastConfig(), "", []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runErrs) != 1 || !errors.Is(runErrs[0], ErrPermanent) {
+		t.Fatalf("run errors = %v, want one permanent deadline failure", runErrs)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("deterministic overrun retried %d times, want 1", calls.Load())
+	}
+}
+
+func TestRunSeedsCtxCancellationPartialResultsNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	var started atomic.Int64
+	rc := stubRunner(func(ctx context.Context, c Config, _ string) (Result, error) {
+		if c.Seed < 4 {
+			return Result{Seed: c.Seed}, nil
+		}
+		// Later seeds block until canceled, like a long simulation.
+		started.Add(1)
+		select {
+		case <-release:
+			return Result{Seed: c.Seed}, nil
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+	})
+	rc.Workers = 2
+
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	done := make(chan struct{})
+	var sum Summary
+	var runErrs []*RunError
+	go func() {
+		defer close(done)
+		sum, runErrs, _ = RunSeedsCtx(ctx, rc, fastConfig(), "", seeds)
+	}()
+
+	// Wait until the blocking seeds occupy the pool, then kill the sweep.
+	deadline := time.After(5 * time.Second)
+	for started.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("workers never reached the blocking seeds")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunSeedsCtx did not return after cancellation")
+	}
+	close(release)
+
+	if len(sum.Runs) < 3 {
+		t.Fatalf("only %d completed results survived cancellation, want >= 3", len(sum.Runs))
+	}
+	if len(sum.Runs)+len(runErrs) != len(seeds) {
+		t.Fatalf("results (%d) + errors (%d) != seeds (%d)", len(sum.Runs), len(runErrs), len(seeds))
+	}
+	foundCancel := false
+	for _, re := range runErrs {
+		if errors.Is(re, context.Canceled) {
+			foundCancel = true
+		}
+	}
+	if !foundCancel {
+		t.Fatal("no RunError carries context.Canceled")
+	}
+
+	// No goroutine leak: the pool must drain completely.
+	var after int
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		after = runtime.NumGoroutine()
+		if after <= before+1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after > before+1 {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
+}
+
+func TestRunSeedsCtxRealSimulation(t *testing.T) {
+	// End-to-end: the hardened pool over the real RunCtx must reproduce
+	// the sequential RunSeeds result exactly.
+	cfg := fastConfig()
+	seeds := Seeds(5, 4)
+	want, err := RunSeeds(cfg, "PARA", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, runErrs, err := RunSeedsCtx(context.Background(), DefaultRunnerConfig(), cfg, "PARA", seeds)
+	if err != nil || len(runErrs) != 0 {
+		t.Fatalf("err=%v runErrs=%v", err, runErrs)
+	}
+	if got.Overhead.Mean() != want.Overhead.Mean() || got.TotalFlips != want.TotalFlips ||
+		got.ExtraActs != want.ExtraActs || got.TotalActs != want.TotalActs {
+		t.Fatalf("pooled summary diverged from sequential:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunSeedsCtxInvalidConfigPermanent(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Windows = -1
+	_, runErrs, err := RunSeedsCtx(context.Background(), DefaultRunnerConfig(), cfg, "PARA", []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runErrs) != 1 || !errors.Is(runErrs[0], ErrPermanent) {
+		t.Fatalf("invalid config produced %v, want one permanent RunError", runErrs)
+	}
+	if runErrs[0].Attempts != 1 {
+		t.Fatalf("invalid config attempted %d times, want 1", runErrs[0].Attempts)
+	}
+}
+
+func TestRunErrorUnwrap(t *testing.T) {
+	base := errors.New("boom")
+	re := &RunError{Seed: 9, Attempts: 2, Err: base}
+	if !errors.Is(re, base) {
+		t.Fatal("RunError does not unwrap to its cause")
+	}
+	if re.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

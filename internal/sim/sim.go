@@ -6,10 +6,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"tivapromi/internal/dram"
+	"tivapromi/internal/faults"
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register all techniques
@@ -81,8 +82,17 @@ type Config struct {
 	Seed uint64
 	// Factory, when non-nil, overrides the registry lookup — used by
 	// ablation studies to run techniques with non-default table sizes or
-	// probabilities.
-	Factory mitigation.Factory
+	// probabilities. It is excluded from checkpoint fingerprints; set
+	// FactoryLabel when a factory-driven sweep should be resumable.
+	Factory mitigation.Factory `json:"-"`
+	// FactoryLabel names a custom Factory for checkpoint fingerprinting.
+	// Configs with a Factory but no label are never served from a
+	// checkpoint (the runner cannot know two closures are equal).
+	FactoryLabel string
+	// Fault optionally injects hardware faults into the run (mitigation
+	// SRAM upsets, RNG degradation, command-path losses, weak cells).
+	// The zero value injects nothing.
+	Fault faults.Plan
 }
 
 // DefaultConfig returns the standard mixed-load-plus-attacker setup on the
@@ -100,7 +110,10 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration problems.
+// Validate reports configuration problems. Harness callers get errors,
+// not crashes: every path Run takes (policy selection, fault plan, device
+// geometry) is validated here, so invariant panics stay confined to leaf
+// packages.
 func (c Config) Validate() error {
 	if err := c.Params.Validate(); err != nil {
 		return err
@@ -110,11 +123,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: Windows = %d", c.Windows)
 	case c.AttackShare < 0 || c.AttackShare > 1:
 		return fmt.Errorf("sim: AttackShare = %v out of [0,1]", c.AttackShare)
+	case c.Policy < PolicyNeighbors || c.Policy > PolicyMaskedCounter:
+		return fmt.Errorf("sim: unknown policy %v", c.Policy)
 	}
 	for _, b := range c.AttackBanks {
 		if b < 0 || b >= c.Params.Banks {
 			return fmt.Errorf("sim: attack bank %d out of range", b)
 		}
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -129,18 +147,21 @@ func (c Config) Target() mitigation.Target {
 	}
 }
 
-func (c Config) policy(seed uint64) dram.RefreshPolicy {
+// policy builds the device refresh policy; unknown kinds are an error
+// (Validate rejects them before Run gets here, so harness callers never
+// see a panic for a bad policy value).
+func (c Config) policy(seed uint64) (dram.RefreshPolicy, error) {
 	switch c.Policy {
 	case PolicyNeighbors:
-		return dram.NewNeighborPolicy(c.Params)
+		return dram.NewNeighborPolicy(c.Params), nil
 	case PolicyRemapped:
-		return dram.NewRemappedPolicy(c.Params, 16, seed)
+		return dram.NewRemappedPolicy(c.Params, 16, seed), nil
 	case PolicyRandom:
-		return dram.NewRandomPolicy(c.Params, seed)
+		return dram.NewRandomPolicy(c.Params, seed), nil
 	case PolicyMaskedCounter:
-		return dram.NewMaskedCounterPolicy(c.Params, 0x155)
+		return dram.NewMaskedCounterPolicy(c.Params, 0x155), nil
 	default:
-		panic(fmt.Sprintf("sim: unknown policy %v", c.Policy))
+		return nil, fmt.Errorf("sim: unknown policy %v", c.Policy)
 	}
 }
 
@@ -170,17 +191,33 @@ type Result struct {
 
 	AvgActsPerInterval float64
 	MaxActsPerInterval uint64
+
+	// Fault observability (zero without an active fault plan).
+	InjectedFaults uint64 // applied mitigation-state upsets
+	DroppedCmds    uint64 // mitigation commands lost on the command path
+	DelayedCmds    uint64 // mitigation commands served one interval late
 }
 
 // Run executes one simulation of `technique` (a registry name, or "" for
 // an unprotected system).
 func Run(cfg Config, technique string) (Result, error) {
+	return RunCtx(context.Background(), cfg, technique)
+}
+
+// RunCtx is Run with cooperative cancellation: the simulation polls ctx
+// between batches of accesses and returns ctx.Err() when cut short, so a
+// seed sweep can be abandoned mid-run without leaking work.
+func RunCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, permanent(err)
 	}
-	dev, err := dram.New(cfg.Params, cfg.policy(cfg.Seed))
+	pol, err := cfg.policy(cfg.Seed)
 	if err != nil {
-		return Result{}, err
+		return Result{}, permanent(err)
+	}
+	dev, err := dram.New(cfg.Params, pol)
+	if err != nil {
+		return Result{}, permanent(err)
 	}
 	if cfg.RemapSwaps > 0 {
 		if err := dev.SetRowRemap(remapPerm(cfg.Params.RowsPerBank, cfg.RemapSwaps, cfg.Seed)); err != nil {
@@ -194,14 +231,29 @@ func Run(cfg Config, technique string) (Result, error) {
 	} else if technique != "" {
 		factory, err := mitigation.Lookup(technique)
 		if err != nil {
-			return Result{}, err
+			return Result{}, permanent(err)
 		}
 		mit = factory(cfg.Target(), cfg.Seed)
 	}
+
+	// Fault plan: derive a per-seed campaign so every seed of a sweep
+	// sees an independent but reproducible fault stream.
+	plan := cfg.Fault
+	plan.Seed = cfg.Fault.Seed ^ (cfg.Seed * 0x9e3779b97f4a7c15)
+	var harness *faults.Harness
+	if plan.Active() && mit != nil {
+		harness = faults.Wrap(mit, plan)
+		mit = harness
+	}
+
 	ctl, err := memctrl.New(memctrl.DefaultConfig(), dev, mit)
 	if err != nil {
 		return Result{}, err
 	}
+	if f := faults.CommandFilter(plan); f != nil {
+		ctl.SetCommandFilter(f)
+	}
+	weaken := faults.WeakCellInjector(plan, dev)
 
 	// Traffic: the SPEC-like mix plus (optionally) the attacker.
 	st, err := newStream(cfg)
@@ -234,7 +286,17 @@ func Run(cfg Config, technique string) (Result, error) {
 		}
 	})
 
-	ctl.RunIntervals(cfg.Windows*cfg.Params.RefInt, st.next)
+	next := st.next
+	if weaken != nil {
+		inner := next
+		next = func() (int, int, bool) {
+			weaken()
+			return inner()
+		}
+	}
+	if err := ctl.RunIntervalsCtx(ctx, cfg.Windows*cfg.Params.RefInt, next); err != nil {
+		return Result{}, err
+	}
 
 	ds := dev.Stats()
 	cs := ctl.Stats()
@@ -251,6 +313,11 @@ func Run(cfg Config, technique string) (Result, error) {
 	}
 	res.AvgActsPerInterval = ds.AvgActsPerInterval()
 	res.MaxActsPerInterval = ds.MaxActsInIntv
+	if harness != nil {
+		res.InjectedFaults = harness.Injected
+	}
+	res.DroppedCmds = cs.DroppedCmds
+	res.DelayedCmds = cs.DelayedCmds
 	return res, nil
 }
 
@@ -334,30 +401,18 @@ type Summary struct {
 	TotalActs   uint64
 	ExtraActs   uint64
 	MaxActsIntv uint64
+	// Fault observability totals (zero without an active fault plan).
+	InjectedFaults uint64
+	DroppedCmds    uint64
+	DelayedCmds    uint64
 }
 
-// RunSeeds executes Run for every seed (in parallel) and aggregates.
-func RunSeeds(cfg Config, technique string, seeds []uint64) (Summary, error) {
-	if len(seeds) == 0 {
-		return Summary{}, fmt.Errorf("sim: no seeds")
-	}
-	results := make([]Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	for i, seed := range seeds {
-		wg.Add(1)
-		go func(i int, seed uint64) {
-			defer wg.Done()
-			c := cfg
-			c.Seed = seed
-			results[i], errs[i] = Run(c, technique)
-		}(i, seed)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Summary{}, err
-		}
+// Summarize aggregates per-seed results into a Summary. The aggregation
+// order is the slice order, so re-aggregating checkpointed results
+// reproduces the original summary bit-for-bit.
+func Summarize(results []Result) Summary {
+	if len(results) == 0 {
+		return Summary{}
 	}
 	s := Summary{Technique: results[0].Technique, Runs: results}
 	for _, r := range results {
@@ -370,8 +425,25 @@ func RunSeeds(cfg Config, technique string, seeds []uint64) (Summary, error) {
 		if r.MaxActsPerInterval > s.MaxActsIntv {
 			s.MaxActsIntv = r.MaxActsPerInterval
 		}
+		s.InjectedFaults += r.InjectedFaults
+		s.DroppedCmds += r.DroppedCmds
+		s.DelayedCmds += r.DelayedCmds
 	}
-	return s, nil
+	return s
+}
+
+// RunSeeds executes Run for every seed (in a bounded worker pool) and
+// aggregates. It fails on the first per-seed error; use RunSeedsCtx for
+// partial results, cancellation, deadlines and retries.
+func RunSeeds(cfg Config, technique string, seeds []uint64) (Summary, error) {
+	sum, runErrs, err := RunSeedsCtx(context.Background(), DefaultRunnerConfig(), cfg, technique, seeds)
+	if err != nil {
+		return Summary{}, err
+	}
+	if len(runErrs) > 0 {
+		return Summary{}, runErrs[0]
+	}
+	return sum, nil
 }
 
 // Seeds returns n deterministic seeds derived from base.

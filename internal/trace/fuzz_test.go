@@ -38,3 +38,89 @@ func FuzzReader(f *testing.F) {
 		t.Fatal("reader produced a million events from fuzz input")
 	})
 }
+
+// FuzzCorruptedTrace is the write→mutate→read corruption target: it
+// builds a valid trace from fuzzed event parameters, flips one byte at a
+// fuzzed position, and replays. The reader must either return an error
+// (an ErrCorrupt with a sane offset, or a clean decode failure) or
+// deliver a valid prefix of well-formed events — never panic, never emit
+// an event outside the header geometry.
+func FuzzCorruptedTrace(f *testing.F) {
+	f.Add(uint16(7), uint8(12), uint32(9), byte(0x01))
+	f.Add(uint16(0), uint8(0), uint32(0), byte(0x80))
+	f.Add(uint16(999), uint8(200), uint32(5), byte(0xff))
+
+	f.Fuzz(func(t *testing.T, pos uint16, nEvents uint8, evSeed uint32, flip byte) {
+		if flip == 0 {
+			flip = 1 // guarantee a real mutation
+		}
+		h := Header{Banks: 4, RowsPerBank: 1024, RefInt: 64}
+
+		// Write a valid trace from the fuzzed parameters.
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := uint64(evSeed) | 1
+		for i := 0; i < int(nEvents); i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			switch s % 4 {
+			case 0:
+				if err := w.WriteIntervalEnd(); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				bank := int((s >> 8) % uint64(h.Banks))
+				row := int((s >> 16) % uint64(h.RowsPerBank))
+				if err := w.WriteAct(bank, row); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Mutate exactly one byte.
+		data := append([]byte(nil), buf.Bytes()...)
+		data[int(pos)%len(data)] ^= flip
+
+		// Replay: error or valid prefix, never a panic.
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		got := r.Header()
+		if got.Validate() != nil {
+			t.Fatalf("reader accepted invalid header %+v", got)
+		}
+		// Every event consumes at least one byte, so a valid prefix can
+		// never hold more events than the stream has bytes (a single flip
+		// can split a multi-byte act into several one-byte records).
+		for i := 0; i <= len(data); i++ {
+			ev, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				// Corruption must be typed and positioned when it is
+				// data damage rather than an I/O failure.
+				var ce *CorruptError
+				if errors.As(err, &ce) {
+					if !errors.Is(err, ErrCorrupt) {
+						t.Fatal("CorruptError does not match ErrCorrupt")
+					}
+					if ce.Offset < 0 || ce.Offset > int64(len(data)) {
+						t.Fatalf("corruption offset %d outside [0, %d]", ce.Offset, len(data))
+					}
+				}
+				return
+			}
+			if ev.Kind == KindAct && (ev.Bank < 0 || ev.Bank >= got.Banks || ev.Row < 0 || ev.Row >= got.RowsPerBank) {
+				t.Fatalf("event %+v outside geometry %+v", ev, got)
+			}
+		}
+		t.Fatal("reader produced more events than were written")
+	})
+}

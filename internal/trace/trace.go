@@ -19,6 +19,57 @@ import (
 // magic identifies trace files; the trailing digit is the format version.
 const magic = "TVPM1"
 
+// Geometry ceilings for header validation. A trace header is attacker
+// input (the corruption fuzz target mutates it freely), and downstream
+// consumers size allocations from it — Analyze builds per-bank arrays,
+// replay harnesses build per-row state. The caps bound those allocations
+// while comfortably exceeding the paper-scale device (16 banks, 131072
+// rows/bank, 8192 intervals/window).
+const (
+	// MaxBanks caps Header.Banks.
+	MaxBanks = 1 << 16
+	// MaxRowsPerBank caps Header.RowsPerBank.
+	MaxRowsPerBank = 1 << 28
+	// MaxRefInt caps Header.RefInt.
+	MaxRefInt = 1 << 24
+)
+
+// ErrCorrupt marks data-dependent read failures: a damaged magic or
+// header, an event outside the declared geometry, an unknown event kind,
+// or a record cut off mid-encoding. errors.Is(err, ErrCorrupt) reports
+// whether a failure is corruption (retrying or re-parsing cannot fix it)
+// as opposed to an I/O error from the underlying reader.
+var ErrCorrupt = errors.New("trace: corrupt")
+
+// CorruptError carries the byte offset and reason of a corruption. It
+// matches ErrCorrupt via errors.Is and exposes any underlying cause (for
+// a truncated record, io.ErrUnexpectedEOF) to errors.Is/As.
+type CorruptError struct {
+	// Offset is the stream position (bytes from the start of the trace,
+	// magic included) at which the corruption was detected.
+	Offset int64
+	// Reason describes what was wrong.
+	Reason string
+	// Err is the underlying cause, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("trace: corrupt at byte %d: %s: %v", e.Offset, e.Reason, e.Err)
+	}
+	return fmt.Sprintf("trace: corrupt at byte %d: %s", e.Offset, e.Reason)
+}
+
+// Unwrap exposes ErrCorrupt and the cause to errors.Is/As.
+func (e *CorruptError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{ErrCorrupt, e.Err}
+	}
+	return []error{ErrCorrupt}
+}
+
 // EventKind discriminates trace events.
 type EventKind uint8
 
@@ -45,10 +96,16 @@ type Header struct {
 	RefInt      int
 }
 
-// Validate reports malformed headers.
+// Validate reports malformed headers. Besides positivity it enforces the
+// Max* geometry ceilings, so a corrupted or hostile header cannot commit
+// downstream consumers to absurd allocations.
 func (h Header) Validate() error {
 	if h.Banks <= 0 || h.RowsPerBank <= 0 || h.RefInt <= 0 {
 		return fmt.Errorf("trace: invalid header %+v", h)
+	}
+	if h.Banks > MaxBanks || h.RowsPerBank > MaxRowsPerBank || h.RefInt > MaxRefInt {
+		return fmt.Errorf("trace: header %+v exceeds geometry caps (%d banks, %d rows/bank, %d intervals)",
+			h, MaxBanks, MaxRowsPerBank, MaxRefInt)
 	}
 	return nil
 }
@@ -109,32 +166,54 @@ func (tw *Writer) Events() uint64 { return tw.n }
 func (tw *Writer) Flush() error { return tw.w.Flush() }
 
 // Reader streams events back. Next returns io.EOF at the end of the
-// trace.
+// trace; any damage in the stream surfaces as a *CorruptError matching
+// ErrCorrupt, with the byte offset of the failure.
 type Reader struct {
 	r      *bufio.Reader
 	header Header
+	off    int64 // bytes consumed from the start of the trace
 }
 
-// NewReader validates the magic, reads the header, and returns a Reader.
+// ReadByte implements io.ByteReader with offset accounting; varint
+// decoding goes through it so CorruptError offsets are exact.
+func (tr *Reader) ReadByte() (byte, error) {
+	b, err := tr.r.ReadByte()
+	if err == nil {
+		tr.off++
+	}
+	return b, err
+}
+
+// corrupt builds a positioned corruption error.
+func (tr *Reader) corrupt(reason string, cause error) error {
+	return &CorruptError{Offset: tr.off, Reason: reason, Err: cause}
+}
+
+// NewReader validates the magic, reads the header (enforcing the
+// geometry caps), and returns a Reader.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	tr := &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 	got := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, got); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	n, err := io.ReadFull(tr.r, got)
+	tr.off += int64(n)
+	if err != nil {
+		return nil, tr.corrupt("reading magic", unexpected(err))
 	}
 	if string(got) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q (want %q)", got, magic)
+		return nil, tr.corrupt(fmt.Sprintf("bad magic %q (want %q)", got, magic), nil)
 	}
-	tr := &Reader{r: br}
 	for _, dst := range []*int{&tr.header.Banks, &tr.header.RowsPerBank, &tr.header.RefInt} {
-		v, err := binary.ReadUvarint(br)
+		v, err := binary.ReadUvarint(tr)
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading header: %w", err)
+			return nil, tr.corrupt("reading header", unexpected(err))
+		}
+		if v > MaxRowsPerBank { // widest cap; Validate tightens per field
+			return nil, tr.corrupt(fmt.Sprintf("header value %d exceeds geometry caps", v), nil)
 		}
 		*dst = int(v)
 	}
 	if err := tr.header.Validate(); err != nil {
-		return nil, err
+		return nil, tr.corrupt(err.Error(), nil)
 	}
 	return tr, nil
 }
@@ -142,10 +221,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the trace's device description.
 func (tr *Reader) Header() Header { return tr.header }
 
+// Offset returns the number of bytes consumed so far.
+func (tr *Reader) Offset() int64 { return tr.off }
+
 // Next returns the next event, or io.EOF cleanly at the trace's end. A
-// truncated trace yields io.ErrUnexpectedEOF.
+// trace truncated mid-record yields a CorruptError wrapping
+// io.ErrUnexpectedEOF; any other damage yields a CorruptError with the
+// offending offset. I/O errors from the underlying reader pass through
+// unwrapped.
 func (tr *Reader) Next() (Event, error) {
-	kind, err := tr.r.ReadByte()
+	kind, err := tr.ReadByte()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
 			return Event{}, io.EOF
@@ -156,23 +241,24 @@ func (tr *Reader) Next() (Event, error) {
 	case KindIntervalEnd:
 		return Event{Kind: KindIntervalEnd}, nil
 	case KindAct:
-		bank, err := binary.ReadUvarint(tr.r)
+		bank, err := binary.ReadUvarint(tr)
 		if err != nil {
-			return Event{}, unexpected(err)
+			return Event{}, tr.corrupt("reading act bank", unexpected(err))
 		}
-		row, err := binary.ReadUvarint(tr.r)
+		row, err := binary.ReadUvarint(tr)
 		if err != nil {
-			return Event{}, unexpected(err)
+			return Event{}, tr.corrupt("reading act row", unexpected(err))
 		}
-		if int(bank) >= tr.header.Banks || int(row) >= tr.header.RowsPerBank {
-			return Event{}, fmt.Errorf("trace: event (b%d, r%d) outside header geometry", bank, row)
+		if bank >= uint64(tr.header.Banks) || row >= uint64(tr.header.RowsPerBank) {
+			return Event{}, tr.corrupt(fmt.Sprintf("event (b%d, r%d) outside header geometry", bank, row), nil)
 		}
 		return Event{Kind: KindAct, Bank: int(bank), Row: int(row)}, nil
 	default:
-		return Event{}, fmt.Errorf("trace: unknown event kind %d", kind)
+		return Event{}, tr.corrupt(fmt.Sprintf("unknown event kind %d", kind), nil)
 	}
 }
 
+// unexpected maps a mid-record EOF to io.ErrUnexpectedEOF.
 func unexpected(err error) error {
 	if errors.Is(err, io.EOF) {
 		return io.ErrUnexpectedEOF

@@ -31,8 +31,11 @@
 package tivapromi
 
 import (
+	"context"
+
 	"tivapromi/internal/core"
 	"tivapromi/internal/dram"
+	"tivapromi/internal/faults"
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register every technique
@@ -88,6 +91,41 @@ type (
 	Workload = workload.Generator
 	// Attacker is the cache-flush Row-Hammer attacker.
 	Attacker = workload.Attacker
+)
+
+// Hardened-runner and fault-injection types.
+type (
+	// RunnerConfig tunes the hardened seed-sweep pool (workers, per-run
+	// deadline, retries).
+	RunnerConfig = sim.RunnerConfig
+	// Runner combines the hardened pool with an optional checkpoint.
+	Runner = sim.Runner
+	// Checkpoint is the JSON store behind resumable sweeps.
+	Checkpoint = sim.Checkpoint
+	// RunError records one seed's failure inside a sweep.
+	RunError = sim.RunError
+	// FaultModel identifies one hardware fault mechanism.
+	FaultModel = faults.Model
+	// FaultPlan describes one fault campaign (model, rate, seed).
+	FaultPlan = faults.Plan
+	// FaultHarness wraps a Mitigator with seed-driven fault injection.
+	FaultHarness = faults.Harness
+	// FaultPoint is one cell of a degradation table.
+	FaultPoint = sim.FaultPoint
+	// FaultSweepConfig describes a techniques × models × rates campaign.
+	FaultSweepConfig = sim.FaultSweepConfig
+)
+
+// Fault models (see internal/faults for the scenario each one realizes).
+const (
+	FaultNone        = faults.None
+	FaultStateSEU    = faults.StateSEU
+	FaultStuckRNG    = faults.StuckRNG
+	FaultBiasedRNG   = faults.BiasedRNG
+	FaultPeriodicRNG = faults.PeriodicRNG
+	FaultDropActN    = faults.DropActN
+	FaultDelayActN   = faults.DelayActN
+	FaultWeakCells   = faults.WeakCells
 )
 
 // TiVaPRoMi variants.
@@ -186,6 +224,39 @@ func RunSimulation(cfg SimConfig, technique string) (SimResult, error) {
 // mean ± stddev.
 func RunSeeds(cfg SimConfig, technique string, seeds []uint64) (SimSummary, error) {
 	return sim.RunSeeds(cfg, technique, seeds)
+}
+
+// RunSeedsCtx is the hardened sweep: bounded worker pool, panic
+// recovery, retries, per-run deadlines, and partial results under
+// cancellation. Per-seed failures are returned alongside the summary of
+// the seeds that completed.
+func RunSeedsCtx(ctx context.Context, rc RunnerConfig, cfg SimConfig, technique string, seeds []uint64) (SimSummary, []*RunError, error) {
+	return sim.RunSeedsCtx(ctx, rc, cfg, technique, seeds)
+}
+
+// DefaultRunnerConfig returns the standard hardened-pool sizing.
+func DefaultRunnerConfig() RunnerConfig { return sim.DefaultRunnerConfig() }
+
+// LoadCheckpoint opens or creates a resumable-sweep checkpoint; assign
+// it to a Runner to make killed sweeps continue where they stopped.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return sim.LoadCheckpoint(path) }
+
+// NewRunner returns a hardened sweep runner with default pool sizing and
+// no checkpoint.
+func NewRunner() *Runner { return sim.NewRunner() }
+
+// WrapWithFaults wraps a mitigation with a seed-driven fault-injection
+// harness realizing the plan's state and RNG faults (see SimConfig.Fault
+// to run whole fault campaigns through the harness instead).
+func WrapWithFaults(m Mitigator, plan FaultPlan) *FaultHarness { return faults.Wrap(m, plan) }
+
+// FaultModels returns every injecting fault model in presentation order.
+func FaultModels() []FaultModel { return faults.Models() }
+
+// FaultSweep runs a techniques × models × rates degradation campaign
+// under the hardened runner (nil for defaults).
+func FaultSweep(ctx context.Context, r *Runner, sc FaultSweepConfig) ([]FaultPoint, error) {
+	return sim.FaultSweep(ctx, r, sc)
 }
 
 // Seeds returns n deterministic seeds derived from base.

@@ -1,6 +1,8 @@
 package tivapromi
 
 import (
+	"context"
+	"path/filepath"
 	"testing"
 )
 
@@ -112,5 +114,63 @@ func TestFacadeWorkloadAndAttacker(t *testing.T) {
 	}
 	if att.Next().Bank != 0 {
 		t.Fatal("attacker missed its bank")
+	}
+}
+
+func TestFacadeHardenedRunnerAndFaults(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Windows = 1
+
+	// Hardened sweep through the façade.
+	sum, runErrs, err := RunSeedsCtx(context.Background(), DefaultRunnerConfig(), cfg, "PARA", Seeds(1, 2))
+	if err != nil || len(runErrs) != 0 {
+		t.Fatalf("err=%v runErrs=%v", err, runErrs)
+	}
+	if len(sum.Runs) != 2 {
+		t.Fatalf("completed %d runs, want 2", len(sum.Runs))
+	}
+
+	// Fault campaign through SimConfig.Fault: the Loaded Dice case —
+	// PARA with a stuck LFSR loses its protection entirely.
+	cfg.Fault = FaultPlan{Model: FaultStuckRNG, Rate: 1, Seed: 3}
+	res, err := RunSimulation(cfg, "PARA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtraActs != 0 {
+		t.Fatalf("stuck-RNG PARA still issued %d maintenance commands", res.ExtraActs)
+	}
+
+	// Checkpointed runner through the façade.
+	ck, err := LoadCheckpoint(filepath.Join(t.TempDir(), "ck.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	r.Checkpoint = ck
+	cfg.Fault = FaultPlan{}
+	a, _, err := r.RunSeeds(context.Background(), cfg, "PARA", Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.RunSeeds(context.Background(), cfg, "PARA", Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Overhead.Mean() != b.Overhead.Mean() || a.TotalFlips != b.TotalFlips {
+		t.Fatal("checkpointed re-run diverged")
+	}
+
+	// Harness wrap + fault model enumeration.
+	m, err := NewMitigation("LoLiPRoMi", Target{Banks: 2, RowsPerBank: 1024, RefInt: 512, FlipThreshold: 4096}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := WrapWithFaults(m, FaultPlan{Model: FaultStateSEU, Rate: 0.5, Seed: 9})
+	if h.Name() != m.Name() {
+		t.Fatal("harness does not delegate Name")
+	}
+	if len(FaultModels()) < 4 {
+		t.Fatalf("%d fault models, want >= 4", len(FaultModels()))
 	}
 }
