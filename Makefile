@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench experiments examples fig4 clean
+.PHONY: all build vet test test-short race check bench bench-campaign experiments examples fig4 clean
 
 all: build vet test
 
@@ -18,16 +18,22 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detect the concurrent machinery: the hardened seed-sweep runner
-# and the fault-injection framework it drives.
+# Race-detect the concurrent machinery: the hardened seed-sweep runner,
+# the fault-injection framework it drives, and the campaign scheduler.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/...
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/...
 
 # The full pre-merge gate: build, vet, tests, race tests.
 check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Serial-vs-parallel campaign timing: runs the whole evaluation at
+# -workers 1 and -workers N, verifies the bytes match, and writes
+# BENCH_campaign.json (sections, wall-clock, speedup).
+bench-campaign:
+	$(GO) run ./cmd/experiments -seeds 2 -windows 2 -trials 5 bench
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

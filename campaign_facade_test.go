@@ -1,0 +1,53 @@
+package tivapromi
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunCampaignFacade drives the campaign engine through the façade:
+// one sweep cell and one probe cell, merged from two studies.
+func TestRunCampaignFacade(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Windows = 1
+
+	var sweep Campaign
+	sweep.Name = "sweep-study"
+	sweep.AddSweep("sweep/PARA", cfg, "PARA", Seeds(1, 2))
+
+	var probe Campaign
+	probe.Name = "probe-study"
+	probe.AddProbe("probe/const",
+		func() any { return new(int) },
+		func(ctx context.Context, v any) error { *v.(*int) = 7; return nil })
+
+	var events int
+	merged := MergeCampaigns("merged", sweep, probe)
+	rs, err := RunCampaign(context.Background(), merged, CampaignOptions{
+		Workers:    2,
+		OnProgress: func(CampaignProgress) { events++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 {
+		t.Fatalf("got %d progress events, want 2", events)
+	}
+	sum, err := rs.Summary("sweep/PARA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Runs) != 2 {
+		t.Fatalf("sweep aggregated %d runs, want 2", len(sum.Runs))
+	}
+	v, err := rs.Value("probe/const")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *v.(*int) != 7 {
+		t.Fatalf("probe value = %d, want 7", *v.(*int))
+	}
+}

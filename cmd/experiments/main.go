@@ -13,7 +13,15 @@
 //	experiments latency          — request latency through the cycle-accurate scheduler
 //	experiments thresholds       — flood-survival margins at modern flip thresholds
 //	experiments faults           — degradation table: every mitigation under injected faults
-//	experiments all              — everything above
+//	experiments all              — everything above, as one merged campaign
+//	experiments bench            — run `all` at -workers 1 and -workers N,
+//	                               verify byte-identical output, write timings
+//
+// Every section is a campaign.Spec in the report.Sections registry; this
+// command only merges the selected specs, runs them through the campaign
+// scheduler (all sections' cells in parallel under one worker bound) and
+// renders the results in section order — so the output is byte-identical
+// whatever -workers says.
 //
 // Flags:
 //
@@ -23,33 +31,35 @@
 //	-paper            use the full Table I scale (slow) for the simulations
 //	-csv              also print Fig. 4 as CSV
 //	-svg PATH         also write Fig. 4 as an SVG file
-//	-checkpoint PATH  persist per-seed results (and finished sections) to a
-//	                  JSON checkpoint; a killed run re-uses them on restart
+//	-checkpoint PATH  persist per-seed and per-probe results (and finished
+//	                  sections) to a JSON checkpoint; a killed run re-uses
+//	                  them on restart
 //	-resume           with -checkpoint: also replay fully finished sections
 //	                  from the checkpoint instead of recomputing them
-//	-workers N        bound the seed-sweep worker pool (default GOMAXPROCS)
+//	-workers N        bound the campaign's concurrent simulations (default
+//	                  GOMAXPROCS)
 //	-timeout D        per-run deadline for one simulation (0 = none)
+//	-progress         stream per-cell progress and ETA to stderr
+//	-bench-out PATH   where `bench` writes its JSON report (default
+//	                  BENCH_campaign.json)
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"time"
 
+	"tivapromi/internal/campaign"
 	"tivapromi/internal/dram"
-	"tivapromi/internal/faults"
-	"tivapromi/internal/fsm"
-	"tivapromi/internal/hwmodel"
-	"tivapromi/internal/memctrl"
-	"tivapromi/internal/mitigation"
 	"tivapromi/internal/report"
-	"tivapromi/internal/rng"
 	"tivapromi/internal/sim"
-	"tivapromi/internal/workload"
 )
 
 var (
@@ -59,24 +69,212 @@ var (
 	paper    = flag.Bool("paper", false, "full Table I scale (slow)")
 	csvOut   = flag.Bool("csv", false, "print Fig. 4 as CSV too")
 	svgOut   = flag.String("svg", "", "also write Fig. 4 as an SVG file at this path")
-	ckptPath = flag.String("checkpoint", "", "JSON checkpoint path for resumable sweeps")
+	ckptPath = flag.String("checkpoint", "", "JSON checkpoint path for resumable campaigns")
 	resume   = flag.Bool("resume", false, "with -checkpoint: replay finished sections from the checkpoint")
-	workers  = flag.Int("workers", 0, "seed-sweep worker pool size (0 = GOMAXPROCS)")
+	workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	timeout  = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
+	progress = flag.Bool("progress", false, "stream per-cell progress to stderr")
+	benchOut = flag.String("bench-out", "BENCH_campaign.json", "bench: JSON report path")
 )
 
-// out is the destination of every section's rendered output. Section
-// checkpointing swaps it for a buffer so the exact bytes can be cached
-// and replayed.
-var out io.Writer = os.Stdout
+// app binds one evaluation's knobs to its outputs. Tests construct it
+// directly; main builds it from the flags.
+type app struct {
+	ev       campaign.Eval
+	csv      bool
+	svgPath  string
+	resume   bool
+	workers  int
+	runner   *sim.Runner
+	stdout   io.Writer
+	progress io.Writer // nil: no progress events
+}
 
-// runner executes every seed sweep: hardened pool, optional per-run
-// deadline, optional checkpoint.
-var runner = sim.NewRunner()
+// sectionNames returns the registry's section names in paper order.
+func sectionNames() []string {
+	defs := report.Sections()
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
 
-// ctx carries Ctrl-C: a canceled run flushes partial results to the
-// checkpoint and exits cleanly instead of losing the sweep.
-var ctx = context.Background()
+// runSections executes the named sections as ONE merged campaign —
+// every cell of every section schedules in parallel under the shared
+// worker bound — then renders each section in order from the result
+// set, so the bytes match a serial run exactly.
+func (a *app) runSections(ctx context.Context, names []string) error {
+	type pending struct {
+		def    report.SectionDef
+		replay string // non-empty: cached output to replay verbatim
+	}
+	ck := a.runner.Checkpoint
+	var sections []pending
+	var specs []campaign.Spec
+	for _, name := range names {
+		def, ok := report.Section(name)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		p := pending{def: def}
+		if a.resume {
+			if text, ok := ck.Output(name); ok {
+				p.replay = text
+				sections = append(sections, p)
+				continue
+			}
+		}
+		specs = append(specs, def.Spec(a.ev))
+		sections = append(sections, p)
+	}
+
+	merged := campaign.Merge("evaluation", specs...)
+	rs, err := campaign.Run(ctx, merged, campaign.Options{
+		Workers:    a.workers,
+		Runner:     a.runner,
+		OnProgress: a.onProgress(),
+	})
+	if err != nil {
+		return err
+	}
+
+	rc := &report.Context{Eval: a.ev, Results: rs, CSV: a.csv, SVGPath: a.svgPath}
+	for i, p := range sections {
+		if p.replay != "" {
+			if _, err := io.WriteString(a.stdout, p.replay); err != nil {
+				return err
+			}
+		} else if err := a.renderSection(p.def, rc); err != nil {
+			return err
+		}
+		if len(sections) > 1 || i < len(sections)-1 {
+			fmt.Fprintln(a.stdout)
+		}
+	}
+	return nil
+}
+
+// renderSection renders one section with output-level checkpointing:
+// when a checkpoint is armed the rendered bytes are stored, and a later
+// -resume replays them verbatim — byte-identical tables without
+// recomputation. Failed sections are not cached; their cells still are,
+// via the campaign's checkpoint, so the retry is cheap.
+func (a *app) renderSection(def report.SectionDef, rc *report.Context) error {
+	ck := a.runner.Checkpoint
+	if ck == nil {
+		return def.Render(a.stdout, rc)
+	}
+	var buf bytes.Buffer
+	if err := def.Render(io.MultiWriter(a.stdout, &buf), rc); err != nil {
+		return err
+	}
+	return ck.PutOutput(def.Name, buf.String())
+}
+
+// onProgress returns the campaign progress sink (nil when -progress is
+// off). Events go to a side channel, never stdout, so the rendered
+// tables stay byte-identical with and without it.
+func (a *app) onProgress() func(campaign.Progress) {
+	if a.progress == nil {
+		return nil
+	}
+	w := a.progress
+	return func(p campaign.Progress) {
+		state := ""
+		if p.Cached {
+			state = " (cached)"
+		}
+		if p.Err != nil {
+			state = " (failed: " + p.Err.Error() + ")"
+		}
+		eta := ""
+		if p.ETA > 0 {
+			eta = fmt.Sprintf(" eta %s", p.ETA.Round(time.Second))
+		}
+		fmt.Fprintf(w, "campaign: [%d/%d] %s %s%s%s\n",
+			p.Done, p.Total, p.Cell, p.CellElapsed.Round(time.Millisecond), state, eta)
+	}
+}
+
+// benchReport is the JSON document `experiments bench` writes: the
+// wall-clock of the full evaluation at one worker versus N, and whether
+// the outputs matched byte for byte.
+type benchReport struct {
+	Sections        int     `json:"sections"`
+	Cells           int     `json:"cells"`
+	Seeds           int     `json:"seeds"`
+	Windows         int     `json:"windows"`
+	Trials          int     `json:"trials"`
+	CPUs            int     `json:"cpus"`
+	WorkersParallel int     `json:"workers_parallel"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+}
+
+// bench runs the whole evaluation twice — serial and parallel — with no
+// checkpoint (so both runs really compute), verifies the outputs are
+// byte-identical, and writes the timing report.
+func (a *app) bench(ctx context.Context, path string) error {
+	names := sectionNames()
+	par := a.workers
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	run := func(workers int) (string, time.Duration, error) {
+		var buf bytes.Buffer
+		b := *a
+		b.stdout = &buf
+		b.workers = workers
+		b.runner = &sim.Runner{Config: a.runner.Config} // no checkpoint
+		b.resume = false
+		start := time.Now()
+		err := b.runSections(ctx, names)
+		return buf.String(), time.Since(start), err
+	}
+	serialOut, serialDur, err := run(1)
+	if err != nil {
+		return err
+	}
+	parOut, parDur, err := run(par)
+	if err != nil {
+		return err
+	}
+
+	var specs []campaign.Spec
+	for _, name := range names {
+		def, _ := report.Section(name)
+		specs = append(specs, def.Spec(a.ev))
+	}
+	rep := benchReport{
+		Sections:        len(names),
+		Cells:           len(campaign.Merge("evaluation", specs...).Cells),
+		Seeds:           a.ev.SeedsPerPoint,
+		Windows:         a.ev.Base.Windows,
+		Trials:          a.ev.Trials,
+		CPUs:            runtime.NumCPU(),
+		WorkersParallel: par,
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelSeconds: parDur.Seconds(),
+		Speedup:         serialDur.Seconds() / parDur.Seconds(),
+		Identical:       serialOut == parOut,
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(a.stdout, "bench: %d cells, serial %.1fs, parallel(%d) %.1fs, speedup %.2fx, identical %v — wrote %s\n",
+		rep.Cells, rep.SerialSeconds, par, rep.ParallelSeconds, rep.Speedup, rep.Identical, path)
+	if !rep.Identical {
+		return fmt.Errorf("bench: serial and parallel outputs differ")
+	}
+	return nil
+}
 
 func main() {
 	flag.Parse()
@@ -85,6 +283,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	ev := campaign.DefaultEval()
+	ev.Base.Windows = *windows
+	if *paper {
+		ev.Base.Params = dram.PaperParams()
+	}
+	ev.SeedsPerPoint = *seeds
+	ev.Trials = *trials
+
+	runner := sim.NewRunner()
 	runner.Config.Workers = *workers
 	runner.Config.PerRunTimeout = *timeout
 	if *ckptPath != "" {
@@ -96,615 +304,45 @@ func main() {
 	} else if *resume {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
-	var stop context.CancelFunc
-	ctx, stop = signal.NotifyContext(ctx, os.Interrupt)
+
+	a := &app{
+		ev:      ev,
+		csv:     *csvOut,
+		svgPath: *svgOut,
+		resume:  *resume,
+		workers: *workers,
+		runner:  runner,
+		stdout:  os.Stdout,
+	}
+	if *progress {
+		a.progress = os.Stderr
+	}
+
+	// Ctrl-C cancels the campaign; completed cells are already in the
+	// checkpoint, so the re-run is cheap.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	run := map[string]func() error{
-		"table1":          table1,
-		"table2":          table2,
-		"table3":          table3,
-		"fig4":            fig4,
-		"flooding":        flooding,
-		"refreshpolicies": refreshPolicies,
-		"aggressors":      aggressors,
-		"ablation":        ablation,
-		"extensions":      extensions,
-		"latency":         latency,
-		"thresholds":      thresholds,
-		"faults":          faultsTable,
-	}
-	if cmd == "all" {
-		for _, name := range []string{"table1", "table2", "table3", "fig4",
-			"flooding", "refreshpolicies", "aggressors", "ablation", "extensions",
-			"latency", "thresholds", "faults"} {
-			if err := section(name, run[name]); err != nil {
-				fatal(err)
-			}
-			fmt.Println()
+	var err error
+	switch cmd {
+	case "all":
+		err = a.runSections(ctx, sectionNames())
+	case "bench":
+		err = a.bench(ctx, *benchOut)
+	default:
+		if _, ok := report.Section(cmd); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
+			flag.Usage()
+			os.Exit(2)
 		}
-		return
+		err = a.runSections(ctx, []string{cmd})
 	}
-	fn, ok := run[cmd]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := section(cmd, fn); err != nil {
+	if err != nil {
 		fatal(err)
 	}
-}
-
-// section runs one experiment with output-level checkpointing: when a
-// checkpoint is armed the rendered bytes are captured and stored, and
-// with -resume a previously finished section is replayed verbatim —
-// byte-identical tables without recomputation. Sections that fail (or
-// are interrupted) are not cached; their per-seed results still are, via
-// the runner's checkpoint, so the retry is cheap.
-func section(name string, fn func() error) error {
-	ck := runner.Checkpoint
-	if ck == nil {
-		return fn()
-	}
-	if *resume {
-		if text, ok := ck.Output(name); ok {
-			_, err := io.WriteString(os.Stdout, text)
-			return err
-		}
-	}
-	var buf bytes.Buffer
-	out = io.MultiWriter(os.Stdout, &buf)
-	defer func() { out = os.Stdout }()
-	if err := fn(); err != nil {
-		return err
-	}
-	return ck.PutOutput(name, buf.String())
-}
-
-// runSeeds is the sections' sweep entry point: hardened pool, checkpoint
-// memoization, first failure reported.
-func runSeeds(cfg sim.Config, technique string, seeds []uint64) (sim.Summary, error) {
-	sum, runErrs, err := runner.RunSeeds(ctx, cfg, technique, seeds)
-	if err != nil {
-		return sim.Summary{}, err
-	}
-	if len(runErrs) > 0 {
-		return sim.Summary{}, runErrs[0]
-	}
-	return sum, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
-}
-
-// simConfig returns the shared simulation configuration.
-func simConfig() sim.Config {
-	cfg := sim.DefaultConfig()
-	cfg.Windows = *windows
-	if *paper {
-		cfg.Params = dram.PaperParams()
-	}
-	return cfg
-}
-
-// paperTarget describes the full-scale device to mitigation factories for
-// storage accounting (table sizes are reported at paper scale no matter
-// what scale the simulation ran at).
-func paperTarget() mitigation.Target {
-	p := dram.PaperParams()
-	return mitigation.Target{
-		Banks: p.Banks, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
-		FlipThreshold: p.FlipThreshold,
-	}
-}
-
-func tableBytesAtPaperScale(technique string) (int, error) {
-	f, err := mitigation.Lookup(technique)
-	if err != nil {
-		return 0, err
-	}
-	return f(paperTarget(), 1).TableBytesPerBank(), nil
-}
-
-func table1() error {
-	p := dram.PaperParams()
-	t := report.NewTable("Table I — simulated system specification", "parameter", "value")
-	t.Add("Work load", "SPEC-like mixed load (synthetic, see DESIGN.md)")
-	t.Add("Number of cores", "4")
-	t.Add("L1 / L2 cache size", "64 KB / 256 KB")
-	t.Add("DDR4 refresh window", "64 ms")
-	t.Add("DDR4 refresh interval", "7.8 us")
-	t.Add("DDR4 activation to activation", fmt.Sprintf("%.0f ns", p.TRCNs))
-	t.Add("DDR4 refresh time", fmt.Sprintf("%.0f ns", p.TRFCNs))
-	t.Add("DDR4 frequency", fmt.Sprintf("%.1f GHz", p.IOFreqGHz))
-	t.Add("Refresh intervals per window (RefInt)", fmt.Sprint(p.RefInt))
-	t.Add("Rows per bank / per interval", fmt.Sprintf("%d / %d", p.RowsPerBank, p.RowsPerInterval()))
-	t.Add("Bit flipping activation threshold", fmt.Sprint(p.FlipThreshold))
-	t.Add("Pbase", "2^-23")
-	t.Add("RefInt * Pbase", fmt.Sprintf("%.3g", float64(p.RefInt)/float64(1<<23)))
-	t.Add("Cycle budget per act / ref", fmt.Sprintf("%d / %d", p.ActCycleBudget(), p.RefCycleBudget()))
-	if err := t.Render(out); err != nil {
-		return err
-	}
-
-	// Measured trace statistics from one unmitigated run at the selected
-	// scale, the counterpart of the paper's "175 Million activations /
-	// average 40 activations per refresh interval".
-	cfg := simConfig()
-	r, err := sim.Run(cfg, "")
-	if err != nil {
-		return err
-	}
-	m := report.NewTable("Measured trace statistics (this run)", "metric", "value")
-	m.Add("Memory activations", fmt.Sprint(r.TotalActs))
-	m.Add("Attacker share of activations", fmt.Sprintf("%.0f%%", 100*float64(r.AttackerActs)/float64(r.TotalActs)))
-	m.Add("Avg activations per bank-interval", fmt.Sprintf("%.1f", r.AvgActsPerInterval))
-	m.Add("Max activations per bank-interval", fmt.Sprint(r.MaxActsPerInterval))
-	m.Add("Flips without mitigation", fmt.Sprint(r.Flips))
-	return m.Render(out)
-}
-
-func table2() error {
-	machines := []struct {
-		name string
-		m    *fsm.Machine
-	}{
-		{"CaPRoMi", fsm.Fig3("CaPRoMi", fsm.DefaultCounterConfig())},
-		{"LoLiPRoMi", fsm.Fig2("LoLiPRoMi", fsm.LinearConfig{HistoryEntries: 32, OverlappedUpdate: true})},
-		{"LoPRoMi", fsm.Fig2("LoPRoMi", fsm.LinearConfig{HistoryEntries: 32})},
-		{"LiPRoMi", fsm.Fig2("LiPRoMi", fsm.LinearConfig{HistoryEntries: 32})},
-	}
-	p := dram.PaperParams()
-	t := report.NewTable(
-		fmt.Sprintf("Table II — FSM cycles per observed command (budgets: act %d, ref %d)",
-			p.ActCycleBudget(), p.RefCycleBudget()),
-		"command", "CaPRoMi", "LoLiPRoMi", "LoPRoMi", "LiPRoMi")
-	rowAct := []string{"act"}
-	rowRef := []string{"ref"}
-	for _, mc := range machines {
-		if err := mc.m.Validate(); err != nil {
-			return err
-		}
-		act, _, err := mc.m.WorstCase("act")
-		if err != nil {
-			return err
-		}
-		ref, _, err := mc.m.WorstCase("ref")
-		if err != nil {
-			return err
-		}
-		if act > p.ActCycleBudget() || ref > p.RefCycleBudget() {
-			return fmt.Errorf("%s violates the DDR4 cycle budget", mc.name)
-		}
-		rowAct = append(rowAct, fmt.Sprint(act))
-		rowRef = append(rowRef, fmt.Sprint(ref))
-	}
-	t.Add(rowAct...)
-	t.Add(rowRef...)
-	return t.Render(out)
-}
-
-func table3() error {
-	cfg := simConfig()
-	geo := hwmodel.PaperGeometry()
-	model := hwmodel.DefaultCostModel()
-	ddr4, ddr3 := hwmodel.DDR4Target(), hwmodel.DDR3Target()
-	resources := map[string]hwmodel.Resources{}
-	for _, r := range hwmodel.AllResources(geo) {
-		resources[r.Name] = r
-	}
-	paraLUTs := model.Estimate(resources["PARA"], ddr4).LUTs
-	paraLUTs3 := model.Estimate(resources["PARA"], ddr3).LUTs
-
-	t := report.NewTable("Table III — comparison with state-of-the-art RH mitigation solutions",
-		"technique", "LUTs DDR4 (rel)", "LUTs DDR3 (rel)", "vulnerable",
-		"activation overhead", "FPR", "flips")
-	vulnParams := dram.PaperParams()
-	for _, name := range sim.TechniqueNames() {
-		sum, err := runSeeds(cfg, name, sim.Seeds(1000, *seeds))
-		if err != nil {
-			return err
-		}
-		vuln, err := sim.AnalyzeVulnerability(name, vulnParams, 7)
-		if err != nil {
-			return err
-		}
-		e4 := model.Estimate(resources[name], ddr4)
-		e3 := model.Estimate(resources[name], ddr3)
-		t.Add(name,
-			fmt.Sprintf("%d (%.1fx)", e4.LUTs, float64(e4.LUTs)/float64(paraLUTs)),
-			fmt.Sprintf("%d (%.1fx)", e3.LUTs, float64(e3.LUTs)/float64(paraLUTs3)),
-			report.YesNo(vuln.Vulnerable),
-			report.PctErr(sum.Overhead.Mean(), sum.Overhead.StdDev()),
-			report.Pct(sum.FPR.Mean()),
-			fmt.Sprint(sum.TotalFlips))
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "note: TWiCe and CRA at DDR3 scale exceed any practical controller budget,")
-	fmt.Fprintln(out, "      reproducing the paper's conclusion that they cannot target the FPGA.")
-	return nil
-}
-
-func fig4() error {
-	cfg := simConfig()
-	s := report.NewScatter("Fig. 4 — table size per bank vs activation overhead (both log scale)",
-		"table size per bank [B]", "activation overhead [%]")
-	for _, name := range sim.TechniqueNames() {
-		sum, err := runSeeds(cfg, name, sim.Seeds(2000, *seeds))
-		if err != nil {
-			return err
-		}
-		bytes, err := tableBytesAtPaperScale(name)
-		if err != nil {
-			return err
-		}
-		s.Add(name, float64(bytes), sum.Overhead.Mean())
-	}
-	if err := s.Render(out); err != nil {
-		return err
-	}
-	if *csvOut {
-		if err := s.WriteCSV(out); err != nil {
-			return err
-		}
-	}
-	if *svgOut != "" {
-		f, err := os.Create(*svgOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := s.WriteSVG(f); err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "wrote %s\n", *svgOut)
-	}
-	return nil
-}
-
-func flooding() error {
-	p := dram.PaperParams()
-	results, err := sim.FloodAll(p, p.MaxActsPerRI, *trials, 7)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable(
-		fmt.Sprintf("Flooding attack — activations until first protection (paper scale, rate %d/interval, %d trials, safe bound %d)",
-			p.MaxActsPerRI, *trials, p.FlipThreshold/2),
-		"technique", "median acts", "p90 acts", "unprotected trials", "all below safe bound")
-	for _, f := range results {
-		t.Add(f.Technique,
-			fmt.Sprintf("%.0f", f.MedianActs),
-			fmt.Sprintf("%.0f", f.P90Acts),
-			fmt.Sprint(f.Unprotected),
-			report.YesNo(f.AllSafe()))
-	}
-	return t.Render(out)
-}
-
-func refreshPolicies() error {
-	cfg := simConfig()
-	t := report.NewTable("Refresh-address policies — TiVaPRoMi overhead under the four policies of §IV",
-		"technique", "neighbors", "neighbors-remapped", "random", "counter+mask", "max spread", "flips")
-	for _, name := range []string{"LiPRoMi", "LoPRoMi", "LoLiPRoMi", "CaPRoMi"} {
-		row := []string{name}
-		lo, hi := -1.0, -1.0
-		flips := 0
-		for _, pol := range sim.Policies() {
-			c := cfg
-			c.Policy = pol
-			if pol == sim.PolicyRemapped {
-				// Spare-row replacement on the device side too.
-				c.RemapSwaps = 16
-			}
-			sum, err := runSeeds(c, name, sim.Seeds(3000, *seeds))
-			if err != nil {
-				return err
-			}
-			m := sum.Overhead.Mean()
-			row = append(row, report.Pct(m))
-			if lo < 0 || m < lo {
-				lo = m
-			}
-			if m > hi {
-				hi = m
-			}
-			flips += sum.TotalFlips
-		}
-		row = append(row, fmt.Sprintf("%.1f%%", 100*(hi-lo)/lo), fmt.Sprint(flips))
-		t.Add(row...)
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "note: TiVaPRoMi's decisions depend only on the observed act/ref stream and")
-	fmt.Fprintln(out, "      its fr assumption, so the overhead is identical by construction; the")
-	fmt.Fprintln(out, "      meaningful invariance is the flips column staying at zero even when the")
-	fmt.Fprintln(out, "      device refreshes in a different order than the mitigation assumes.")
-	return nil
-}
-
-func aggressors() error {
-	cfg := simConfig()
-	t := report.NewTable("Aggressor sweep — fixed aggressor count per targeted bank",
-		"aggressors", "unmitigated flips", "LoLiPRoMi overhead", "LoLiPRoMi flips",
-		"PARA overhead", "PARA flips")
-	for _, k := range []int{1, 2, 4, 8, 12, 16, 20} {
-		c := cfg
-		c.MinAggressors, c.MaxAggressors = k, k
-		none, err := runSeeds(c, "", sim.Seeds(4000, *seeds))
-		if err != nil {
-			return err
-		}
-		loli, err := runSeeds(c, "LoLiPRoMi", sim.Seeds(4000, *seeds))
-		if err != nil {
-			return err
-		}
-		para, err := runSeeds(c, "PARA", sim.Seeds(4000, *seeds))
-		if err != nil {
-			return err
-		}
-		t.Add(fmt.Sprint(k),
-			fmt.Sprint(none.TotalFlips),
-			report.Pct(loli.Overhead.Mean()), fmt.Sprint(loli.TotalFlips),
-			report.Pct(para.Overhead.Mean()), fmt.Sprint(para.TotalFlips))
-	}
-	return t.Render(out)
-}
-
-func ablation() error {
-	cfg := simConfig()
-	seeds := sim.Seeds(5000, *seeds)
-
-	hist, err := sim.AblateHistorySize(cfg, 2, []int{4, 8, 16, 32, 64, 128}, seeds) // LoLiPRoMi
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Ablation — LoLiPRoMi history-table size (paper choice: 32 entries / 120 B)",
-		"history table", "bytes/bank", "overhead", "FPR", "flips")
-	for _, p := range hist {
-		t.Add(p.Label, report.Bytes(p.TableBytes),
-			report.PctErr(p.OverheadMean, p.OverheadStd), report.Pct(p.FPRMean),
-			fmt.Sprint(p.Flips))
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out)
-
-	cnt, err := sim.AblateCounterSize(cfg, []int{16, 32, 64, 128}, seeds)
-	if err != nil {
-		return err
-	}
-	t = report.NewTable("Ablation — CaPRoMi counter-table size (paper choice: 64 entries)",
-		"counter table", "bytes/bank", "overhead", "FPR", "flips")
-	for _, p := range cnt {
-		t.Add(p.Label, report.Bytes(p.TableBytes),
-			report.PctErr(p.OverheadMean, p.OverheadStd), report.Pct(p.FPRMean),
-			fmt.Sprint(p.Flips))
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out)
-
-	pb, err := sim.AblatePbase(cfg, 2, []int{-2, -1, 0, 1, 2}, seeds) // LoLiPRoMi
-	if err != nil {
-		return err
-	}
-	t = report.NewTable("Ablation — LoLiPRoMi base probability (paper choice: RefInt*Pbase ≈ 0.001, delta 0)",
-		"Pbase scale", "overhead", "FPR", "flips", "flood median (acts)")
-	for _, p := range pb {
-		t.Add(p.Label, report.PctErr(p.OverheadMean, p.OverheadStd),
-			report.Pct(p.FPRMean), fmt.Sprint(p.Flips),
-			fmt.Sprintf("%.0f", p.FloodMedian))
-	}
-	return t.Render(out)
-}
-
-func extensions() error {
-	cfg := simConfig()
-	vulnParams := dram.PaperParams()
-	t := report.NewTable(
-		"Extensions beyond the paper — CAT (adaptive tree, §II), TRR (commodity in-DRAM sampler), QuaPRoMi (quadratic weighting)",
-		"technique", "table/bank", "overhead", "FPR", "flips",
-		"flood survival", "decoy ratio", "saturation ratio", "vulnerable")
-	names := append(sim.ExtensionTechniques(), "LoLiPRoMi")
-	for _, name := range names {
-		sum, err := runSeeds(cfg, name, sim.Seeds(6000, *seeds))
-		if err != nil {
-			return err
-		}
-		rep, err := sim.AnalyzeExtension(name, vulnParams, 7)
-		if err != nil {
-			return err
-		}
-		bytes, err := tableBytesAtPaperScale(name)
-		if err != nil {
-			return err
-		}
-		t.Add(name, report.Bytes(bytes),
-			report.PctErr(sum.Overhead.Mean(), sum.Overhead.StdDev()),
-			report.Pct(sum.FPR.Mean()), fmt.Sprint(sum.TotalFlips),
-			fmt.Sprintf("%.2e", rep.FloodSurvival),
-			fmt.Sprintf("%.2f", rep.DecoyRatio),
-			fmt.Sprintf("%.2f", rep.SaturationRatio),
-			report.YesNo(rep.Vulnerable))
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "findings: CAT collapses when the attacker fills the tree before hammering")
-	fmt.Fprintln(out, "          (the paper's §II critique, measured); QuaPRoMi's late quadratic ramp")
-	fmt.Fprintln(out, "          saves activations but leaves a 61% flood-survival hole — why the")
-	fmt.Fprintln(out, "          paper stops at logarithmic/linear; TRR degrades ~2x under hotter")
-	fmt.Fprintln(out, "          decoy rows (the TRRespass direction).")
-	return nil
-}
-
-// latency runs the cycle-accurate scheduler under the attack workload for
-// each technique and reports the request-latency cost of the extra
-// maintenance commands — the performance view behind the paper's
-// "activation overhead" metric.
-func latency() error {
-	cfg := simConfig()
-	p := cfg.Params
-	t := report.NewTable(
-		"Request latency under attack (cycle-accurate FR-FCFS scheduler, one window)",
-		"technique", "avg latency (cycles)", "max latency", "row-hit rate", "extra activations")
-	for _, name := range append([]string{""}, sim.TechniqueNames()...) {
-		dev, err := dram.New(p, nil)
-		if err != nil {
-			return err
-		}
-		var mit mitigation.Mitigator
-		label := "none"
-		if name != "" {
-			f, err := mitigation.Lookup(name)
-			if err != nil {
-				return err
-			}
-			mit = f(mitigation.Target{
-				Banks: p.Banks, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
-				FlipThreshold: p.FlipThreshold,
-			}, 1)
-			label = name
-		}
-		sched, err := memctrl.NewScheduler(memctrl.DDR42400(), dev, mit, 32)
-		if err != nil {
-			return err
-		}
-		st, err := newLatencyStream(cfg)
-		if err != nil {
-			return err
-		}
-		sched.RunIntervals(p.RefInt, st)
-		stats := sched.Stats()
-		ds := dev.Stats()
-		t.Add(label,
-			fmt.Sprintf("%.1f", stats.AvgLatency()),
-			fmt.Sprint(stats.LatencyMax),
-			fmt.Sprintf("%.1f%%", 100*float64(stats.RowHits())/float64(stats.Served)),
-			fmt.Sprint(ds.NeighborActs+ds.DirectRefreshes))
-	}
-	return t.Render(out)
-}
-
-// newLatencyStream builds the same mixed traffic Run uses, as a scheduler
-// feed.
-func newLatencyStream(cfg sim.Config) (func() (int, int, bool), error) {
-	c := cfg
-	c.Windows = 1
-	mix := workload.SPECMix(c.Params.Banks, c.Params.RowsPerBank, c.Seed)
-	att, err := workload.NewAttacker(workload.DefaultAttackerConfig(
-		c.AttackBanks, c.Params.RowsPerBank,
-		uint64(c.Params.RefInt)*200, c.Seed))
-	if err != nil {
-		return nil, err
-	}
-	src := rng.NewXorShift64Star(c.Seed ^ 0x1a7e)
-	share := uint64(c.AttackShare * float64(1<<32))
-	return func() (int, int, bool) {
-		if src.Uint64()&0xffffffff < share {
-			a := att.Next()
-			return a.Bank, a.Row, a.Write
-		}
-		a := mix.Next()
-		return a.Bank, a.Row, a.Write
-	}, nil
-}
-
-// thresholds sweeps the flip threshold below the paper's 139 K (modern
-// devices flip far earlier) and reports each technique's flood-survival
-// margin, keeping the paper's Pbase for the probabilistic techniques and
-// re-provisioning the counters.
-func thresholds() error {
-	p := dram.PaperParams()
-	ths := []uint32{139000, 70000, 35000, 10000}
-	pts := sim.ThresholdSweep(p, ths)
-	t := report.NewTable(
-		"Flip-threshold sweep — weight-aware flood survival (paper Pbase; counters re-provisioned)",
-		"technique", "139K (paper)", "70K", "35K", "10K")
-	bySurv := map[string]map[uint32]sim.ThresholdPoint{}
-	for _, pt := range pts {
-		if bySurv[pt.Technique] == nil {
-			bySurv[pt.Technique] = map[uint32]sim.ThresholdPoint{}
-		}
-		bySurv[pt.Technique][pt.Threshold] = pt
-	}
-	cell := func(pt sim.ThresholdPoint) string {
-		mark := ""
-		if !pt.Safe {
-			mark = " (!)"
-		}
-		return fmt.Sprintf("%.1e%s", pt.Survival, mark)
-	}
-	for _, name := range sim.TechniqueNames() {
-		row := []string{name}
-		for _, th := range ths {
-			row = append(row, cell(bySurv[name][th]))
-		}
-		t.Add(row...)
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "(!) marks survival above the Table III vulnerability limit: with the paper's")
-	fmt.Fprintln(out, "    Pbase, every probabilistic technique — including TiVaPRoMi — needs")
-	fmt.Fprintln(out, "    re-tuning below ≈70K-flip DRAM, while counter designs only re-provision.")
-	return nil
-}
-
-// faultsTable renders the degradation table: every mitigation of Table
-// III driven through the fault-injection framework, across the fault
-// models of internal/faults at three rates each. The healthy baseline
-// (model "none") heads each technique's block. Deterministic for a fixed
-// -seeds/-windows selection: equal invocations print equal tables.
-func faultsTable() error {
-	cfg := simConfig()
-	sc := sim.FaultSweepConfig{
-		Base:       cfg,
-		Techniques: []string{"PARA", "TWiCe", "CRA", "CaPRoMi", "LoLiPRoMi"},
-		Models:     append([]faults.Model{faults.None}, faults.Models()...),
-		Rates:      []float64{1e-4, 1e-3, 1e-2},
-		Seeds:      sim.Seeds(8000, *seeds),
-		FaultSeed:  0xfa0175,
-	}
-	pts, err := sim.FaultSweep(ctx, runner, sc)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable(
-		"Graceful degradation — mitigations under injected hardware faults (mean per run)",
-		"technique", "fault model", "rate", "flips", "overhead", "FPR",
-		"injected", "dropped", "delayed", "errors")
-	for _, p := range pts {
-		rate := fmt.Sprintf("%.0e", p.Rate)
-		if p.Model == faults.None {
-			rate = "-"
-		}
-		t.Add(p.Technique, p.Model.String(),
-			rate,
-			fmt.Sprintf("%.1f", p.Flips),
-			fmt.Sprintf("%.3f%%", p.OverheadPct),
-			fmt.Sprintf("%.3f%%", p.FPRPct),
-			fmt.Sprintf("%.1f", p.Injected),
-			fmt.Sprintf("%.1f", p.Dropped),
-			fmt.Sprintf("%.1f", p.Delayed),
-			fmt.Sprint(p.Errors))
-	}
-	if err := t.Render(out); err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "reading: stuck-rng is the Loaded Dice non-selection case (probabilistic")
-	fmt.Fprintln(out, "         protection silently stops; counters are immune); drop/delay-actn is")
-	fmt.Fprintln(out, "         the QPRAC imperfect-service case; state-seu models SRAM upsets in")
-	fmt.Fprintln(out, "         the mitigation tables; weak-cells lowers the effective threshold")
-	fmt.Fprintln(out, "         under every technique equally.")
-	return nil
 }

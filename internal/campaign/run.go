@@ -1,0 +1,262 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tivapromi/internal/sim"
+)
+
+// Options tunes one campaign execution.
+type Options struct {
+	// Workers bounds the number of simulations in flight across the whole
+	// campaign (cells × seeds share one admission gate, so concurrency
+	// never multiplies). Zero means GOMAXPROCS.
+	Workers int
+	// Runner supplies the hardening policy (retries, deadlines, panic
+	// recovery) and the checkpoint. A nil Runner uses sim.NewRunner()
+	// with no checkpoint.
+	Runner *sim.Runner
+	// OnProgress, when non-nil, receives one event per completed cell.
+	// Events are delivered sequentially (never concurrently).
+	OnProgress func(Progress)
+}
+
+// Progress is one scheduler event: a cell finished (or failed).
+type Progress struct {
+	Campaign    string        // spec name
+	Cell        string        // cell key
+	Done, Total int           // completed cells / campaign size
+	Cached      bool          // served entirely from the checkpoint
+	Err         error         // the cell's failure, if any
+	CellElapsed time.Duration // this cell's wall-clock time
+	Elapsed     time.Duration // campaign wall-clock so far
+	ETA         time.Duration // naive remaining-time estimate
+}
+
+// CellResult is one executed cell.
+type CellResult struct {
+	Cell      Cell
+	Summary   sim.Summary     // sweep cells
+	RunErrors []*sim.RunError // sweep cells: per-seed failures
+	Value     any             // probe cells: the NewValue pointer, filled
+	Err       error           // cell-level failure
+	Cached    bool            // probe served from the checkpoint
+	Elapsed   time.Duration
+}
+
+// ResultSet holds every cell's result, keyed by cell key, with the
+// spec's order preserved — the renderer's single source of truth.
+type ResultSet struct {
+	name    string
+	order   []string
+	results map[string]*CellResult
+}
+
+// Name returns the campaign name.
+func (rs *ResultSet) Name() string { return rs.name }
+
+// Keys returns the cell keys in spec order.
+func (rs *ResultSet) Keys() []string { return append([]string(nil), rs.order...) }
+
+// Get returns the result for a cell key, or nil if the key is unknown.
+func (rs *ResultSet) Get(key string) *CellResult { return rs.results[key] }
+
+// Summary returns a sweep cell's seed summary, or an error if the cell
+// is missing, failed, or had failing seeds (first seed error wins, so a
+// renderer can stop at the earliest broken input).
+func (rs *ResultSet) Summary(key string) (sim.Summary, error) {
+	cr := rs.results[key]
+	if cr == nil {
+		return sim.Summary{}, fmt.Errorf("campaign: no result for cell %q", key)
+	}
+	if cr.Err != nil {
+		return sim.Summary{}, fmt.Errorf("campaign: cell %q: %w", key, cr.Err)
+	}
+	if len(cr.RunErrors) > 0 {
+		return sim.Summary{}, fmt.Errorf("campaign: cell %q: %w", key, cr.RunErrors[0])
+	}
+	return cr.Summary, nil
+}
+
+// LossySummary returns a sweep cell's summary tolerating per-seed
+// failures (degradation studies expect them), along with the number of
+// failed seeds.
+func (rs *ResultSet) LossySummary(key string) (sim.Summary, int, error) {
+	cr := rs.results[key]
+	if cr == nil {
+		return sim.Summary{}, 0, fmt.Errorf("campaign: no result for cell %q", key)
+	}
+	if cr.Err != nil {
+		return sim.Summary{}, 0, fmt.Errorf("campaign: cell %q: %w", key, cr.Err)
+	}
+	return cr.Summary, len(cr.RunErrors), nil
+}
+
+// Value returns a probe cell's filled result pointer.
+func (rs *ResultSet) Value(key string) (any, error) {
+	cr := rs.results[key]
+	if cr == nil {
+		return nil, fmt.Errorf("campaign: no result for cell %q", key)
+	}
+	if cr.Err != nil {
+		return nil, fmt.Errorf("campaign: cell %q: %w", key, cr.Err)
+	}
+	return cr.Value, nil
+}
+
+// Err returns the first cell failure in spec order, or nil.
+func (rs *ResultSet) Err() error {
+	for _, k := range rs.order {
+		if cr := rs.results[k]; cr != nil && cr.Err != nil {
+			return fmt.Errorf("campaign: cell %q: %w", k, cr.Err)
+		}
+	}
+	return nil
+}
+
+// Run executes every cell of a spec through the hardened runner with
+// bounded cross-cell parallelism and returns the complete ResultSet.
+//
+// Scheduling is work-conserving but result order is not: cells complete
+// in any order, land in the set keyed by cell, and callers render in
+// spec order afterwards — so output is byte-identical whatever the
+// worker count. Cell failures are recorded, not fatal; the only
+// non-nil error returns are structural (bad spec) or context
+// cancellation.
+func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	seen := make(map[string]bool, len(spec.Cells))
+	for _, c := range spec.Cells {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		if seen[c.Key] {
+			return nil, fmt.Errorf("campaign: duplicate cell key %q", c.Key)
+		}
+		seen[c.Key] = true
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	base := opts.Runner
+	if base == nil {
+		base = sim.NewRunner()
+	}
+	// One admission gate bounds every simulation in flight, whichever
+	// cell it belongs to: launching all cells at once stays safe because
+	// seeds and probes alike must win a gate slot before running.
+	gate := make(chan struct{}, workers)
+	runner := *base
+	runner.Config.Gate = gate
+	if runner.Config.Workers <= 0 || runner.Config.Workers > workers {
+		runner.Config.Workers = workers
+	}
+
+	rs := &ResultSet{
+		name:    spec.Name,
+		order:   make([]string, 0, len(spec.Cells)),
+		results: make(map[string]*CellResult, len(spec.Cells)),
+	}
+	for _, c := range spec.Cells {
+		rs.order = append(rs.order, c.Key)
+		rs.results[c.Key] = &CellResult{Cell: c}
+	}
+
+	start := time.Now()
+	var (
+		mu   sync.Mutex
+		done int
+		wg   sync.WaitGroup
+	)
+	finish := func(cr *CellResult, cellStart time.Time) {
+		cr.Elapsed = time.Since(cellStart)
+		mu.Lock()
+		done++
+		d, total := done, len(spec.Cells)
+		elapsed := time.Since(start)
+		var eta time.Duration
+		if d > 0 && d < total {
+			eta = time.Duration(int64(elapsed) / int64(d) * int64(total-d))
+		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{
+				Campaign: spec.Name, Cell: cr.Cell.Key,
+				Done: d, Total: total,
+				Cached: cr.Cached, Err: cr.Err,
+				CellElapsed: cr.Elapsed, Elapsed: elapsed, ETA: eta,
+			})
+		}
+		mu.Unlock()
+	}
+
+	for _, c := range spec.Cells {
+		cr := rs.results[c.Key]
+		wg.Add(1)
+		go func(c Cell, cr *CellResult) {
+			defer wg.Done()
+			cellStart := time.Now()
+			if c.IsSweep() {
+				runSweepCell(ctx, &runner, c, cr)
+			} else {
+				runProbeCell(ctx, &runner, c, cr)
+			}
+			finish(cr, cellStart)
+		}(c, cr)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return rs, err
+	}
+	return rs, nil
+}
+
+// runSweepCell executes a seed-sweep cell through the hardened runner;
+// per-seed results are memoized by the runner's own checkpoint.
+func runSweepCell(ctx context.Context, r *sim.Runner, c Cell, cr *CellResult) {
+	sum, runErrs, err := r.RunSeeds(ctx, c.Config, c.Technique, c.Seeds)
+	cr.Summary, cr.RunErrors, cr.Err = sum, runErrs, err
+}
+
+// runProbeCell executes a probe cell: serve it from the checkpoint's
+// probe cache when possible, otherwise run it under the runner's
+// hardening and record the result.
+func runProbeCell(ctx context.Context, r *sim.Runner, c Cell, cr *CellResult) {
+	ck := r.Checkpoint
+	fp := sim.ProbeFingerprint(c.Key)
+	if ck != nil && c.NewValue != nil {
+		if raw, ok := ck.Probe(fp); ok {
+			v := c.NewValue()
+			if err := json.Unmarshal(raw, v); err == nil {
+				cr.Value, cr.Cached = v, true
+				return
+			}
+			// A malformed cache entry falls through to a fresh run.
+		}
+	}
+	var v any
+	if c.NewValue != nil {
+		v = c.NewValue()
+	}
+	err := r.Config.Do(ctx, func(runCtx context.Context) error {
+		return c.Run(runCtx, v)
+	})
+	if err != nil {
+		cr.Err = err
+		return
+	}
+	cr.Value = v
+	if ck != nil && c.NewValue != nil {
+		if err := ck.PutProbe(fp, v); err != nil {
+			cr.Err = fmt.Errorf("campaign: caching probe %q: %w", c.Key, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"tivapromi/internal/core"
@@ -20,28 +21,131 @@ type AblationPoint struct {
 	FloodMedian float64
 }
 
+// AblationPointOf assembles one sweep cell's summary into an
+// AblationPoint (the campaign renderer's row source; FloodMedian is
+// filled separately from the flood probe cell when the study has one).
+func AblationPointOf(label string, sum Summary) AblationPoint {
+	return AblationPoint{
+		Label:        label,
+		TableBytes:   sum.TableBytes,
+		OverheadMean: sum.Overhead.Mean(),
+		OverheadStd:  sum.Overhead.StdDev(),
+		FPRMean:      sum.FPR.Mean(),
+		Flips:        sum.TotalFlips,
+	}
+}
+
+// HistoryAblationFactory builds a Fig. 2 variant with a non-default
+// history-table size. Pair it with HistoryAblationLabel so the sweep is
+// checkpoint-resumable despite the closure.
+func HistoryAblationFactory(variant core.Variant, size int) mitigation.Factory {
+	return func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+		c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
+		c.HistoryEntries = size
+		return core.MustNew(variant, t.Banks, c, seed)
+	}
+}
+
+// HistoryAblationLabel is the checkpoint fingerprint label for
+// HistoryAblationFactory(variant, size).
+func HistoryAblationLabel(variant core.Variant, size int) string {
+	return fmt.Sprintf("ablation/history/v%d/%d", int(variant), size)
+}
+
+// HistoryBytesAtPaperScale returns the per-bank history storage of a
+// size-entry table at the paper's full device scale.
+func HistoryBytesAtPaperScale(size int) int {
+	paperCfg := core.DefaultConfig(131072, 8192)
+	paperCfg.HistoryEntries = size
+	return paperCfg.HistoryBytes()
+}
+
+// CounterAblationFactory builds CaPRoMi with a non-default counter-table
+// size. Validate the size with CounterAblationValidate before sweeping:
+// the factory uses the Must constructor and would panic on a bad size
+// inside a worker (the hardened pool would convert that into a RunError,
+// but an upfront error is friendlier).
+func CounterAblationFactory(size int) mitigation.Factory {
+	return func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+		c := core.DefaultCaConfig(t.RowsPerBank, t.RefInt)
+		c.CounterEntries = size
+		return core.MustNewCa(t.Banks, c, seed)
+	}
+}
+
+// CounterAblationValidate reports whether a counter-table size is valid
+// for the swept configuration.
+func CounterAblationValidate(cfg Config, size int) error {
+	probe := core.DefaultCaConfig(cfg.Params.RowsPerBank, cfg.Params.RefInt)
+	probe.CounterEntries = size
+	if err := probe.Validate(); err != nil {
+		return fmt.Errorf("sim: counter ablation size %d: %w", size, err)
+	}
+	return nil
+}
+
+// CounterAblationLabel is the checkpoint fingerprint label for
+// CounterAblationFactory(size).
+func CounterAblationLabel(size int) string {
+	return fmt.Sprintf("ablation/counter/%d", size)
+}
+
+// CounterBytesAtPaperScale returns CaPRoMi's per-bank storage with a
+// size-entry counter table at the paper's full device scale.
+func CounterBytesAtPaperScale(size int) int {
+	paperCfg := core.DefaultCaConfig(131072, 8192)
+	paperCfg.CounterEntries = size
+	return paperCfg.TotalBytes()
+}
+
+// PbaseAblationFactory builds a Fig. 2 variant with the base probability
+// scaled by 2^-delta comparator bits.
+func PbaseAblationFactory(variant core.Variant, delta int) mitigation.Factory {
+	return func(t mitigation.Target, seed uint64) mitigation.Mitigator {
+		c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
+		c.ProbBitsDelta = delta
+		return core.MustNew(variant, t.Banks, c, seed)
+	}
+}
+
+// PbaseAblationLabel is the checkpoint fingerprint label for
+// PbaseAblationFactory(variant, delta).
+func PbaseAblationLabel(variant core.Variant, delta int) string {
+	return fmt.Sprintf("ablation/pbase/v%d/%+d", int(variant), delta)
+}
+
+// PbaseFloodMedian runs the paper-scale security probe of one Pbase
+// ablation point: the weight-aware flood's acts-to-first-protection
+// median (the cap stands in when any trial never protects).
+func PbaseFloodMedian(ctx context.Context, cfg Config, variant core.Variant, delta int, trials int, seed uint64) (float64, error) {
+	pp := cfg.Params
+	pp.Banks = 1
+	flood, err := floodWithFactory(ctx, PbaseAblationFactory(variant, delta), pp, pp.MaxActsPerRI, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	if flood.Unprotected > 0 {
+		return float64(flood.Cap), nil
+	}
+	return flood.MedianActs, nil
+}
+
 // AblateHistorySize sweeps the history-table size for a Fig. 2 variant.
 // The paper's 32 entries were "the best optimization based on the
 // simulated memory traces"; the sweep shows the trade-off that led there:
 // smaller tables forget triggered aggressors (higher overhead), larger
-// ones only add storage.
+// ones only add storage. Library convenience over the per-size cells the
+// campaign engine schedules in parallel (campaign.AblationSpec).
 func AblateHistorySize(cfg Config, variant core.Variant, sizes []int, seeds []uint64) ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, size := range sizes {
-		size := size
-		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
-			c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
-			c.HistoryEntries = size
-			return core.MustNew(variant, t.Banks, c, seed)
-		}
-		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size), factory, seeds)
+		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size),
+			HistoryAblationFactory(variant, size), HistoryAblationLabel(variant, size), seeds)
 		if err != nil {
 			return nil, err
 		}
 		// Storage at paper scale: size entries of 30 bits.
-		paperCfg := core.DefaultConfig(131072, 8192)
-		paperCfg.HistoryEntries = size
-		pt.TableBytes = paperCfg.HistoryBytes()
+		pt.TableBytes = HistoryBytesAtPaperScale(size)
 		out = append(out, pt)
 	}
 	return out, nil
@@ -53,27 +157,18 @@ func AblateHistorySize(cfg Config, variant core.Variant, sizes []int, seeds []ui
 func AblateCounterSize(cfg Config, sizes []int, seeds []uint64) ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, size := range sizes {
-		size := size
 		// Validate the swept configuration up front, where an error can be
 		// returned; the factory then uses the Must constructor on a config
 		// already known good instead of panicking mid-sweep inside a worker.
-		probe := core.DefaultCaConfig(cfg.Params.RowsPerBank, cfg.Params.RefInt)
-		probe.CounterEntries = size
-		if err := probe.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: counter ablation size %d: %w", size, err)
+		if err := CounterAblationValidate(cfg, size); err != nil {
+			return nil, err
 		}
-		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
-			c := core.DefaultCaConfig(t.RowsPerBank, t.RefInt)
-			c.CounterEntries = size
-			return core.MustNewCa(t.Banks, c, seed)
-		}
-		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size), factory, seeds)
+		pt, err := ablate(cfg, fmt.Sprintf("%d entries", size),
+			CounterAblationFactory(size), CounterAblationLabel(size), seeds)
 		if err != nil {
 			return nil, err
 		}
-		paperCfg := core.DefaultCaConfig(131072, 8192)
-		paperCfg.CounterEntries = size
-		pt.TableBytes = paperCfg.TotalBytes()
+		pt.TableBytes = CounterBytesAtPaperScale(size)
 		out = append(out, pt)
 	}
 	return out, nil
@@ -87,46 +182,30 @@ func AblateCounterSize(cfg Config, sizes []int, seeds []uint64) ([]AblationPoint
 func AblatePbase(cfg Config, variant core.Variant, deltas []int, seeds []uint64) ([]AblationPoint, error) {
 	var out []AblationPoint
 	for _, delta := range deltas {
-		delta := delta
-		factory := func(t mitigation.Target, seed uint64) mitigation.Mitigator {
-			c := core.DefaultConfig(t.RowsPerBank, t.RefInt)
-			c.ProbBitsDelta = delta
-			return core.MustNew(variant, t.Banks, c, seed)
-		}
-		pt, err := ablate(cfg, fmt.Sprintf("Pbase x 2^%+d", -delta), factory, seeds)
+		pt, err := ablate(cfg, fmt.Sprintf("Pbase x 2^%+d", -delta),
+			PbaseAblationFactory(variant, delta), PbaseAblationLabel(variant, delta), seeds)
 		if err != nil {
 			return nil, err
 		}
 		// Security cost at paper scale.
-		pp := cfg.Params
-		pp.Banks = 1
-		flood, err := floodWithFactory(factory, pp, pp.MaxActsPerRI, 9, seeds[0])
+		median, err := PbaseFloodMedian(context.Background(), cfg, variant, delta, 9, seeds[0])
 		if err != nil {
 			return nil, err
 		}
-		pt.FloodMedian = flood.MedianActs
-		if flood.Unprotected > 0 {
-			pt.FloodMedian = float64(flood.Cap)
-		}
+		pt.FloodMedian = median
 		out = append(out, pt)
 	}
 	return out, nil
 }
 
 // ablate runs one configured factory across seeds.
-func ablate(cfg Config, label string, factory mitigation.Factory, seeds []uint64) (AblationPoint, error) {
+func ablate(cfg Config, label string, factory mitigation.Factory, fpLabel string, seeds []uint64) (AblationPoint, error) {
 	c := cfg
 	c.Factory = factory
+	c.FactoryLabel = fpLabel
 	sum, err := RunSeeds(c, "ablation", seeds)
 	if err != nil {
 		return AblationPoint{}, err
 	}
-	return AblationPoint{
-		Label:        label,
-		TableBytes:   sum.TableBytes,
-		OverheadMean: sum.Overhead.Mean(),
-		OverheadStd:  sum.Overhead.StdDev(),
-		FPRMean:      sum.FPR.Mean(),
-		Flips:        sum.TotalFlips,
-	}, nil
+	return AblationPointOf(label, sum), nil
 }

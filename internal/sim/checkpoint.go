@@ -23,9 +23,14 @@ const checkpointVersion = 1
 // recomputed from the results with Summarize, which is order-stable, so a
 // resumed sweep reproduces the original tables byte for byte.
 type checkpointFile struct {
-	Version int                          `json:"version"`
-	Sweeps  map[string]*checkpointSweep  `json:"sweeps"`
-	Outputs map[string]checkpointOutput  `json:"outputs,omitempty"`
+	Version int                         `json:"version"`
+	Sweeps  map[string]*checkpointSweep `json:"sweeps"`
+	Outputs map[string]checkpointOutput `json:"outputs,omitempty"`
+	// Probes caches the JSON-encoded results of deterministic probe
+	// cells (flooding, vulnerability, latency, ...) keyed by the
+	// campaign cell fingerprint, the probe counterpart of per-seed sweep
+	// results.
+	Probes map[string]json.RawMessage `json:"probes,omitempty"`
 }
 
 // checkpointSweep holds the completed seeds of one fingerprinted sweep.
@@ -76,6 +81,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c.data.Version = checkpointVersion
 	c.data.Sweeps = make(map[string]*checkpointSweep)
 	c.data.Outputs = make(map[string]checkpointOutput)
+	c.data.Probes = make(map[string]json.RawMessage)
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -93,6 +99,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if f.Outputs != nil {
 		c.data.Outputs = f.Outputs
+	}
+	if f.Probes != nil {
+		c.data.Probes = f.Probes
 	}
 	return c, nil
 }
@@ -170,6 +179,46 @@ func (c *Checkpoint) PutOutput(name, text string) error {
 	return c.flushLocked()
 }
 
+// Probe returns the cached JSON encoding of a probe cell's result, keyed
+// by the cell fingerprint.
+func (c *Checkpoint) Probe(fp string) (json.RawMessage, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	raw, ok := c.data.Probes[fp]
+	return raw, ok
+}
+
+// PutProbe caches a probe cell's result (any JSON-encodable value) under
+// the cell fingerprint and flushes according to FlushEvery, so a killed
+// campaign resumes past every deterministic probe that completed.
+func (c *Checkpoint) PutProbe(fp string, v any) error {
+	if c == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sim: marshal probe result: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.data.Probes == nil {
+		c.data.Probes = make(map[string]json.RawMessage)
+	}
+	c.data.Probes[fp] = raw
+	c.dirty++
+	every := c.FlushEvery
+	if every <= 0 {
+		every = 1
+	}
+	if c.dirty >= every {
+		return c.flushLocked()
+	}
+	return nil
+}
+
 // Flush forces pending state to disk.
 func (c *Checkpoint) Flush() error {
 	if c == nil {
@@ -231,6 +280,15 @@ func Fingerprint(cfg Config, technique string, seeds []uint64) string {
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
+// ProbeFingerprint derives the checkpoint key for one probe cell from
+// its stable cell key. The key must encode every parameter the probe's
+// result depends on (device scale, seeds, trial counts); the campaign
+// layer's key builders guarantee that.
+func ProbeFingerprint(key string) string {
+	h := sha256.Sum256([]byte("probe\x00" + key))
+	return hex.EncodeToString(h[:16])
+}
+
 // Runner bundles the hardened pool configuration with an optional
 // checkpoint. It is the front door for experiment drivers: construct one
 // Runner per process, call RunSeeds for every sweep, and killed processes
@@ -253,12 +311,19 @@ func (r *Runner) RunSeeds(ctx context.Context, cfg Config, technique string, see
 		return Summary{}, nil, fmt.Errorf("sim: no seeds")
 	}
 	fp := Fingerprint(cfg, technique, seeds)
+	// A custom Factory without a FactoryLabel is invisible to the
+	// fingerprint (two different closures would collide), so such sweeps
+	// bypass the checkpoint entirely — the documented Config contract.
+	ck := r.Checkpoint
+	if cfg.Factory != nil && cfg.FactoryLabel == "" {
+		ck = nil
+	}
 
 	cached := make([]*Result, len(seeds))
 	var todo []uint64
 	todoIdx := make(map[uint64]int, len(seeds))
 	for i, s := range seeds {
-		if res, ok := r.Checkpoint.lookup(fp, s); ok {
+		if res, ok := ck.lookup(fp, s); ok {
 			resCopy := res
 			cached[i] = &resCopy
 			continue
@@ -284,7 +349,7 @@ func (r *Runner) RunSeeds(ctx context.Context, cfg Config, technique string, see
 			if err == nil {
 				mu.Lock()
 				fresh[c.Seed] = res
-				if e := r.Checkpoint.record(fp, c.Seed, res); e != nil && ckptErr == nil {
+				if e := ck.record(fp, c.Seed, res); e != nil && ckptErr == nil {
 					ckptErr = e
 				}
 				mu.Unlock()

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunSeedsDelegatesToHardenedPool verifies the satellite contract of
+// the campaign refactor: the package-level RunSeeds is a thin delegate
+// of RunSeedsCtx, and its aggregation is byte-for-byte the sequential
+// seed-order Summarize — Welford means and standard deviations are
+// order-sensitive, so exact equality proves the pool aggregates in seed
+// order, not completion order.
+func TestRunSeedsDelegatesToHardenedPool(t *testing.T) {
+	cfg := fastConfig()
+	seeds := Seeds(42, 4)
+
+	var sequential []Result
+	for _, s := range seeds {
+		c := cfg
+		c.Seed = s
+		r, err := Run(c, "PARA")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential = append(sequential, r)
+	}
+	want := Summarize(sequential)
+
+	got, err := RunSeeds(cfg, "PARA", seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Overhead.Mean() != want.Overhead.Mean() ||
+		got.Overhead.StdDev() != want.Overhead.StdDev() ||
+		got.FPR.Mean() != want.FPR.Mean() ||
+		got.FPR.StdDev() != want.FPR.StdDev() ||
+		got.TotalFlips != want.TotalFlips ||
+		got.TotalActs != want.TotalActs ||
+		got.ExtraActs != want.ExtraActs {
+		t.Fatalf("RunSeeds diverged from sequential seed-order aggregation:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunnerConfigDoBoundsConcurrencyViaGate checks the campaign's
+// admission gate: RunnerConfig.Do must never admit more work than the
+// gate has slots, whatever the caller's goroutine count.
+func TestRunnerConfigDoBoundsConcurrencyViaGate(t *testing.T) {
+	rc := DefaultRunnerConfig()
+	rc.Gate = make(chan struct{}, 2)
+
+	var inFlight, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := rc.Do(context.Background(), func(context.Context) error {
+				n := atomic.AddInt32(&inFlight, 1)
+				for {
+					p := atomic.LoadInt32(&peak)
+					if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+						break
+					}
+				}
+				atomic.AddInt32(&inFlight, -1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := atomic.LoadInt32(&peak); p > 2 {
+		t.Fatalf("gate of 2 admitted %d concurrent runs", p)
+	}
+}
+
+// TestRunnerConfigDoCancelledContext checks that a canceled context is
+// reported without running the function.
+func TestRunnerConfigDoCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rc := DefaultRunnerConfig()
+	rc.Gate = make(chan struct{}, 1)
+	rc.Gate <- struct{}{} // gate full: acquisition must fall to ctx.Done
+	ran := false
+	err := rc.Do(ctx, func(context.Context) error { ran = true; return nil })
+	if err == nil {
+		t.Fatal("Do on a canceled context returned nil")
+	}
+	if ran {
+		t.Fatal("Do ran the function despite cancellation")
+	}
+}
+
+// TestRunSeedsCtxGateAdmitsAllSeeds ensures the gate only throttles —
+// every seed still completes.
+func TestRunSeedsCtxGateAdmitsAllSeeds(t *testing.T) {
+	rc := DefaultRunnerConfig()
+	rc.Gate = make(chan struct{}, 1)
+	rc.Workers = 4
+	cfg := fastConfig()
+	sum, runErrs, err := RunSeedsCtx(context.Background(), rc, cfg, "PARA", Seeds(7, 3))
+	if err != nil || len(runErrs) != 0 {
+		t.Fatalf("err=%v runErrs=%v", err, runErrs)
+	}
+	if len(sum.Runs) != 3 {
+		t.Fatalf("gated sweep completed %d of 3 seeds", len(sum.Runs))
+	}
+}

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+
 	"tivapromi/internal/dram"
 	"tivapromi/internal/mitigation"
 )
@@ -32,16 +34,22 @@ type ExtVulnReport struct {
 // paper's nine too; the classification additionally flags decoy or
 // saturation collapse).
 func AnalyzeExtension(technique string, p dram.Params, seed uint64) (ExtVulnReport, error) {
-	base, err := AnalyzeVulnerability(technique, p, seed)
+	return AnalyzeExtensionCtx(context.Background(), technique, p, seed)
+}
+
+// AnalyzeExtensionCtx is AnalyzeExtension with cooperative cancellation
+// threaded through every probe.
+func AnalyzeExtensionCtx(ctx context.Context, technique string, p dram.Params, seed uint64) (ExtVulnReport, error) {
+	base, err := AnalyzeVulnerabilityCtx(ctx, technique, p, seed)
 	if err != nil {
 		return ExtVulnReport{}, err
 	}
 	rep := ExtVulnReport{VulnReport: base}
-	rep.DecoyRatio, err = decoyProbe(technique, p, seed)
+	rep.DecoyRatio, err = decoyProbe(ctx, technique, p, seed)
 	if err != nil {
 		return rep, err
 	}
-	rep.SaturationRatio, err = saturationProbe(technique, p, seed)
+	rep.SaturationRatio, err = saturationProbe(ctx, technique, p, seed)
 	if err != nil {
 		return rep, err
 	}
@@ -61,7 +69,7 @@ func AnalyzeExtension(technique string, p dram.Params, seed uint64) (ExtVulnRepo
 // decoyProbe hammers one victim's aggressor pair, optionally interleaving
 // 12 decoy activations per aggressor activation, and compares the
 // per-aggressor-activation protection rates.
-func decoyProbe(technique string, p dram.Params, seed uint64) (float64, error) {
+func decoyProbe(ctx context.Context, technique string, p dram.Params, seed uint64) (float64, error) {
 	factory, err := mitigation.Lookup(technique)
 	if err != nil {
 		return 0, err
@@ -71,12 +79,17 @@ func decoyProbe(technique string, p dram.Params, seed uint64) (float64, error) {
 		FlipThreshold: p.FlipThreshold,
 	}
 	victim := p.RowsPerBank / 4
-	run := func(decoys int) float64 {
+	run := func(decoys int) (float64, error) {
 		m := factory(target, seed)
 		victims := map[int]bool{victim: true}
 		protections, aggActs := 0, 0
 		var cmds []mitigation.Command
 		for iv := 0; iv < p.RefInt; iv++ {
+			if iv&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			for i := 0; i < p.MaxActsPerRI/(1+decoys)+1; i++ {
 				row := victim - 1 + 2*(i&1)
 				aggActs++
@@ -94,20 +107,27 @@ func decoyProbe(technique string, p dram.Params, seed uint64) (float64, error) {
 			cmds = m.OnRefreshInterval(iv, cmds[:0])
 			protections += countProtections(cmds, victims)
 		}
-		return float64(protections) / float64(aggActs)
+		return float64(protections) / float64(aggActs), nil
 	}
-	focused := run(0)
+	focused, err := run(0)
+	if err != nil {
+		return 0, err
+	}
 	if focused == 0 {
 		return 0, nil
 	}
-	return run(12) / focused, nil
+	decoyed, err := run(12)
+	if err != nil {
+		return 0, err
+	}
+	return decoyed / focused, nil
 }
 
 // saturationProbe pre-fills the mitigation with one window of activations
 // spread over 512 rows (the tree-fill pattern the paper describes), then
 // hammers one victim and compares the protection rate with an attack on
 // an idle structure.
-func saturationProbe(technique string, p dram.Params, seed uint64) (float64, error) {
+func saturationProbe(ctx context.Context, technique string, p dram.Params, seed uint64) (float64, error) {
 	factory, err := mitigation.Lookup(technique)
 	if err != nil {
 		return 0, err
@@ -117,7 +137,7 @@ func saturationProbe(technique string, p dram.Params, seed uint64) (float64, err
 		FlipThreshold: p.FlipThreshold,
 	}
 	victim := p.RowsPerBank / 4
-	run := func(prefill bool) float64 {
+	run := func(prefill bool) (float64, error) {
 		m := factory(target, seed)
 		victims := map[int]bool{victim: true}
 		protections, acts := 0, 0
@@ -126,6 +146,11 @@ func saturationProbe(technique string, p dram.Params, seed uint64) (float64, err
 		pos := 0
 		half := p.RefInt / 2
 		for iv := 0; iv < p.RefInt; iv++ {
+			if iv&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			for i := 0; i < p.MaxActsPerRI; i++ {
 				// Phase 1 (first half window): fill the structure with
 				// spread activations — the paper's "fill all the levels
@@ -151,11 +176,18 @@ func saturationProbe(technique string, p dram.Params, seed uint64) (float64, err
 				protections += countProtections(cmds, victims)
 			}
 		}
-		return float64(protections) / float64(acts)
+		return float64(protections) / float64(acts), nil
 	}
-	clean := run(false)
+	clean, err := run(false)
+	if err != nil {
+		return 0, err
+	}
 	if clean == 0 {
 		return 0, nil
 	}
-	return run(true) / clean, nil
+	saturated, err := run(true)
+	if err != nil {
+		return 0, err
+	}
+	return saturated / clean, nil
 }

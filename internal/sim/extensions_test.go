@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"tivapromi/internal/dram"
@@ -38,11 +39,11 @@ func TestQuaPRoMiTradeOff(t *testing.T) {
 	// ...at the price of a far worse flooding tail (the reason the paper
 	// stops at logarithmic ramps).
 	p := dram.PaperParams()
-	quaSurv, err := floodSurvival("QuaPRoMi", p, 1)
+	quaSurv, err := floodSurvival(context.Background(), "QuaPRoMi", p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	liSurv, err := floodSurvival("LiPRoMi", p, 1)
+	liSurv, err := floodSurvival(context.Background(), "LiPRoMi", p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestCATSaturationProbeCollapses(t *testing.T) {
 		t.Skip("extension probes are slow; skipped in -short mode")
 	}
 	p := dram.PaperParams()
-	ratio, err := saturationProbe("CAT", p, 7)
+	ratio, err := saturationProbe(context.Background(), "CAT", p, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestCATSaturationProbeCollapses(t *testing.T) {
 		t.Fatalf("CAT saturation ratio %.2f; the tree-fill attack should collapse it", ratio)
 	}
 	// The counter techniques are untouched by the same pattern.
-	twice, err := saturationProbe("TWiCe", p, 7)
+	twice, err := saturationProbe(context.Background(), "TWiCe", p, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestDecoyProbeBehavior(t *testing.T) {
 	// the calibrated behavior.
 	p := dram.PaperParams()
 	for _, name := range []string{"PARA", "ProHit"} {
-		ratio, err := decoyProbe(name, p, 7)
+		ratio, err := decoyProbe(context.Background(), name, p, 7)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,47 +42,83 @@ type FaultSweepConfig struct {
 	FaultSeed uint64
 }
 
-// FaultSweep runs the full techniques × models × rates grid under the
-// hardened runner and returns one FaultPoint per cell, in deterministic
+// FaultCell names one cell of a degradation grid: one technique under
+// one fault model at one rate.
+type FaultCell struct {
+	Technique string
+	Model     faults.Model
+	Rate      float64
+}
+
+// CellConfig returns the simulation configuration for one grid cell.
+func (sc FaultSweepConfig) CellConfig(c FaultCell) Config {
+	cfg := sc.Base
+	cfg.Fault = faults.Plan{Model: c.Model, Rate: c.Rate, Seed: sc.FaultSeed}
+	return cfg
+}
+
+// Cells enumerates the techniques × models × rates grid in deterministic
 // row-major order (technique, then model, then rate). The None model
-// contributes a single rate-0 baseline point per technique regardless of
-// the configured rates. A nil runner uses NewRunner().
+// contributes a single rate-0 baseline cell per technique regardless of
+// the configured rates.
+func (sc FaultSweepConfig) Cells() []FaultCell {
+	rates := sc.Rates
+	if len(rates) == 0 {
+		rates = []float64{0}
+	}
+	var cells []FaultCell
+	for _, tech := range sc.Techniques {
+		for _, model := range sc.Models {
+			r := rates
+			if model == faults.None {
+				r = []float64{0}
+			}
+			for _, rate := range r {
+				cells = append(cells, FaultCell{Technique: tech, Model: model, Rate: rate})
+			}
+		}
+	}
+	return cells
+}
+
+// Validate reports a structurally unusable sweep configuration.
+func (sc FaultSweepConfig) Validate() error {
+	if len(sc.Techniques) == 0 || len(sc.Models) == 0 || len(sc.Seeds) == 0 {
+		return fmt.Errorf("sim: fault sweep needs techniques, models and seeds")
+	}
+	return nil
+}
+
+// FaultSweep runs the full techniques × models × rates grid under the
+// hardened runner and returns one FaultPoint per cell, in the order of
+// Cells(). A nil runner uses NewRunner(). Library convenience; the
+// experiment driver schedules the same cells in parallel through
+// campaign.FaultsSpec.
 func FaultSweep(ctx context.Context, r *Runner, sc FaultSweepConfig) ([]FaultPoint, error) {
 	if r == nil {
 		r = NewRunner()
 	}
-	if len(sc.Techniques) == 0 || len(sc.Models) == 0 || len(sc.Seeds) == 0 {
-		return nil, fmt.Errorf("sim: fault sweep needs techniques, models and seeds")
-	}
-	if len(sc.Rates) == 0 {
-		sc.Rates = []float64{0}
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
 	var points []FaultPoint
-	for _, tech := range sc.Techniques {
-		for _, model := range sc.Models {
-			rates := sc.Rates
-			if model == faults.None {
-				rates = []float64{0}
-			}
-			for _, rate := range rates {
-				cfg := sc.Base
-				cfg.Fault = faults.Plan{Model: model, Rate: rate, Seed: sc.FaultSeed}
-				sum, runErrs, err := r.RunSeeds(ctx, cfg, tech, sc.Seeds)
-				if err != nil {
-					return points, fmt.Errorf("sim: fault sweep %s/%s@%g: %w", tech, model, rate, err)
-				}
-				points = append(points, faultPoint(tech, model, rate, sum, len(runErrs)))
-				if err := ctx.Err(); err != nil {
-					return points, err
-				}
-			}
+	for _, cell := range sc.Cells() {
+		sum, runErrs, err := r.RunSeeds(ctx, sc.CellConfig(cell), cell.Technique, sc.Seeds)
+		if err != nil {
+			return points, fmt.Errorf("sim: fault sweep %s/%s@%g: %w", cell.Technique, cell.Model, cell.Rate, err)
+		}
+		points = append(points, FaultPointOf(cell.Technique, cell.Model, cell.Rate, sum, len(runErrs)))
+		if err := ctx.Err(); err != nil {
+			return points, err
 		}
 	}
 	return points, nil
 }
 
-// faultPoint converts a sweep summary into one table cell.
-func faultPoint(tech string, model faults.Model, rate float64, sum Summary, errs int) FaultPoint {
+// FaultPointOf converts one sweep summary into one degradation-table
+// cell (exported so the campaign renderer can assemble points from
+// independently scheduled cells).
+func FaultPointOf(tech string, model faults.Model, rate float64, sum Summary, errs int) FaultPoint {
 	n := float64(len(sum.Runs))
 	mean := func(total uint64) float64 {
 		if n == 0 {

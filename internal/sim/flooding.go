@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"tivapromi/internal/dram"
@@ -39,6 +40,13 @@ func (f FloodResult) AllSafe() bool {
 // the given device parameters (use dram.PaperParams for paper-scale
 // numbers). rate is the per-interval activation rate (≤ MaxActsPerRI).
 func Flood(technique string, p dram.Params, rate, trials int, seed uint64) (FloodResult, error) {
+	return FloodCtx(context.Background(), technique, p, rate, trials, seed)
+}
+
+// FloodCtx is Flood with cooperative cancellation: the flood polls ctx at
+// refresh-interval granularity, so an interrupted campaign abandons the
+// probe promptly instead of finishing the in-flight trial set.
+func FloodCtx(ctx context.Context, technique string, p dram.Params, rate, trials int, seed uint64) (FloodResult, error) {
 	if rate <= 0 || rate > p.MaxActsPerRI {
 		return FloodResult{}, fmt.Errorf("sim: flood rate %d out of (0, %d]", rate, p.MaxActsPerRI)
 	}
@@ -49,14 +57,14 @@ func Flood(technique string, p dram.Params, rate, trials int, seed uint64) (Floo
 	if err != nil {
 		return FloodResult{}, err
 	}
-	res, err := floodWithFactory(factory, p, rate, trials, seed)
+	res, err := floodWithFactory(ctx, factory, p, rate, trials, seed)
 	res.Technique = technique
 	return res, err
 }
 
-// floodWithFactory is Flood for an explicit factory (ablation studies run
-// configurations that are not in the registry).
-func floodWithFactory(factory mitigation.Factory, p dram.Params, rate, trials int, seed uint64) (FloodResult, error) {
+// floodWithFactory is FloodCtx for an explicit factory (ablation studies
+// run configurations that are not in the registry).
+func floodWithFactory(ctx context.Context, factory mitigation.Factory, p dram.Params, rate, trials int, seed uint64) (FloodResult, error) {
 	target := mitigation.Target{
 		Banks: 1, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
 		FlipThreshold: p.FlipThreshold,
@@ -78,6 +86,11 @@ func floodWithFactory(factory mitigation.Factory, p dram.Params, rate, trials in
 		// Start exactly at the row's refresh slot: weight 0, the phase a
 		// weight-aware attacker would choose.
 		for interval := 0; ; interval++ {
+			if interval&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
 			iv := (fr + interval) % p.RefInt
 			for i := 0; i < rate; i++ {
 				acts++
@@ -132,7 +145,8 @@ func protects(cmds []mitigation.Command, row int) bool {
 }
 
 // FloodAll runs the flooding experiment for every technique in Table III
-// order.
+// order. Library convenience; the experiment driver runs the same cells
+// in parallel through campaign.FloodingSpec instead.
 func FloodAll(p dram.Params, rate, trials int, seed uint64) ([]FloodResult, error) {
 	var out []FloodResult
 	for _, name := range TechniqueNames() {

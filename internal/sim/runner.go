@@ -71,6 +71,15 @@ type RunnerConfig struct {
 	// short.
 	Backoff time.Duration
 
+	// Gate optionally bounds concurrency across several sweeps sharing
+	// the same channel: every run (and every RunnerConfig.Do probe)
+	// holds one token for its duration. The campaign scheduler threads
+	// one gate through all cells of a campaign so cross-section
+	// parallelism never exceeds the campaign's worker budget, however
+	// many sweeps are in flight. nil means only Workers bounds
+	// concurrency.
+	Gate chan struct{}
+
 	// runFn overrides the run function for tests (nil = RunCtx).
 	runFn func(context.Context, Config, string) (Result, error)
 }
@@ -137,7 +146,12 @@ func RunSeedsCtx(ctx context.Context, rc RunnerConfig, cfg Config, technique str
 			for i := range jobs {
 				c := cfg
 				c.Seed = seeds[i]
+				if !acquireGate(ctx, rc.Gate) {
+					errs[i] = &RunError{Seed: seeds[i], Attempts: 0, Err: ctx.Err()}
+					continue
+				}
 				res, attempts, err := runWithRetry(ctx, rc, run, c, technique)
+				releaseGate(rc.Gate)
 				if err != nil {
 					errs[i] = &RunError{Seed: seeds[i], Attempts: attempts, Err: err}
 					continue
@@ -237,6 +251,46 @@ func retriable(ctx context.Context, err error) bool {
 		return false
 	}
 	return true
+}
+
+// Do executes an arbitrary workload under the runner config's hardening:
+// the shared Gate (when set), per-run deadline, panic recovery, and
+// retry-with-backoff for transient failures. It is the probe-cell
+// counterpart of RunSeedsCtx — campaign probe cells (flooding,
+// vulnerability, latency, ...) get the exact semantics seed sweeps get,
+// from the same machinery.
+func (rc RunnerConfig) Do(ctx context.Context, fn func(context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !acquireGate(ctx, rc.Gate) {
+		return ctx.Err()
+	}
+	defer releaseGate(rc.Gate)
+	_, _, err := runWithRetry(ctx, rc, func(c context.Context, _ Config, _ string) (Result, error) {
+		return Result{}, fn(c)
+	}, Config{}, "")
+	return err
+}
+
+// acquireGate takes one token from the shared concurrency gate (a nil
+// gate always admits); it reports false when ctx is done first.
+func acquireGate(ctx context.Context, gate chan struct{}) bool {
+	if gate == nil {
+		return true
+	}
+	select {
+	case gate <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func releaseGate(gate chan struct{}) {
+	if gate != nil {
+		<-gate
+	}
 }
 
 // sleepCtx waits d or until ctx is done; it reports whether the full wait

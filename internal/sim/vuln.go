@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 
 	"tivapromi/internal/core"
@@ -51,15 +52,21 @@ const (
 // AnalyzeVulnerability runs the three probes for one technique at the
 // given (typically paper-scale) parameters.
 func AnalyzeVulnerability(technique string, p dram.Params, seed uint64) (VulnReport, error) {
+	return AnalyzeVulnerabilityCtx(context.Background(), technique, p, seed)
+}
+
+// AnalyzeVulnerabilityCtx is AnalyzeVulnerability with cooperative
+// cancellation threaded through the flood and rotation probes.
+func AnalyzeVulnerabilityCtx(ctx context.Context, technique string, p dram.Params, seed uint64) (VulnReport, error) {
 	rep := VulnReport{Technique: technique}
 
-	surv, err := floodSurvival(technique, p, seed)
+	surv, err := floodSurvival(ctx, technique, p, seed)
 	if err != nil {
 		return rep, err
 	}
 	rep.FloodSurvival = surv
 
-	ratio, nonEsc, err := rotationProbe(technique, p, seed)
+	ratio, nonEsc, err := rotationProbe(ctx, technique, p, seed)
 	if err != nil {
 		return rep, err
 	}
@@ -100,7 +107,7 @@ func AnalyzeAll(p dram.Params, seed uint64) ([]VulnReport, error) {
 // deterministic functions of time); the remaining techniques are floods
 // with Monte-Carlo confirmation (they protect deterministically or at
 // rates whose tails vanish, so 64 trials resolve them).
-func floodSurvival(technique string, p dram.Params, seed uint64) (float64, error) {
+func floodSurvival(ctx context.Context, technique string, p dram.Params, seed uint64) (float64, error) {
 	rate := p.MaxActsPerRI
 	threshold := float64(p.FlipThreshold)
 	pbase := math.Exp2(-float64(core.ProbBits(p.RefInt)))
@@ -146,7 +153,7 @@ func floodSurvival(technique string, p dram.Params, seed uint64) (float64, error
 	}
 
 	// Monte-Carlo for the tracking/counter techniques.
-	fr, err := Flood(technique, p, rate, 64, seed)
+	fr, err := FloodCtx(ctx, technique, p, rate, 64, seed)
 	if err != nil {
 		return 0, err
 	}
@@ -163,7 +170,7 @@ func floodSurvival(technique string, p dram.Params, seed uint64) (float64, error
 // Focused: one victim's aggressor pair hammered a full window. Rotating:
 // eight victims' pairs interleaved per activation at the same total rate —
 // per-victim traffic still far above the danger rate.
-func rotationProbe(technique string, p dram.Params, seed uint64) (ratio float64, nonEscalating bool, err error) {
+func rotationProbe(ctx context.Context, technique string, p dram.Params, seed uint64) (ratio float64, nonEscalating bool, err error) {
 	factory, err := mitigation.Lookup(technique)
 	if err != nil {
 		return 0, false, err
@@ -176,7 +183,7 @@ func rotationProbe(technique string, p dram.Params, seed uint64) (ratio float64,
 		nonEscalating = !esc.EscalatesUnderAttack()
 	}
 
-	run := func(victims []int) float64 {
+	run := func(victims []int) (float64, error) {
 		m := factory(target, seed)
 		// Aggressor list: both neighbors of every victim, interleaved.
 		var rows []int
@@ -191,6 +198,11 @@ func rotationProbe(technique string, p dram.Params, seed uint64) (ratio float64,
 		var cmds []mitigation.Command
 		pos := 0
 		for iv := 0; iv < p.RefInt; iv++ {
+			if iv&0x3f == 0 {
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+			}
 			for i := 0; i < p.MaxActsPerRI; i++ {
 				row := rows[pos%len(rows)]
 				pos++
@@ -201,16 +213,22 @@ func rotationProbe(technique string, p dram.Params, seed uint64) (ratio float64,
 			cmds = m.OnRefreshInterval(iv, cmds[:0])
 			protections += countProtections(cmds, victimSet)
 		}
-		return float64(protections) / float64(acts)
+		return float64(protections) / float64(acts), nil
 	}
 
 	base := p.RowsPerBank / 4
-	focused := run([]int{base})
+	focused, err := run([]int{base})
+	if err != nil {
+		return 0, nonEscalating, err
+	}
 	spread := make([]int, 8)
 	for i := range spread {
 		spread[i] = base + i*64
 	}
-	rotating := run(spread)
+	rotating, err := run(spread)
+	if err != nil {
+		return 0, nonEscalating, err
+	}
 	if focused == 0 {
 		// No protections even when focused: treat as fully evaded.
 		return 0, nonEscalating, nil

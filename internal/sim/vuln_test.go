@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"tivapromi/internal/dram"
@@ -36,11 +37,11 @@ func TestVulnerabilityColumnMatchesTableIII(t *testing.T) {
 
 func TestFloodSurvivalAnalytics(t *testing.T) {
 	p := dram.PaperParams()
-	li, err := floodSurvival("LiPRoMi", p, 1)
+	li, err := floodSurvival(context.Background(), "LiPRoMi", p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lo, err := floodSurvival("LoPRoMi", p, 1)
+	lo, err := floodSurvival(context.Background(), "LoPRoMi", p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestFloodSurvivalAnalytics(t *testing.T) {
 	if lo > SurvivalLimit {
 		t.Fatalf("LoPRoMi survival %g above the limit", lo)
 	}
-	para, err := floodSurvival("PARA", p, 1)
+	para, err := floodSurvival(context.Background(), "PARA", p, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestRotationProbeEscalationFlags(t *testing.T) {
 	for name, wantNonEsc := range map[string]bool{
 		"PARA": true, "MRLoc": true, "TWiCe": false, "LiPRoMi": false,
 	} {
-		_, nonEsc, err := rotationProbe(name, p, 1)
+		_, nonEsc, err := rotationProbe(context.Background(), name, p, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -33,6 +33,7 @@ package tivapromi
 import (
 	"context"
 
+	"tivapromi/internal/campaign"
 	"tivapromi/internal/core"
 	"tivapromi/internal/dram"
 	"tivapromi/internal/faults"
@@ -272,3 +273,40 @@ func Flood(technique string, p Params, rate, trials int, seed uint64) (FloodResu
 func AnalyzeVulnerability(technique string, p Params, seed uint64) (VulnReport, error) {
 	return sim.AnalyzeVulnerability(technique, p, seed)
 }
+
+// Campaign-engine types: declare a study as a Campaign — a named grid of
+// seed-sweep and probe cells — and execute every cell through the
+// hardened runner with bounded cross-cell parallelism and checkpoint
+// resume. Results land in a CampaignResults keyed by cell, so rendering
+// is byte-identical whatever the worker count (see internal/campaign).
+type (
+	// Campaign is a named, ordered grid of cells (one study).
+	Campaign = campaign.Spec
+	// CampaignCell is one schedulable unit (a seed sweep or a probe).
+	CampaignCell = campaign.Cell
+	// CampaignOptions tunes one campaign execution (workers, runner,
+	// progress sink).
+	CampaignOptions = campaign.Options
+	// CampaignProgress is one scheduler event (cell done, ETA).
+	CampaignProgress = campaign.Progress
+	// CampaignResults holds every executed cell's result, keyed by cell.
+	CampaignResults = campaign.ResultSet
+	// CampaignEval carries the evaluation-wide knobs shared by the
+	// built-in section builders.
+	CampaignEval = campaign.Eval
+)
+
+// RunCampaign executes every cell of a campaign through the hardened
+// runner with bounded cross-cell parallelism.
+func RunCampaign(ctx context.Context, c Campaign, opts CampaignOptions) (*CampaignResults, error) {
+	return campaign.Run(ctx, c, opts)
+}
+
+// MergeCampaigns concatenates campaigns into one, deduplicating cells by
+// key, so studies sharing a sweep run it once.
+func MergeCampaigns(name string, cs ...Campaign) Campaign {
+	return campaign.Merge(name, cs...)
+}
+
+// DefaultCampaignEval mirrors the cmd/experiments flag defaults.
+func DefaultCampaignEval() CampaignEval { return campaign.DefaultEval() }
