@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race check bench bench-campaign experiments examples fig4 clean
+.PHONY: all build vet test test-short test-debugasserts race check bench bench-campaign bench-hotpath experiments examples fig4 clean
 
 all: build vet test
 
@@ -18,13 +18,20 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Race-detect the concurrent machinery: the hardened seed-sweep runner,
-# the fault-injection framework it drives, and the campaign scheduler.
-race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/...
+# Exercise the debug-build weight assertions (release builds return 0 on a
+# negative weight; -tags tivadebug panics instead).
+test-debugasserts:
+	$(GO) test -tags tivadebug ./internal/core/...
 
-# The full pre-merge gate: build, vet, tests, race tests.
-check: build vet test race
+# Race-detect the concurrent machinery: the hardened seed-sweep runner,
+# the fault-injection framework it drives, the campaign scheduler, and the
+# hot-path structures the parallel campaign touches.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/... ./internal/hotpath/... ./internal/bitset/...
+
+# The full pre-merge gate: build, vet, tests (both assertion modes), race
+# tests.
+check: build vet test test-debugasserts race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -34,6 +41,13 @@ bench:
 # BENCH_campaign.json (sections, wall-clock, speedup).
 bench-campaign:
 	$(GO) run ./cmd/experiments -seeds 2 -windows 2 -trials 5 bench
+
+# Hot-path benchmark harness: per-technique activation-path ns/act and
+# allocs/act (with the serial-LFSR "before" reference), batched-vs-
+# reference pipeline throughput, written to BENCH_hotpath.json. Fails if
+# any act path allocates.
+bench-hotpath:
+	$(GO) run ./cmd/experiments profile
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -16,6 +16,11 @@
 //	experiments all              — everything above, as one merged campaign
 //	experiments bench            — run `all` at -workers 1 and -workers N,
 //	                               verify byte-identical output, write timings
+//	experiments profile          — hot-path benchmark harness: per-technique
+//	                               act-path ns/act + allocs/act and batched
+//	                               vs reference pipeline throughput, written
+//	                               to BENCH_hotpath.json (optionally with
+//	                               pprof CPU/heap profiles)
 //
 // Every section is a campaign.Spec in the report.Sections registry; this
 // command only merges the selected specs, runs them through the campaign
@@ -42,6 +47,11 @@
 //	-progress         stream per-cell progress and ETA to stderr
 //	-bench-out PATH   where `bench` writes its JSON report (default
 //	                  BENCH_campaign.json)
+//	-profile-out PATH where `profile` writes its JSON report (default
+//	                  BENCH_hotpath.json)
+//	-cpuprofile PATH  profile: also capture a pprof CPU profile of the
+//	                  pipeline measurements
+//	-memprofile PATH  profile: also capture a pprof heap profile at exit
 package main
 
 import (
@@ -54,10 +64,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"tivapromi/internal/campaign"
 	"tivapromi/internal/dram"
+	"tivapromi/internal/hotpath"
+	"tivapromi/internal/memctrl"
 	"tivapromi/internal/report"
 	"tivapromi/internal/sim"
 )
@@ -75,6 +88,9 @@ var (
 	timeout  = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
 	progress = flag.Bool("progress", false, "stream per-cell progress to stderr")
 	benchOut = flag.String("bench-out", "BENCH_campaign.json", "bench: JSON report path")
+	profOut  = flag.String("profile-out", "BENCH_hotpath.json", "profile: JSON report path")
+	cpuProf  = flag.String("cpuprofile", "", "profile: write a pprof CPU profile here")
+	memProf  = flag.String("memprofile", "", "profile: write a pprof heap profile here")
 )
 
 // app binds one evaluation's knobs to its outputs. Tests construct it
@@ -207,6 +223,8 @@ type benchReport struct {
 	Windows         int     `json:"windows"`
 	Trials          int     `json:"trials"`
 	CPUs            int     `json:"cpus"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	BatchSize       int     `json:"batch_size"`
 	WorkersParallel int     `json:"workers_parallel"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
@@ -222,6 +240,10 @@ func (a *app) bench(ctx context.Context, path string) error {
 	par := a.workers
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
+	}
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr,
+			"experiments: bench on a single-CPU host: the parallel run cannot overlap work, expect speedup ≈ 1")
 	}
 	run := func(workers int) (string, time.Duration, error) {
 		var buf bytes.Buffer
@@ -255,6 +277,8 @@ func (a *app) bench(ctx context.Context, path string) error {
 		Windows:         a.ev.Base.Windows,
 		Trials:          a.ev.Trials,
 		CPUs:            runtime.NumCPU(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		BatchSize:       memctrl.DefaultBatchSize,
 		WorkersParallel: par,
 		SerialSeconds:   serialDur.Seconds(),
 		ParallelSeconds: parDur.Seconds(),
@@ -272,6 +296,72 @@ func (a *app) bench(ctx context.Context, path string) error {
 		rep.Cells, rep.SerialSeconds, par, rep.ParallelSeconds, rep.Speedup, rep.Identical, path)
 	if !rep.Identical {
 		return fmt.Errorf("bench: serial and parallel outputs differ")
+	}
+	return nil
+}
+
+// profile runs the hot-path benchmark harness (internal/hotpath) and
+// writes its report to path. It exits with an error when any technique's
+// activation path allocates — the regression the harness exists to catch —
+// or when the batched and reference pipeline drivers disagree. Optional
+// pprof captures cover the pipeline measurements (CPU) and the end state
+// (heap).
+func (a *app) profile(ctx context.Context, path, cpuPath, memPath string) error {
+	if runtime.NumCPU() == 1 {
+		fmt.Fprintln(os.Stderr,
+			"experiments: profile on a single-CPU host: throughput numbers will be depressed by timer interference")
+	}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	rep, err := hotpath.BuildReport(ctx)
+	if err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, m := range rep.ActPath {
+		line := fmt.Sprintf("profile: %-10s %8.1f ns/act  %6.3f allocs/act  %12.0f acts/sec",
+			m.Name, m.NsPerAct, m.AllocsPerAct, m.ActsPerSec)
+		if m.RefNsPerAct > 0 {
+			line += fmt.Sprintf("  (serial-LFSR ref %.1f ns/act, %.1fx)", m.RefNsPerAct, m.Speedup)
+		}
+		fmt.Fprintln(a.stdout, line)
+	}
+	for _, p := range rep.Pipeline {
+		fmt.Fprintf(a.stdout, "profile: pipeline %-10s ref %10.0f acts/sec  batched %10.0f acts/sec  %.2fx  match=%v\n",
+			p.Technique, p.RefActsPerSec, p.BatchedActsPerSec, p.Speedup, p.ResultsMatch)
+	}
+	fmt.Fprintf(a.stdout, "profile: wrote %s\n", path)
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	for _, m := range rep.ActPath {
+		if m.AllocsPerAct > 0 {
+			return fmt.Errorf("profile: %s allocates %.3f objects per activation on the act path, want 0",
+				m.Name, m.AllocsPerAct)
+		}
 	}
 	return nil
 }
@@ -329,6 +419,8 @@ func main() {
 		err = a.runSections(ctx, sectionNames())
 	case "bench":
 		err = a.bench(ctx, *benchOut)
+	case "profile":
+		err = a.profile(ctx, *profOut, *cpuProf, *memProf)
 	default:
 		if _, ok := report.Section(cmd); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)

@@ -1,0 +1,61 @@
+package bitset
+
+import "testing"
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in a fresh set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+	b.Reset()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d, want 0", got)
+	}
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d, want 130", b.Len())
+	}
+}
+
+// TestGetOutOfRangeIsFalse pins the hot-path contract: membership probes
+// outside the capacity (neighbor addresses one row off the device) report
+// "not a member" instead of panicking.
+func TestGetOutOfRangeIsFalse(t *testing.T) {
+	b := New(64)
+	for _, i := range []int{-1, -64, 64, 65, 1 << 20} {
+		if b.Get(i) {
+			t.Fatalf("Get(%d) = true out of range", i)
+		}
+	}
+}
+
+func TestSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set out of range did not panic")
+		}
+	}()
+	New(8).Set(8)
+}
+
+func TestZeroSize(t *testing.T) {
+	b := New(0)
+	if b.Get(0) || b.Count() != 0 || b.Len() != 0 {
+		t.Fatal("zero-size set misbehaves")
+	}
+}

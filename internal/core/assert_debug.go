@@ -1,0 +1,15 @@
+//go:build tivadebug
+
+package core
+
+import "fmt"
+
+// assertNonNegativeWeight panics on negative weights under the
+// `tivadebug` build tag, restoring the seed implementation's fail-fast
+// behavior for invariant-checking test runs (`make test-debugasserts`).
+// Release builds compile this to a no-op — see assert_release.go.
+func assertNonNegativeWeight(w int) {
+	if w < 0 {
+		panic(fmt.Sprintf("core: negative weight %d", w))
+	}
+}

@@ -1,0 +1,22 @@
+//go:build tivadebug
+
+package core
+
+import "testing"
+
+// TestNegativeWeightPanicsUnderDebugTag pins the debug-build contract:
+// with `-tags tivadebug` the weight functions fail fast on the invariant
+// violation, exactly as the seed implementation did unconditionally.
+// Release builds map negative weights to 0 (assert_release_test.go).
+func TestNegativeWeightPanicsUnderDebugTag(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic under tivadebug", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("LogWeight(-1)", func() { LogWeight(-1) })
+	mustPanic("QuadWeight(-1, 1024)", func() { QuadWeight(-1, 1024) })
+}

@@ -1,0 +1,12 @@
+//go:build !tivadebug
+
+package core
+
+// assertNonNegativeWeight is a no-op in release builds: the weight
+// functions sit on the per-activation hot path, and a negative weight is
+// an internal invariant violation that Weight can never produce. Release
+// builds define the behavior deterministically (negative weights map to
+// 0, a probability that never triggers) instead of paying for a panic
+// check per activation; `go test -tags tivadebug ./internal/core/...`
+// turns the check back into a panic (see assert_debug.go).
+func assertNonNegativeWeight(int) {}

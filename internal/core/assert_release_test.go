@@ -1,0 +1,25 @@
+//go:build !tivadebug
+
+package core
+
+import "testing"
+
+// TestNegativeWeightIsZeroInRelease pins the release-build contract: a
+// negative weight (an invariant violation Weight can never produce) maps
+// deterministically to 0 — a probability that never triggers — instead of
+// panicking on the per-activation hot path. The fail-fast behavior lives
+// behind the `tivadebug` build tag (assert_debug_test.go).
+func TestNegativeWeightIsZeroInRelease(t *testing.T) {
+	for _, w := range []int{-1, -2, -1024} {
+		if got := LogWeight(w); got != 0 {
+			t.Errorf("LogWeight(%d) = %d, want 0 in release builds", w, got)
+		}
+		if got := QuadWeight(w, 1024); got != 0 {
+			t.Errorf("QuadWeight(%d, 1024) = %d, want 0 in release builds", w, got)
+		}
+	}
+	// Sanity: non-negative weights are unaffected by the assertion split.
+	if LogWeight(0) != 1 || QuadWeight(0, 1024) != 1 {
+		t.Fatal("zero weight no longer maps to 1")
+	}
+}

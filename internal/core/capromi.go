@@ -75,9 +75,14 @@ type caEntry struct {
 // tracked rows are made collectively when the refresh command arrives,
 // with p_r = cnt_r * w_log_r * Pbase.
 type CaPRoMi struct {
-	cfg    CaConfig
-	hist   []*HistoryTable
-	cnts   [][]caEntry
+	cfg CaConfig
+	// hist holds one history table per bank, stored flat (by value) like
+	// TiVaPRoMi's.
+	hist []HistoryTable
+	cnts [][]caEntry
+	// loglut precomputes LogWeight for every raw weight in [0, RefInt),
+	// taking Eq. 2 off the per-entry collective-decision loop.
+	loglut []int32
 	bern   *rng.Bernoulli
 	src    *rng.LFSR32
 	// override, when non-nil, replaces the built-in LFSR on the Bernoulli
@@ -105,15 +110,19 @@ func NewCa(banks int, cfg CaConfig, seed uint64) (*CaPRoMi, error) {
 		shift++
 	}
 	c := &CaPRoMi{
-		cfg:   cfg,
-		hist:  make([]*HistoryTable, banks),
-		cnts:  make([][]caEntry, banks),
-		seed:  seed,
-		shift: shift,
+		cfg:    cfg,
+		hist:   make([]HistoryTable, banks),
+		cnts:   make([][]caEntry, banks),
+		loglut: make([]int32, cfg.RefInt),
+		seed:   seed,
+		shift:  shift,
 	}
 	for b := range c.hist {
-		c.hist[b] = NewHistoryTable(cfg.HistoryEntries)
+		c.hist[b] = *NewHistoryTable(cfg.HistoryEntries)
 		c.cnts[b] = make([]caEntry, 0, cfg.CounterEntries)
+	}
+	for w := 0; w < cfg.RefInt; w++ {
+		c.loglut[w] = int32(LogWeight(w))
 	}
 	c.Reset()
 	return c, nil
@@ -197,8 +206,16 @@ func (c *CaPRoMi) OnRefreshInterval(interval int, cmds []mitigation.Command) []m
 			if e.hist >= 0 {
 				since = int(e.hist)
 			}
-			w := LogWeight(Weight(interval, since, c.cfg.RefInt))
-			if c.bern.Trigger(uint64(e.cnt) * uint64(w)) {
+			w := Weight(interval, since, c.cfg.RefInt)
+			var lw uint64
+			if uint(w) < uint(len(c.loglut)) {
+				lw = uint64(c.loglut[w])
+			} else {
+				// Unreachable from valid state; fault injection can plant
+				// out-of-range history links.
+				lw = uint64(LogWeight(w))
+			}
+			if c.bern.Trigger(uint64(e.cnt) * lw) {
 				c.hist[b].Record(int(e.row), interval)
 				cmds = append(cmds, mitigation.Command{
 					Kind: mitigation.ActN, Bank: b, Row: int(e.row),
@@ -294,7 +311,7 @@ func (c *CaPRoMi) InjectStateFault(src rng.Source) bool {
 func (c *CaPRoMi) TableBytesPerBank() int { return c.cfg.TotalBytes() }
 
 // History exposes a bank's history table for white-box tests.
-func (c *CaPRoMi) History(bank int) *HistoryTable { return c.hist[bank] }
+func (c *CaPRoMi) History(bank int) *HistoryTable { return &c.hist[bank] }
 
 // CounterOccupancy returns the live counter-table entries of a bank.
 func (c *CaPRoMi) CounterOccupancy(bank int) int { return len(c.cnts[bank]) }

@@ -35,8 +35,12 @@ func (h *HistoryTable) Len() int { return len(h.rows) }
 // is present.
 func (h *HistoryTable) Lookup(row int) (interval int, ok bool) {
 	r := int32(row)
-	for i, v := range h.valid {
-		if v && h.rows[i] == r {
+	// Scan the row column first: on the hot path most lookups miss, and
+	// comparing the 4-byte row addresses touches less memory than loading
+	// the valid column for every slot. The predicate is commutative, so
+	// the first matching index — and thus the result — is unchanged.
+	for i, rv := range h.rows {
+		if rv == r && h.valid[i] {
 			return int(h.intervals[i]), true
 		}
 	}

@@ -122,7 +122,20 @@ func (c Config) HistoryBytes() int {
 type TiVaPRoMi struct {
 	cfg     Config
 	variant Variant
-	tables  []*HistoryTable
+	// tables holds one history table per bank, stored flat (by value) so
+	// the per-activation bank dispatch is one index into a contiguous
+	// slice instead of a pointer chase.
+	tables []HistoryTable
+	// lutHit/lutMiss are the precomputed fixed-point Bernoulli trigger
+	// thresholds for every possible raw weight w in [0, RefInt): the
+	// effective weight that enters the comparator when the activated row
+	// is in the history table (lutHit) or not (lutMiss). They fold the
+	// per-variant Weight→LogWeight/QuadWeight mapping out of the
+	// per-activation path; the hardware analogue is the modified priority
+	// encoder of Eq. 2, which is likewise a pure combinational function of
+	// the interval difference.
+	lutHit  []int32
+	lutMiss []int32
 	bern    *rng.Bernoulli
 	src     *rng.LFSR32
 	// override, when non-nil, replaces the built-in LFSR on the Bernoulli
@@ -153,15 +166,50 @@ func New(variant Variant, banks int, cfg Config, seed uint64) (*TiVaPRoMi, error
 	t := &TiVaPRoMi{
 		cfg:     cfg,
 		variant: variant,
-		tables:  make([]*HistoryTable, banks),
+		tables:  make([]HistoryTable, banks),
 		seed:    seed,
 		shift:   shift,
 	}
 	for b := range t.tables {
-		t.tables[b] = NewHistoryTable(cfg.HistoryEntries)
+		t.tables[b] = *NewHistoryTable(cfg.HistoryEntries)
 	}
+	t.lutHit, t.lutMiss = buildWeightLUTs(variant, cfg.RefInt)
 	t.Reset()
 	return t, nil
+}
+
+// buildWeightLUTs precomputes the per-variant effective-weight tables for
+// every raw weight in [0, refInt). hit applies when the activated row is
+// in the history table, miss when it is not; only LoLiPRoMi distinguishes
+// the two.
+func buildWeightLUTs(variant Variant, refInt int) (hit, miss []int32) {
+	hit = make([]int32, refInt)
+	miss = make([]int32, refInt)
+	for w := 0; w < refInt; w++ {
+		hit[w] = int32(variantWeight(variant, w, true, refInt))
+		miss[w] = int32(variantWeight(variant, w, false, refInt))
+	}
+	return hit, miss
+}
+
+// variantWeight is the reference (unmemoized) per-variant weighting; the
+// LUTs are built from it and the out-of-range fallback uses it directly.
+func variantWeight(variant Variant, w int, inTable bool, refInt int) int {
+	switch variant {
+	case LiPRoMi:
+		return w
+	case LoPRoMi:
+		return LogWeight(w)
+	case LoLiPRoMi:
+		if inTable {
+			return w
+		}
+		return LogWeight(w)
+	case QuaPRoMi:
+		return QuadWeight(w, refInt)
+	default:
+		panic("core: unknown variant")
+	}
 }
 
 // MustNew is New for static configurations; it panics on error.
@@ -209,33 +257,42 @@ func (t *TiVaPRoMi) EffectiveWeight(bank, row, interval int) int {
 		since = iv
 		inTable = true
 	}
+	return t.effectiveWeight(interval, since, inTable)
+}
+
+// effectiveWeight resolves the trigger threshold for a raw interval
+// distance through the precomputed LUTs, falling back to the reference
+// computation for out-of-range weights (unreachable from valid state, but
+// fault injection corrupts table timestamps and the fallback keeps the
+// contract total).
+func (t *TiVaPRoMi) effectiveWeight(interval, since int, inTable bool) int {
 	w := Weight(interval, since, t.cfg.RefInt)
-	switch t.variant {
-	case LiPRoMi:
-		return w
-	case LoPRoMi:
-		return LogWeight(w)
-	case LoLiPRoMi:
-		if inTable {
-			return w
-		}
-		return LogWeight(w)
-	case QuaPRoMi:
-		return QuadWeight(w, t.cfg.RefInt)
-	default:
-		panic("core: unknown variant")
+	lut := t.lutMiss
+	if inTable {
+		lut = t.lutHit
 	}
+	if uint(w) < uint(len(lut)) {
+		return int(lut[w])
+	}
+	return variantWeight(t.variant, w, inTable, t.cfg.RefInt)
 }
 
 // OnActivate implements mitigation.Mitigator: Fig. 2's FSM loop — search
 // the history table, compute the weight, decide probabilistically, and on
-// a positive decision emit act_n and update the table.
+// a positive decision emit act_n and update the table. The path is
+// allocation-free: the table search is a flat scan, the weight is a LUT
+// load, and the Bernoulli draw jumps the LFSR 32 steps per word.
 func (t *TiVaPRoMi) OnActivate(bank, row, interval int, cmds []mitigation.Command) []mitigation.Command {
-	w := t.EffectiveWeight(bank, row, interval)
+	tb := &t.tables[bank]
+	since, inTable := tb.Lookup(row)
+	if !inTable {
+		since = row >> t.shift
+	}
+	w := t.effectiveWeight(interval, since, inTable)
 	if !t.bern.Trigger(uint64(w)) {
 		return cmds
 	}
-	t.tables[bank].Record(row, interval)
+	tb.Record(row, interval)
 	return append(cmds, mitigation.Command{Kind: mitigation.ActN, Bank: bank, Row: row})
 }
 
@@ -248,8 +305,8 @@ func (t *TiVaPRoMi) OnRefreshInterval(_ int, cmds []mitigation.Command) []mitiga
 // OnNewWindow implements mitigation.Mitigator: the history table is
 // cleared when a new refresh window starts.
 func (t *TiVaPRoMi) OnNewWindow() {
-	for _, tb := range t.tables {
-		tb.Clear()
+	for b := range t.tables {
+		t.tables[b].Clear()
 	}
 }
 
@@ -298,7 +355,7 @@ func (t *TiVaPRoMi) InjectStateFault(src rng.Source) bool {
 func (t *TiVaPRoMi) TableBytesPerBank() int { return t.cfg.HistoryBytes() }
 
 // Table exposes a bank's history table for white-box tests.
-func (t *TiVaPRoMi) Table(bank int) *HistoryTable { return t.tables[bank] }
+func (t *TiVaPRoMi) Table(bank int) *HistoryTable { return &t.tables[bank] }
 
 // EscalatesUnderAttack implements mitigation.Escalation: the time-varying
 // weight grows while an attack runs, raising the protection probability.

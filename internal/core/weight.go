@@ -31,9 +31,15 @@ func Weight(i, since, refInt int) int {
 // 32), which is what a modified priority encoder produces in hardware. The
 // +1 handles the corner case w = 0 (result 1, never 0: a just-refreshed
 // row keeps a nonzero escape probability).
+//
+// Negative weights are invariant violations (Weight never produces one).
+// Release builds skip the check — this is the per-activation hot path —
+// and deterministically return 0, a weight that never triggers; builds
+// with the `tivadebug` tag panic instead (see assert_debug.go).
 func LogWeight(w int) int {
+	assertNonNegativeWeight(w)
 	if w < 0 {
-		panic("core: negative weight")
+		return 0
 	}
 	x := uint(w + 1)
 	if x&(x-1) == 0 {
@@ -47,9 +53,13 @@ func LogWeight(w int) int {
 // (w = RefInt-1 maps to RefInt, i.e. p = RefInt * Pbase), but instead of
 // ramping fast at low weights it stays minimal for most of the window —
 // the mirror-image trade-off of LoPRoMi.
+//
+// Negative weights follow the LogWeight contract: 0 in release builds, a
+// panic under the `tivadebug` build tag.
 func QuadWeight(w, refInt int) int {
+	assertNonNegativeWeight(w)
 	if w < 0 {
-		panic("core: negative weight")
+		return 0
 	}
 	x := w + 1
 	return (x*x + refInt - 1) / refInt

@@ -14,17 +14,19 @@ import (
 // cell-position dependent and repeatable, which is what makes the attack
 // exploitable (Flip Feng Shui [15]).
 
-// rowKey addresses a stored row.
-type rowKey struct {
-	bank int32
-	row  int32
-}
-
 // dataStore is the sparse content store, attached lazily to a Device.
+// Storage is a flat arena: index maps each physical (bank, row) position to
+// a row number inside arena, or -1 when the row was never written. The seed
+// kept a map[rowKey][]byte here; the arena removes per-row allocations and
+// the hash lookup from the write/read/corrupt paths, and keeps all stored
+// rows contiguous.
 type dataStore struct {
-	rows     map[rowKey][]byte
-	rowBytes int
-	seed     uint64
+	index       []int32 // bank*rowsPerBank+prow -> arena row number, -1 absent
+	arena       []byte  // stored rows, rowBytes each, in allocation order
+	zeroRow     []byte  // reusable zero block for arena growth
+	rowBytes    int
+	rowsPerBank int
+	seed        uint64
 	// Corruptions counts bits flipped in stored rows.
 	corruptions uint64
 }
@@ -33,12 +35,44 @@ type dataStore struct {
 // (the device's RowBytes by default when 0 is passed).
 func (d *Device) EnableDataStore(seed uint64) {
 	if d.data == nil {
-		d.data = &dataStore{
-			rows:     make(map[rowKey][]byte),
-			rowBytes: d.p.RowBytes,
-			seed:     seed,
+		ds := &dataStore{
+			index:       make([]int32, d.p.Banks*d.p.RowsPerBank),
+			zeroRow:     make([]byte, d.p.RowBytes),
+			rowBytes:    d.p.RowBytes,
+			rowsPerBank: d.p.RowsPerBank,
+			seed:        seed,
 		}
+		for i := range ds.index {
+			ds.index[i] = -1
+		}
+		d.data = ds
 	}
+}
+
+// row returns the stored bytes of a physical (bank, prow), or nil when the
+// row was never written.
+func (ds *dataStore) row(bank, prow int) []byte {
+	i := ds.index[bank*ds.rowsPerBank+prow]
+	if i < 0 {
+		return nil
+	}
+	off := int(i) * ds.rowBytes
+	return ds.arena[off : off+ds.rowBytes]
+}
+
+// ensureRow returns the stored bytes of a physical (bank, prow), allocating
+// a zeroed arena row on first touch.
+func (ds *dataStore) ensureRow(bank, prow int) []byte {
+	pos := bank*ds.rowsPerBank + prow
+	if i := ds.index[pos]; i >= 0 {
+		off := int(i) * ds.rowBytes
+		return ds.arena[off : off+ds.rowBytes]
+	}
+	i := int32(len(ds.arena) / ds.rowBytes)
+	ds.index[pos] = i
+	ds.arena = append(ds.arena, ds.zeroRow...)
+	off := int(i) * ds.rowBytes
+	return ds.arena[off : off+ds.rowBytes]
 }
 
 // WriteData stores bytes at an offset within a row. The device must have
@@ -53,12 +87,7 @@ func (d *Device) WriteData(bank, row, offset int, data []byte) {
 		panic(fmt.Sprintf("dram: write [%d, %d) outside row of %d bytes",
 			offset, offset+len(data), d.data.rowBytes))
 	}
-	key := rowKey{bank: int32(bank), row: d.l2p[row]}
-	buf, ok := d.data.rows[key]
-	if !ok {
-		buf = make([]byte, d.data.rowBytes)
-		d.data.rows[key] = buf
-	}
+	buf := d.data.ensureRow(bank, int(d.l2p[row]))
 	copy(buf[offset:], data)
 }
 
@@ -70,8 +99,7 @@ func (d *Device) ReadData(bank, row, offset, n int) []byte {
 		panic("dram: data store not enabled")
 	}
 	out := make([]byte, n)
-	key := rowKey{bank: int32(bank), row: d.l2p[row]}
-	if buf, ok := d.data.rows[key]; ok {
+	if buf := d.data.row(bank, int(d.l2p[row])); buf != nil {
 		copy(out, buf[offset:offset+n])
 	}
 	return out
@@ -90,9 +118,8 @@ func (d *Device) Corruptions() uint64 {
 // row never written has no observable content to corrupt, matching real
 // attacks: the flip lands wherever the victim's data lives).
 func (ds *dataStore) corrupt(bank, prow, window int) {
-	key := rowKey{bank: int32(bank), row: int32(prow)}
-	buf, ok := ds.rows[key]
-	if !ok {
+	buf := ds.row(bank, prow)
+	if buf == nil {
 		return
 	}
 	src := rng.NewXorShift64Star(ds.seed ^ uint64(bank)<<40 ^ uint64(prow)<<16 ^ uint64(window))

@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"tivapromi/internal/bitset"
+)
 
 // FlipEvent records a victim row crossing the disturbance threshold — a
 // successful Row-Hammer attack.
@@ -53,8 +57,12 @@ type Device struct {
 	flips    []FlipEvent
 	// flipped marks rows already reported this window so a sustained
 	// attack yields one event per victim per window, as one data-corrupting
-	// flip would.
-	flipped map[int64]bool
+	// flip would. It is a dense bitset over bank*RowsPerBank+prow (the seed
+	// used a map here, which put hashing and allocation on the disturbance
+	// path); flippedDirty lists the set positions so the per-window clear is
+	// O(flips), not O(rows).
+	flipped      *bitset.Bitset
+	flippedDirty []int32
 
 	stats Stats
 
@@ -80,7 +88,7 @@ func New(p Params, policy RefreshPolicy) (*Device, error) {
 		disturb:      make([][]uint32, p.Banks),
 		l2p:          make([]int32, p.RowsPerBank),
 		intervalActs: make([]uint32, p.Banks),
-		flipped:      make(map[int64]bool),
+		flipped:      bitset.New(p.Banks * p.RowsPerBank),
 	}
 	for b := range d.disturb {
 		d.disturb[b] = make([]uint32, p.RowsPerBank)
@@ -147,9 +155,10 @@ func (d *Device) disturbNeighbor(bank, prow int) {
 	c := d.disturb[bank][prow] + 1
 	d.disturb[bank][prow] = c
 	if c >= d.p.FlipThreshold {
-		key := int64(bank)<<32 | int64(prow)
-		if !d.flipped[key] {
-			d.flipped[key] = true
+		pos := bank*d.p.RowsPerBank + prow
+		if !d.flipped.Get(pos) {
+			d.flipped.Set(pos)
+			d.flippedDirty = append(d.flippedDirty, int32(pos))
 			d.stats.Flips++
 			d.flips = append(d.flips, FlipEvent{
 				Bank: bank, Row: prow,
@@ -267,10 +276,12 @@ func (d *Device) AdvanceInterval() []int {
 	d.stats.Intervals++
 	d.interval++
 	if d.interval%d.p.RefInt == 0 {
-		// New window: victims refreshed, flip bookkeeping restarts.
-		for k := range d.flipped {
-			delete(d.flipped, k)
+		// New window: victims refreshed, flip bookkeeping restarts. Only
+		// the positions actually set are cleared.
+		for _, pos := range d.flippedDirty {
+			d.flipped.Clear(int(pos))
 		}
+		d.flippedDirty = d.flippedDirty[:0]
 	}
 	return rows
 }

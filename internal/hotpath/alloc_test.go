@@ -1,0 +1,37 @@
+package hotpath
+
+import (
+	"testing"
+
+	"tivapromi/internal/mitigation"
+)
+
+// TestActPathAllocFree is the alloc-regression gate: after warm-up, the
+// activation path of every benchmarked technique must not allocate. A
+// regression here (a map reintroduced on a hot lookup, a command buffer
+// grown per call) silently costs an order of magnitude in campaign
+// throughput, so it fails the build rather than a benchmark review.
+func TestActPathAllocFree(t *testing.T) {
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			tgt := BenchTarget()
+			factory, err := mitigation.Lookup(s.Name)
+			if err != nil {
+				t.Fatalf("lookup: %v", err)
+			}
+			m := factory(tgt, 1)
+			// Warm-up: grow the scratch buffer and fill the technique's
+			// tables to steady state.
+			_, scratch := DriveActPath(m, tgt, 8*actsPerInterval*tgt.Banks, nil)
+			const actsPerRun = 2 * actsPerInterval // spans an interval tick
+			allocs := testing.AllocsPerRun(50, func() {
+				_, scratch = DriveActPath(m, tgt, actsPerRun, scratch)
+			})
+			if allocs != 0 {
+				t.Errorf("%s act path allocates %.2f objects per %d activations, want 0",
+					s.Name, allocs, actsPerRun)
+			}
+		})
+	}
+}

@@ -1,0 +1,19 @@
+package hotpath
+
+import "testing"
+
+// Standard-driver benchmarks over the same measurement core the profile
+// subcommand uses: `go test -bench . ./internal/hotpath/` and
+// `cmd/experiments profile` report the same quantities.
+
+func BenchmarkActPathPARA(b *testing.B)      { benchActPath(b, "PARA", false) }
+func BenchmarkActPathTWiCe(b *testing.B)     { benchActPath(b, "TWiCe", false) }
+func BenchmarkActPathCaPRoMi(b *testing.B)   { benchActPath(b, "CaPRoMi", false) }
+func BenchmarkActPathLiPRoMi(b *testing.B)   { benchActPath(b, "LiPRoMi", false) }
+func BenchmarkActPathLoPRoMi(b *testing.B)   { benchActPath(b, "LoPRoMi", false) }
+func BenchmarkActPathLoLiPRoMi(b *testing.B) { benchActPath(b, "LoLiPRoMi", false) }
+
+// The serial-LFSR "before" references, for explicit side-by-side runs.
+
+func BenchmarkActPathPARASerialLFSR(b *testing.B)    { benchActPath(b, "PARA", true) }
+func BenchmarkActPathLiPRoMiSerialLFSR(b *testing.B) { benchActPath(b, "LiPRoMi", true) }

@@ -1,0 +1,295 @@
+// Package hotpath is the profiling and benchmark harness for the
+// simulation core. It measures two layers:
+//
+//   - the per-mitigator activation path (OnActivate plus its share of
+//     interval work) in isolation, against a deterministic synthetic
+//     access pattern — ns/act, allocs/act, acts/sec — with a "before"
+//     reference that reruns RNG-backed techniques on the serial
+//     bit-by-bit LFSR the seed implementation stepped; and
+//   - the end-to-end simulation pipeline, comparing the unbatched
+//     reference driver (sim.RunReferenceCtx) against the batched
+//     production driver (sim.RunCtx) and verifying both produce the
+//     identical Result.
+//
+// `go run ./cmd/experiments profile` builds a Report and writes it to
+// BENCH_hotpath.json; `go test -bench . ./internal/hotpath/` runs the same
+// measurements under the standard benchmark driver.
+package hotpath
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"tivapromi/internal/dram"
+	"tivapromi/internal/memctrl"
+	"tivapromi/internal/mitigation"
+	_ "tivapromi/internal/mitigation/all" // register all techniques
+	"tivapromi/internal/rng"
+	"tivapromi/internal/sim"
+)
+
+// Spec names one technique whose activation path is benchmarked.
+type Spec struct {
+	// Name is the mitigation registry name.
+	Name string
+	// RNG marks techniques whose act path draws decision entropy from the
+	// LFSR; only those have a meaningful serial-LFSR "before" reference.
+	RNG bool
+}
+
+// Specs returns the benchmarked techniques: the paper's probabilistic
+// family plus the deterministic counter baselines whose table lookups the
+// overhaul rewrote.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "PARA", RNG: true},
+		{Name: "TWiCe", RNG: false},
+		{Name: "CaPRoMi", RNG: true},
+		{Name: "LiPRoMi", RNG: true},
+		{Name: "LoPRoMi", RNG: true},
+		{Name: "LoLiPRoMi", RNG: true},
+	}
+}
+
+// BenchTarget is the device geometry the act-path benchmarks run against:
+// the scaled simulator default, so micro-benchmark numbers correspond to
+// the configuration every experiment uses.
+func BenchTarget() mitigation.Target {
+	p := dram.ScaledParams()
+	return mitigation.Target{
+		Banks:         p.Banks,
+		RowsPerBank:   p.RowsPerBank,
+		RefInt:        p.RefInt,
+		FlipThreshold: p.FlipThreshold,
+	}
+}
+
+// actsPerInterval matches the traffic statistic the paper reports (≈40
+// activations per bank-interval); the synthetic pattern advances the
+// interval clock at that rate so interval-indexed weights sweep their
+// whole range.
+const actsPerInterval = 40
+
+// DriveActPath feeds n synthetic activations to m and returns the number
+// of commands it emitted together with the (possibly grown) scratch
+// buffer. The pattern is deterministic and RNG-free: a double-sided
+// hammer pair sweeps each bank while background accesses rotate over the
+// row space, and every actsPerInterval*banks activations the interval
+// advances (with OnRefreshInterval and window wrap), so counter pruning,
+// history aging and time-varying weights are all exercised.
+func DriveActPath(m mitigation.Mitigator, t mitigation.Target, n int, scratch []mitigation.Command) (int, []mitigation.Command) {
+	emitted := 0
+	interval := 0
+	perTick := actsPerInterval * t.Banks
+	victim := t.RowsPerBank / 2
+	for i := 0; i < n; i++ {
+		bank := i % t.Banks
+		var row int
+		if i%3 != 0 {
+			// Hammer: alternate the two aggressors of the victim.
+			row = victim - 1 + 2*(i&1)
+		} else {
+			// Background: rotate over the row space, coprime stride.
+			row = (i * 97) % t.RowsPerBank
+		}
+		scratch = m.OnActivate(bank, row, interval, scratch[:0])
+		emitted += len(scratch)
+		if (i+1)%perTick == 0 {
+			scratch = m.OnRefreshInterval(interval, scratch[:0])
+			emitted += len(scratch)
+			interval++
+			if interval == t.RefInt {
+				interval = 0
+				m.OnNewWindow()
+			}
+		}
+	}
+	return emitted, scratch
+}
+
+// Measurement is one technique's act-path result.
+type Measurement struct {
+	Name         string  `json:"name"`
+	NsPerAct     float64 `json:"ns_per_act"`
+	AllocsPerAct float64 `json:"allocs_per_act"`
+	ActsPerSec   float64 `json:"acts_per_sec"`
+	// RefNsPerAct is the same path with the serial bit-by-bit LFSR the
+	// seed stepped installed as the decision RNG (0 for techniques with
+	// no RNG on the act path); Speedup is RefNsPerAct / NsPerAct.
+	RefNsPerAct float64 `json:"ref_ns_per_act,omitempty"`
+	Speedup     float64 `json:"speedup,omitempty"`
+}
+
+// benchActPath drives b.N activations through a fresh instance of the
+// technique. When serial is true the decision RNG is replaced by the
+// serial LFSR reference (callers ensure the technique is RandSettable).
+func benchActPath(b *testing.B, name string, serial bool) {
+	t := BenchTarget()
+	factory, err := mitigation.Lookup(name)
+	if err != nil {
+		b.Fatalf("lookup %s: %v", name, err)
+	}
+	m := factory(t, 1)
+	if serial {
+		rs, ok := m.(mitigation.RandSettable)
+		if !ok {
+			b.Fatalf("%s does not implement RandSettable", name)
+		}
+		rs.SetRandSource(rng.NewSerialLFSR32(1))
+	}
+	// Warm the scratch buffer and the technique's tables so the timed
+	// region measures steady state, not first-touch growth.
+	_, scratch := DriveActPath(m, t, 4*actsPerInterval*t.Banks, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	DriveActPath(m, t, b.N, scratch)
+}
+
+// MeasureActPath benchmarks one technique's act path, including the
+// serial-LFSR reference for RNG-backed techniques.
+func MeasureActPath(s Spec) Measurement {
+	r := testing.Benchmark(func(b *testing.B) { benchActPath(b, s.Name, false) })
+	ns := float64(r.NsPerOp())
+	if ns <= 0 {
+		ns = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	m := Measurement{
+		Name:     s.Name,
+		NsPerAct: ns,
+		// AllocsPerOp truncates like the `go test -bench` display; stray
+		// sub-1-per-run runtime allocations inside the timed region do not
+		// count (TestActPathAllocFree is the strict zero gate).
+		AllocsPerAct: float64(r.AllocsPerOp()),
+	}
+	if ns > 0 {
+		m.ActsPerSec = 1e9 / ns
+	}
+	if s.RNG {
+		ref := testing.Benchmark(func(b *testing.B) { benchActPath(b, s.Name, true) })
+		m.RefNsPerAct = float64(ref.NsPerOp())
+		if m.NsPerAct > 0 {
+			m.Speedup = m.RefNsPerAct / m.NsPerAct
+		}
+	}
+	return m
+}
+
+// PipelineResult compares the end-to-end unbatched reference driver
+// against the batched production driver for one technique.
+type PipelineResult struct {
+	Technique         string  `json:"technique"`
+	Accesses          uint64  `json:"accesses"`
+	RefActsPerSec     float64 `json:"ref_acts_per_sec"`
+	BatchedActsPerSec float64 `json:"batched_acts_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	// ResultsMatch reports whether the two drivers produced the identical
+	// sim.Result — the behavioral-equivalence check riding along with
+	// every benchmark run.
+	ResultsMatch bool `json:"results_match"`
+}
+
+// pipelineConfig is the workload both pipeline drivers run: the standard
+// mixed-load-plus-attacker setup, shortened to keep a full profile run in
+// seconds.
+func pipelineConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Windows = 1
+	return cfg
+}
+
+// pipelineReps is how many times each pipeline driver runs; the fastest
+// repetition is reported, the standard way to strip scheduler and GC noise
+// from a wall-clock measurement.
+const pipelineReps = 3
+
+// MeasurePipeline times both drivers on the same configuration (fastest of
+// pipelineReps runs each) and checks Result equality across every run.
+func MeasurePipeline(ctx context.Context, technique string) (PipelineResult, error) {
+	cfg := pipelineConfig()
+	best := func(run func() (sim.Result, error)) (sim.Result, time.Duration, error) {
+		var res sim.Result
+		var min time.Duration
+		for i := 0; i < pipelineReps; i++ {
+			runtime.GC() // don't bill one run for another's garbage
+			t0 := time.Now()
+			r, err := run()
+			d := time.Since(t0)
+			if err != nil {
+				return sim.Result{}, 0, err
+			}
+			if i == 0 {
+				res, min = r, d
+				continue
+			}
+			if r != res {
+				return sim.Result{}, 0, fmt.Errorf("nondeterministic result across repetitions")
+			}
+			if d < min {
+				min = d
+			}
+		}
+		return res, min, nil
+	}
+	ref, refDur, err := best(func() (sim.Result, error) { return sim.RunReferenceCtx(ctx, cfg, technique) })
+	if err != nil {
+		return PipelineResult{}, fmt.Errorf("hotpath: reference run of %s: %w", technique, err)
+	}
+	bat, batDur, err := best(func() (sim.Result, error) { return sim.RunCtx(ctx, cfg, technique) })
+	if err != nil {
+		return PipelineResult{}, fmt.Errorf("hotpath: batched run of %s: %w", technique, err)
+	}
+	p := PipelineResult{
+		Technique:    technique,
+		Accesses:     ref.TotalActs,
+		ResultsMatch: ref == bat,
+	}
+	if s := refDur.Seconds(); s > 0 {
+		p.RefActsPerSec = float64(ref.TotalActs) / s
+	}
+	if s := batDur.Seconds(); s > 0 {
+		p.BatchedActsPerSec = float64(bat.TotalActs) / s
+	}
+	if p.RefActsPerSec > 0 {
+		p.Speedup = p.BatchedActsPerSec / p.RefActsPerSec
+	}
+	return p, nil
+}
+
+// Report is the BENCH_hotpath.json payload.
+type Report struct {
+	GeneratedAt string           `json:"generated_at"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	NumCPU      int              `json:"num_cpu"`
+	BatchSize   int              `json:"batch_size"`
+	ActPath     []Measurement    `json:"act_path"`
+	Pipeline    []PipelineResult `json:"pipeline"`
+}
+
+// BuildReport runs every act-path and pipeline measurement. It returns an
+// error when a pipeline run fails or when the two drivers disagree —
+// a benchmark artifact from diverging implementations would be garbage.
+func BuildReport(ctx context.Context) (Report, error) {
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		BatchSize:   memctrl.DefaultBatchSize,
+	}
+	for _, s := range Specs() {
+		rep.ActPath = append(rep.ActPath, MeasureActPath(s))
+	}
+	for _, tech := range []string{"PARA", "LiPRoMi", "CaPRoMi"} {
+		p, err := MeasurePipeline(ctx, tech)
+		if err != nil {
+			return rep, err
+		}
+		if !p.ResultsMatch {
+			return rep, fmt.Errorf("hotpath: %s: batched and reference drivers disagree", tech)
+		}
+		rep.Pipeline = append(rep.Pipeline, p)
+	}
+	return rep, nil
+}

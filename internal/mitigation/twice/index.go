@@ -1,0 +1,124 @@
+package twice
+
+// rowIndex is a flat open-addressing hash index from row address to the
+// row's position in a bank's entry slice. It replaces the Go map the seed
+// implementation used: the per-activation lookup — the simulator stand-in
+// for TWiCe's CAM — becomes a multiplicative hash plus a short linear
+// probe over one contiguous int32 array, with no hashing interface calls
+// and no allocation after construction. Capacity is fixed at twice the
+// table bound (load factor ≤ 0.5), and deletion uses backward-shift
+// compaction so the probe sequences stay tombstone-free forever.
+type rowIndex struct {
+	keys []int32 // row+1; 0 marks an empty slot (rows are ≥ 0)
+	vals []int32 // position in the entry slice
+	mask uint32  // len(keys)-1; len is a power of two
+	n    int
+}
+
+// newRowIndex returns an index able to hold at least capEntries keys at
+// ≤ 50% load.
+func newRowIndex(capEntries int) *rowIndex {
+	size := 16
+	for size < capEntries*2 {
+		size <<= 1
+	}
+	return &rowIndex{
+		keys: make([]int32, size),
+		vals: make([]int32, size),
+		mask: uint32(size - 1),
+	}
+}
+
+// slot is the home position of a stored key (row+1).
+func (ix *rowIndex) slot(key int32) uint32 {
+	// Fibonacci hashing spreads the near-sequential row addresses an
+	// attack produces.
+	return (uint32(key) * 2654435761) & ix.mask
+}
+
+// get returns the stored position for row and whether it is present.
+func (ix *rowIndex) get(row int32) (int32, bool) {
+	key := row + 1
+	for i := ix.slot(key); ; i = (i + 1) & ix.mask {
+		k := ix.keys[i]
+		if k == key {
+			return ix.vals[i], true
+		}
+		if k == 0 {
+			return 0, false
+		}
+	}
+}
+
+// put inserts or updates row → pos. The caller keeps the key count at or
+// below the construction bound; the ≤ 50% load factor guarantees an empty
+// slot terminates every probe.
+func (ix *rowIndex) put(row, pos int32) {
+	key := row + 1
+	for i := ix.slot(key); ; i = (i + 1) & ix.mask {
+		k := ix.keys[i]
+		if k == key {
+			ix.vals[i] = pos
+			return
+		}
+		if k == 0 {
+			ix.keys[i] = key
+			ix.vals[i] = pos
+			ix.n++
+			return
+		}
+	}
+}
+
+// del removes row from the index (a no-op when absent) using
+// backward-shift deletion: subsequent probe-chain members whose home slot
+// lies at or before the vacated position slide back, so no tombstones
+// accumulate however many prune/evict cycles run.
+func (ix *rowIndex) del(row int32) {
+	key := row + 1
+	i := ix.slot(key)
+	for ; ; i = (i + 1) & ix.mask {
+		k := ix.keys[i]
+		if k == key {
+			break
+		}
+		if k == 0 {
+			return
+		}
+	}
+	ix.n--
+	for {
+		ix.keys[i] = 0
+		j := i
+		for {
+			j = (j + 1) & ix.mask
+			k := ix.keys[j]
+			if k == 0 {
+				return
+			}
+			// Move k back iff the vacated slot i lies cyclically within
+			// [home(k), j); otherwise k is already at or past its home.
+			h := ix.slot(k)
+			if (j-h)&ix.mask >= (j-i)&ix.mask {
+				ix.keys[i] = k
+				ix.vals[i] = ix.vals[j]
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// clear empties the index, keeping the allocation.
+func (ix *rowIndex) clear() {
+	if ix.n == 0 {
+		return
+	}
+	for i := range ix.keys {
+		ix.keys[i] = 0
+	}
+	ix.n = 0
+}
+
+// len returns the number of stored keys.
+func (ix *rowIndex) len() int { return ix.n }

@@ -64,7 +64,11 @@ type entry struct {
 
 type table struct {
 	entries []entry
-	index   map[int32]int // row -> position in entries
+	// index maps row -> position in entries through a flat
+	// open-addressing hash (see index.go); the seed used a Go map here,
+	// which put a hash-interface call and heap traffic on every observed
+	// activation.
+	index *rowIndex
 }
 
 // New returns a TWiCe instance for the given bank count.
@@ -87,13 +91,14 @@ func (t *TWiCe) Name() string { return "TWiCe" }
 func (t *TWiCe) OnActivate(bank, row, _ int, cmds []mitigation.Command) []mitigation.Command {
 	tb := &t.banks[bank]
 	r := int32(row)
-	if i, ok := tb.index[r]; ok {
-		tb.entries[i].cnt++
-		if tb.entries[i].cnt >= t.cfg.ThRH {
+	if i, ok := tb.index.get(r); ok {
+		e := &tb.entries[i]
+		e.cnt++
+		if e.cnt >= t.cfg.ThRH {
 			// Deterministic mitigation; restart the count so another
 			// thRH activations are needed before the next act_n.
-			tb.entries[i].cnt = 0
-			tb.entries[i].life = 0
+			e.cnt = 0
+			e.life = 0
 			cmds = append(cmds, mitigation.Command{
 				Kind: mitigation.ActN, Bank: bank, Row: row,
 			})
@@ -104,7 +109,7 @@ func (t *TWiCe) OnActivate(bank, row, _ int, cmds []mitigation.Command) []mitiga
 		t.Overflows++
 		t.evictColdest(tb)
 	}
-	tb.index[r] = len(tb.entries)
+	tb.index.put(r, int32(len(tb.entries)))
 	tb.entries = append(tb.entries, entry{row: r, cnt: 1})
 	return cmds
 }
@@ -122,11 +127,11 @@ func (t *TWiCe) evictColdest(tb *table) {
 }
 
 func (t *TWiCe) removeAt(tb *table, i int) {
-	delete(tb.index, tb.entries[i].row)
+	tb.index.del(tb.entries[i].row)
 	last := len(tb.entries) - 1
 	if i != last {
 		tb.entries[i] = tb.entries[last]
-		tb.index[tb.entries[i].row] = i
+		tb.index.put(tb.entries[i].row, int32(i))
 	}
 	tb.entries = tb.entries[:last]
 }
@@ -155,17 +160,21 @@ func (t *TWiCe) OnRefreshInterval(_ int, cmds []mitigation.Command) []mitigation
 func (t *TWiCe) OnNewWindow() {
 	for b := range t.banks {
 		t.banks[b].entries = t.banks[b].entries[:0]
-		for k := range t.banks[b].index {
-			delete(t.banks[b].index, k)
-		}
+		t.banks[b].index.clear()
 	}
 }
 
-// Reset implements mitigation.Mitigator.
+// Reset implements mitigation.Mitigator. The entry slice is preallocated
+// to the table bound so the activation path never allocates.
 func (t *TWiCe) Reset() {
 	for b := range t.banks {
-		t.banks[b].entries = nil
-		t.banks[b].index = make(map[int32]int)
+		if t.banks[b].entries == nil {
+			t.banks[b].entries = make([]entry, 0, t.cfg.MaxEntries)
+			t.banks[b].index = newRowIndex(t.cfg.MaxEntries)
+		} else {
+			t.banks[b].entries = t.banks[b].entries[:0]
+			t.banks[b].index.clear()
+		}
 	}
 	t.Overflows = 0
 }

@@ -88,27 +88,86 @@ func (l *LFSR32) Seed(seed uint64) {
 	}
 }
 
-// step advances the register one bit.
-func (l *LFSR32) step() uint32 {
-	s := l.state
-	// Taps 32,22,2,1 (1-indexed from the MSB end of the polynomial).
-	bit := (s ^ (s >> 10) ^ (s >> 30) ^ (s >> 31)) & 1
-	l.state = (s >> 1) | (bit << 31)
-	return l.state
+// lfsrJump32 holds the precomputed 32-step jump transform of the LFSR.
+// One register step is linear over GF(2), so 32 consecutive steps are one
+// 32×32 boolean matrix; splitting the state into four bytes turns the
+// matrix product into four table lookups and three XORs. The tables are
+// built once at init from the serial stepper itself, so the accelerated
+// stream is the serial stream by construction (and pinned by tests).
+var lfsrJump32 [4][256]uint32
+
+func init() {
+	for k := 0; k < 4; k++ {
+		for v := 1; v < 256; v++ {
+			lfsrJump32[k][v] = lfsrAdvance32Serial(uint32(v) << (8 * k))
+		}
+	}
 }
 
-// Uint32 advances the register a full word and returns it.
-func (l *LFSR32) Uint32() uint32 {
-	// 32 single-bit steps keep the stream equivalent to the serial
-	// hardware implementation; it is still plenty fast for simulation.
-	for i := 0; i < 31; i++ {
-		l.step()
+// lfsrAdvance32Serial runs 32 serial steps functionally (no receiver
+// state), used to build the jump tables and by the serial reference.
+func lfsrAdvance32Serial(s uint32) uint32 {
+	for i := 0; i < 32; i++ {
+		bit := (s ^ (s >> 10) ^ (s >> 30) ^ (s >> 31)) & 1
+		s = (s >> 1) | (bit << 31)
 	}
-	return l.step()
+	return s
+}
+
+// Uint32 advances the register a full word and returns it. The stream is
+// bit-identical to 32 serial step() calls (see lfsrJump32); the hardware
+// shifts serially, the simulator jumps 32 steps with four table lookups.
+func (l *LFSR32) Uint32() uint32 {
+	s := l.state
+	s = lfsrJump32[0][s&0xff] ^
+		lfsrJump32[1][(s>>8)&0xff] ^
+		lfsrJump32[2][(s>>16)&0xff] ^
+		lfsrJump32[3][s>>24]
+	l.state = s
+	return s
 }
 
 // Uint64 implements Source by concatenating two 32-bit words.
 func (l *LFSR32) Uint64() uint64 {
+	hi := uint64(l.Uint32())
+	return hi<<32 | uint64(l.Uint32())
+}
+
+// SerialLFSR32 is the bit-by-bit reference implementation of LFSR32: the
+// same polynomial, the same stream, advanced one flop-shift at a time as
+// the synthesized hardware would. It exists for two jobs — pinning the
+// jump-table acceleration of LFSR32 in tests, and serving as the "before"
+// entropy path in hot-path benchmarks (install it with
+// mitigation.RandSettable to measure a technique against the unaccelerated
+// generator).
+type SerialLFSR32 struct {
+	state uint32
+}
+
+// NewSerialLFSR32 returns a serial-reference LFSR seeded with seed.
+func NewSerialLFSR32(seed uint64) *SerialLFSR32 {
+	l := &SerialLFSR32{}
+	l.Seed(seed)
+	return l
+}
+
+// Seed implements Source with the exact seeding of LFSR32.
+func (l *SerialLFSR32) Seed(seed uint64) {
+	z := seed
+	l.state = uint32(splitMix64(&z))
+	if l.state == 0 {
+		l.state = 0xace1ace1
+	}
+}
+
+// Uint32 advances the register 32 single-bit steps and returns it.
+func (l *SerialLFSR32) Uint32() uint32 {
+	l.state = lfsrAdvance32Serial(l.state)
+	return l.state
+}
+
+// Uint64 implements Source by concatenating two 32-bit words.
+func (l *SerialLFSR32) Uint64() uint64 {
 	hi := uint64(l.Uint32())
 	return hi<<32 | uint64(l.Uint32())
 }

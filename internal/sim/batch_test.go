@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"tivapromi/internal/faults"
+)
+
+// shrunkenConfig is a reduced geometry that still exercises every hot-path
+// structure (history tables, counters, aggressor bitset, weak cells) in a
+// few hundred milliseconds per run.
+func shrunkenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Windows = 1
+	cfg.Params.Banks = 2
+	cfg.Params.RowsPerBank = 4096
+	cfg.Params.RefInt = 256
+	cfg.Params.FlipThreshold = 10240
+	cfg.AttackBanks = []int{1}
+	return cfg
+}
+
+// TestBatchSizesMatchReference is the batching-equivalence contract: for
+// every batch size — including 1, a prime that misaligns with every
+// internal boundary, the default's neighborhood, and one far larger than
+// an interval's access count — RunCtxBatch must produce the identical
+// Result to the unbatched reference driver. Covered axes: a probabilistic
+// technique, a counter technique, an unprotected run, a non-default
+// refresh policy, and a remapped device.
+func TestBatchSizesMatchReference(t *testing.T) {
+	cases := []struct {
+		name      string
+		technique string
+		mutate    func(*Config)
+	}{
+		{name: "LiPRoMi", technique: "LiPRoMi"},
+		{name: "TWiCe", technique: "TWiCe"},
+		{name: "unprotected", technique: ""},
+		{name: "PARA-random-policy", technique: "PARA",
+			mutate: func(c *Config) { c.Policy = PolicyRandom }},
+		{name: "CaPRoMi-remapped", technique: "CaPRoMi",
+			mutate: func(c *Config) { c.RemapSwaps = 8 }},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := shrunkenConfig()
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			want, err := RunReferenceCtx(ctx, cfg, tc.technique)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, batch := range []int{1, 7, 64, 4096} {
+				got, err := RunCtxBatch(ctx, cfg, tc.technique, batch)
+				if err != nil {
+					t.Fatalf("batch %d: %v", batch, err)
+				}
+				if got != want {
+					t.Errorf("batch %d: result diverged from reference\n got: %+v\nwant: %+v",
+						batch, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchedFaultPlanMatchesReference pins the delicate part of the
+// batching rework: the weak-cell injector tick, which the reference driver
+// fires inside the generator closure and the batched driver fires through
+// memctrl.SetAccessTick. Both must tick exactly once before each serviced
+// access, or the injector's RNG stream shears away from the device state.
+func TestBatchedFaultPlanMatchesReference(t *testing.T) {
+	ctx := context.Background()
+	cfg := shrunkenConfig()
+	cfg.Fault = faults.Plan{Model: faults.WeakCells, Rate: 0.001, Seed: 7}
+	want, err := RunReferenceCtx(ctx, cfg, "LiPRoMi")
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	for _, batch := range []int{1, 7, 64, 4096} {
+		got, err := RunCtxBatch(ctx, cfg, "LiPRoMi", batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if got != want {
+			t.Errorf("batch %d with weak-cell plan: result diverged\n got: %+v\nwant: %+v",
+				batch, got, want)
+		}
+	}
+	// A state-upset plan exercises the Harness wrap path too.
+	cfg.Fault = faults.Plan{Model: faults.StateSEU, Rate: 0.0005, Seed: 11}
+	want, err = RunReferenceCtx(ctx, cfg, "CaPRoMi")
+	if err != nil {
+		t.Fatalf("reference SEU: %v", err)
+	}
+	got, err := RunCtxBatch(ctx, cfg, "CaPRoMi", 64)
+	if err != nil {
+		t.Fatalf("batched SEU: %v", err)
+	}
+	if got != want {
+		t.Errorf("SEU plan: batched diverged\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestRunCtxUsesDefaultBatch pins that the production entry point and an
+// explicit default-batch call agree (RunCtx must stay a thin delegate).
+func TestRunCtxUsesDefaultBatch(t *testing.T) {
+	ctx := context.Background()
+	cfg := shrunkenConfig()
+	a, err := RunCtx(ctx, cfg, "LoPRoMi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtxBatch(ctx, cfg, "LoPRoMi", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("RunCtx and RunCtxBatch(0) disagree:\n%+v\n%+v", a, b)
+	}
+}

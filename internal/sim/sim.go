@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 
+	"tivapromi/internal/bitset"
 	"tivapromi/internal/dram"
 	"tivapromi/internal/faults"
 	"tivapromi/internal/memctrl"
@@ -206,22 +207,91 @@ func Run(cfg Config, technique string) (Result, error) {
 
 // RunCtx is Run with cooperative cancellation: the simulation polls ctx
 // between batches of accesses and returns ctx.Err() when cut short, so a
-// seed sweep can be abandoned mid-run without leaking work.
+// seed sweep can be abandoned mid-run without leaking work. Accesses are
+// dispatched in batches of memctrl.DefaultBatchSize; see RunCtxBatch.
 func RunCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
+	return RunCtxBatch(ctx, cfg, technique, 0)
+}
+
+// RunCtxBatch is RunCtx with an explicit access-batch size (batch <= 0
+// selects memctrl.DefaultBatchSize). The serviced access stream, every RNG
+// draw and every mitigation command are identical at any batch size — the
+// batch only amortizes per-access dispatch overhead — so the Result is
+// invariant in batch; TestBatchSizesMatchReference pins this against
+// RunReferenceCtx. The batch size is deliberately a parameter, not a
+// Config field: checkpoint fingerprints hash the Config, and a purely
+// mechanical dispatch knob must not invalidate resumable campaign state.
+func RunCtxBatch(ctx context.Context, cfg Config, technique string, batch int) (Result, error) {
+	env, err := prepareRun(cfg, technique)
+	if err != nil {
+		return Result{}, err
+	}
+	if env.weaken != nil {
+		env.ctl.SetAccessTick(env.weaken)
+	}
+	if err := env.ctl.RunBatchesCtx(ctx, cfg.Windows*cfg.Params.RefInt, env.st, batch); err != nil {
+		return Result{}, err
+	}
+	// Attacker accesses are counted at dispatch (Access.Tagged), so the
+	// unserviced tail of the final batch is excluded exactly.
+	return env.collect(env.ctl.Stats().TaggedAccesses), nil
+}
+
+// RunReferenceCtx executes the run with the unbatched one-access-per-call
+// driver the seed implementation used: generate, tick the weak-cell
+// injector, dispatch, repeat. It is the behavioral reference the batched
+// path is tested against and the "before" pipeline of the hot-path
+// benchmark harness; production callers should use RunCtx.
+func RunReferenceCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
+	env, err := prepareRun(cfg, technique)
+	if err != nil {
+		return Result{}, err
+	}
+	next := env.st.next
+	if env.weaken != nil {
+		inner := next
+		next = func() (int, int, bool) {
+			env.weaken()
+			return inner()
+		}
+	}
+	if err := env.ctl.RunIntervalsCtx(ctx, cfg.Windows*cfg.Params.RefInt, next); err != nil {
+		return Result{}, err
+	}
+	return env.collect(env.st.attackerAccesses), nil
+}
+
+// runEnv is a fully wired simulation — device, controller, traffic stream,
+// fault instrumentation and classification hook — ready to be driven by
+// either dispatch loop.
+type runEnv struct {
+	dev     *dram.Device
+	ctl     *memctrl.Controller
+	st      *stream
+	mit     mitigation.Mitigator
+	harness *faults.Harness
+	weaken  func()
+	res     Result // identity fields + FalseActs accumulated by the hook
+}
+
+// prepareRun builds the runEnv for one configuration. Everything that both
+// run drivers share — and therefore everything that determines behavior —
+// lives here; the drivers differ only in dispatch mechanics.
+func prepareRun(cfg Config, technique string) (*runEnv, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, permanent(err)
+		return nil, permanent(err)
 	}
 	pol, err := cfg.policy(cfg.Seed)
 	if err != nil {
-		return Result{}, permanent(err)
+		return nil, permanent(err)
 	}
 	dev, err := dram.New(cfg.Params, pol)
 	if err != nil {
-		return Result{}, permanent(err)
+		return nil, permanent(err)
 	}
 	if cfg.RemapSwaps > 0 {
 		if err := dev.SetRowRemap(remapPerm(cfg.Params.RowsPerBank, cfg.RemapSwaps, cfg.Seed)); err != nil {
-			return Result{}, err
+			return nil, err
 		}
 	}
 
@@ -231,7 +301,7 @@ func RunCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
 	} else if technique != "" {
 		factory, err := mitigation.Lookup(technique)
 		if err != nil {
-			return Result{}, permanent(err)
+			return nil, permanent(err)
 		}
 		mit = factory(cfg.Target(), cfg.Seed)
 	}
@@ -248,77 +318,96 @@ func RunCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
 
 	ctl, err := memctrl.New(memctrl.DefaultConfig(), dev, mit)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	if f := faults.CommandFilter(plan); f != nil {
 		ctl.SetCommandFilter(f)
 	}
-	weaken := faults.WeakCellInjector(plan, dev)
 
 	// Traffic: the SPEC-like mix plus (optionally) the attacker.
 	st, err := newStream(cfg)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	aggressors := map[[2]int]bool{}
-	if st.att != nil {
-		aggressors = st.att.AggressorSet()
+
+	env := &runEnv{
+		dev:     dev,
+		ctl:     ctl,
+		st:      st,
+		mit:     mit,
+		harness: harness,
+		weaken:  faults.WeakCellInjector(plan, dev),
+		res: Result{
+			Technique: techniqueName(mit),
+			Policy:    dev.Policy().Name(),
+			Seed:      cfg.Seed,
+		},
 	}
 
 	// False-positive classification: an extra activation is a true
 	// positive when it restores a potential victim of a real aggressor.
-	res := Result{
-		Technique: techniqueName(mit),
-		Policy:    dev.Policy().Name(),
-		Seed:      cfg.Seed,
+	// Ground truth is a dense bitset over bank*RowsPerBank+row (the seed
+	// used a map[[2]int]bool, which put two hash probes on every
+	// RefreshRow command); neighbor probes that fall off the device are
+	// non-members by construction.
+	rpb := cfg.Params.RowsPerBank
+	var agg *bitset.Bitset
+	if st.att != nil {
+		agg = bitset.New(cfg.Params.Banks * rpb)
+		st.att.EachAggressor(func(bank, row int) {
+			if row >= 0 && row < rpb {
+				agg.Set(bank*rpb + row)
+			}
+		})
+	}
+	has := func(bank, row int) bool {
+		if agg == nil || row < 0 || row >= rpb {
+			return false
+		}
+		return agg.Get(bank*rpb + row)
 	}
 	ctl.SetCommandHook(func(cmd mitigation.Command) {
 		protective := false
 		switch cmd.Kind {
 		case mitigation.ActN, mitigation.ActNOne:
-			protective = aggressors[[2]int{cmd.Bank, cmd.Row}]
+			protective = has(cmd.Bank, cmd.Row)
 		case mitigation.RefreshRow:
-			protective = aggressors[[2]int{cmd.Bank, cmd.Row - 1}] ||
-				aggressors[[2]int{cmd.Bank, cmd.Row + 1}]
+			protective = has(cmd.Bank, cmd.Row-1) || has(cmd.Bank, cmd.Row+1)
 		}
 		if !protective {
-			res.FalseActs++
+			env.res.FalseActs++
 		}
 	})
+	return env, nil
+}
 
-	next := st.next
-	if weaken != nil {
-		inner := next
-		next = func() (int, int, bool) {
-			weaken()
-			return inner()
-		}
-	}
-	if err := ctl.RunIntervalsCtx(ctx, cfg.Windows*cfg.Params.RefInt, next); err != nil {
-		return Result{}, err
-	}
-
-	ds := dev.Stats()
-	cs := ctl.Stats()
+// collect finalizes the Result after a completed run. attackerActs is
+// driver-specific: the batched driver counts tagged accesses at dispatch,
+// the reference driver counts at generation (equal on any completed run,
+// since the reference generates exactly what it dispatches).
+func (e *runEnv) collect(attackerActs uint64) Result {
+	ds := e.dev.Stats()
+	cs := e.ctl.Stats()
+	res := e.res
 	res.TotalActs = ds.Activates
-	res.AttackerActs = st.attackerAccesses // attacker accesses are all misses
+	res.AttackerActs = attackerActs // attacker accesses are all misses
 	res.ExtraActs = cs.ActN + cs.ActNOne + cs.RefreshRow
 	if res.TotalActs > 0 {
 		res.OverheadPct = 100 * float64(res.ExtraActs) / float64(res.TotalActs)
 		res.FPRPct = 100 * float64(res.FalseActs) / float64(res.TotalActs)
 	}
-	res.Flips = len(dev.Flips())
-	if mit != nil {
-		res.TableBytes = mit.TableBytesPerBank()
+	res.Flips = len(e.dev.Flips())
+	if e.mit != nil {
+		res.TableBytes = e.mit.TableBytesPerBank()
 	}
 	res.AvgActsPerInterval = ds.AvgActsPerInterval()
 	res.MaxActsPerInterval = ds.MaxActsInIntv
-	if harness != nil {
-		res.InjectedFaults = harness.Injected
+	if e.harness != nil {
+		res.InjectedFaults = e.harness.Injected
 	}
 	res.DroppedCmds = cs.DroppedCmds
 	res.DelayedCmds = cs.DelayedCmds
-	return res, nil
+	return res
 }
 
 func techniqueName(m mitigation.Mitigator) string {
@@ -329,16 +418,27 @@ func techniqueName(m mitigation.Mitigator) string {
 }
 
 // stream interleaves the SPEC-like mix with the attacker at the
-// configured share.
+// configured share. It exposes the same generated access sequence through
+// two drivers: next (one access per call, the protocol RunIntervals and
+// the trace recorder use) and Fill (memctrl.AccessSource, one batch per
+// call). Generation reads only the stream's own RNG and generators — never
+// device or controller state — which is the property that makes batched
+// and unbatched dispatch produce byte-identical results on any consumed
+// prefix.
 type stream struct {
-	next             func() (bank, row int, write bool)
-	att              *workload.Attacker
+	att     *workload.Attacker
+	mix     *workload.Mix
+	src     *rng.XorShift64Star
+	shareFP uint64
+	// attackerAccesses counts attacker-issued accesses handed out through
+	// next. The batched path counts at dispatch instead (Access.Tagged →
+	// Stats.TaggedAccesses), so the unserviced tail of a final batch is
+	// excluded exactly.
 	attackerAccesses uint64
 }
 
 func newStream(cfg Config) (*stream, error) {
-	st := &stream{}
-	mix := workload.SPECMix(cfg.Params.Banks, cfg.Params.RowsPerBank, cfg.Seed)
+	st := &stream{mix: workload.SPECMix(cfg.Params.Banks, cfg.Params.RowsPerBank, cfg.Seed)}
 	if len(cfg.AttackBanks) > 0 && cfg.AttackShare > 0 {
 		// Plan the ramp over the expected activation volume.
 		planned := uint64(float64(cfg.Windows*cfg.Params.RefInt) * 200 * cfg.AttackShare)
@@ -362,18 +462,43 @@ func newStream(cfg Config) (*stream, error) {
 		}
 		st.att = att
 	}
-	src := rng.NewXorShift64Star(cfg.Seed ^ 0xd21ce)
-	shareFP := uint64(cfg.AttackShare * float64(1<<32))
-	st.next = func() (int, int, bool) {
-		if st.att != nil && src.Uint64()&0xffffffff < shareFP {
-			a := st.att.Next()
-			st.attackerAccesses++
-			return a.Bank, a.Row, a.Write
-		}
-		a := mix.Next()
-		return a.Bank, a.Row, a.Write
-	}
+	st.src = rng.NewXorShift64Star(cfg.Seed ^ 0xd21ce)
+	st.shareFP = uint64(cfg.AttackShare * float64(1<<32))
 	return st, nil
+}
+
+// gen produces the next access of the interleaved sequence and reports
+// whether the attacker issued it. Both drivers funnel through it, so they
+// consume one generation sequence. The attacker-share draw is skipped
+// entirely without an attacker, matching the seed's short-circuit.
+func (st *stream) gen() (a workload.Access, attacker bool) {
+	if st.att != nil && st.src.Uint64()&0xffffffff < st.shareFP {
+		return st.att.Next(), true
+	}
+	return st.mix.Next(), false
+}
+
+// next is the unbatched driver protocol (memctrl.RunIntervals and the
+// trace recorder call it once per access).
+func (st *stream) next() (bank, row int, write bool) {
+	a, attacker := st.gen()
+	if attacker {
+		st.attackerAccesses++
+	}
+	return a.Bank, a.Row, a.Write
+}
+
+// Fill implements memctrl.AccessSource: one generator call per slot,
+// attacker accesses tagged for dispatch-time counting.
+func (st *stream) Fill(buf []memctrl.Access) int {
+	for i := range buf {
+		a, attacker := st.gen()
+		buf[i] = memctrl.Access{
+			Bank: int32(a.Bank), Row: int32(a.Row),
+			Write: a.Write, Tagged: attacker,
+		}
+	}
+	return len(buf)
 }
 
 func remapPerm(rows, swaps int, seed uint64) []int {

@@ -170,6 +170,18 @@ func (a *Attacker) accessFor(b, k int) Access {
 	return Access{Bank: bank, Row: pair[a.pos&1]}
 }
 
+// EachAggressor calls fn for every (bank, row) the campaign will ever
+// hammer, in deterministic order. The simulation harness uses it to build
+// its dense classification bitset without materializing the map
+// AggressorSet returns.
+func (a *Attacker) EachAggressor(fn func(bank, row int)) {
+	for b, bank := range a.cfg.TargetBanks {
+		for _, r := range a.aggressors[b] {
+			fn(bank, r)
+		}
+	}
+}
+
 // AggressorSet returns every (bank, row) the campaign will ever hammer,
 // the ground truth used for false-positive accounting.
 func (a *Attacker) AggressorSet() map[[2]int]bool {

@@ -216,9 +216,18 @@ func NewAttacker(cfg workload.AttackerConfig) (*Attacker, error) {
 type AttackerConfig = workload.AttackerConfig
 
 // RunSimulation executes one simulation of a technique ("" for an
-// unprotected system).
+// unprotected system). Accesses are dispatched in batches (see
+// RunSimulationBatch); the result is identical at any batch size.
 func RunSimulation(cfg SimConfig, technique string) (SimResult, error) {
 	return sim.Run(cfg, technique)
+}
+
+// RunSimulationBatch is RunSimulation with cancellation and an explicit
+// access-batch size (batch <= 0 selects the default). The batch size only
+// amortizes per-access dispatch overhead; the simulated behavior — every
+// RNG draw, every mitigation command — is byte-identical at any value.
+func RunSimulationBatch(ctx context.Context, cfg SimConfig, technique string, batch int) (SimResult, error) {
+	return sim.RunCtxBatch(ctx, cfg, technique, batch)
 }
 
 // RunSeeds executes RunSimulation across seeds in parallel and aggregates
