@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-debugasserts race check bench bench-campaign bench-hotpath experiments examples fig4 clean
+.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath experiments examples fig4 clean
 
 all: build vet test
 
@@ -24,14 +24,23 @@ test-debugasserts:
 	$(GO) test -tags tivadebug ./internal/core/...
 
 # Race-detect the concurrent machinery: the hardened seed-sweep runner,
-# the fault-injection framework it drives, the campaign scheduler, and the
-# hot-path structures the parallel campaign touches.
+# the fault-injection framework it drives, the campaign scheduler, the
+# chaos I/O seam and torture harness, and the hot-path structures the
+# parallel campaign touches.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/... ./internal/hotpath/... ./internal/bitset/...
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/... ./internal/iofault/... ./internal/chaostest/... ./internal/hotpath/... ./internal/bitset/...
 
 # The full pre-merge gate: build, vet, tests (both assertion modes), race
 # tests.
 check: build vet test test-debugasserts race
+
+# Crash-consistency torture: kill a live campaign at checkpoint-commit
+# boundaries under injected I/O faults, corrupt the checkpoint, resume,
+# and require the final report to be byte-identical to an undisturbed
+# run. CHAOS_SEED selects the torture schedule.
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) run ./cmd/experiments -chaos-seed $(CHAOS_SEED) -progress chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -14,6 +14,13 @@
 //	experiments thresholds       — flood-survival margins at modern flip thresholds
 //	experiments faults           — degradation table: every mitigation under injected faults
 //	experiments all              — everything above, as one merged campaign
+//	experiments chaos            — crash-consistency torture: run a real
+//	                               campaign against a fault-injecting
+//	                               filesystem, kill it at randomized
+//	                               checkpoint-flush boundaries, corrupt the
+//	                               checkpoint between cycles, resume, and
+//	                               verify the final report is byte-identical
+//	                               to an undisturbed run
 //	experiments bench            — run `all` at -workers 1 and -workers N,
 //	                               verify byte-identical output, write timings
 //	experiments profile          — hot-path benchmark harness: per-technique
@@ -44,7 +51,18 @@
 //	-workers N        bound the campaign's concurrent simulations (default
 //	                  GOMAXPROCS)
 //	-timeout D        per-run deadline for one simulation (0 = none)
+//	-stall D          stall watchdog: cancel and retry a run whose progress
+//	                  heartbeat goes silent for D (0 = off)
+//	-retry-budget N   total cell-level re-attempts the campaign may spend on
+//	                  transient failures (0 = none); cells that keep failing
+//	                  trip a circuit breaker and are skipped, degrading the
+//	                  report instead of aborting it
 //	-progress         stream per-cell progress and ETA to stderr
+//	-chaos-seed N     chaos: master seed for the torture schedule (default 1)
+//	-chaos-cycles N   chaos: kill/resume cycles before the clean final run
+//	                  (default 3)
+//	-chaos-corrupt    chaos: also flip one checkpoint byte between cycles
+//	                  (default true)
 //	-bench-out PATH   where `bench` writes its JSON report (default
 //	                  BENCH_campaign.json)
 //	-profile-out PATH where `profile` writes its JSON report (default
@@ -58,6 +76,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +87,7 @@ import (
 	"time"
 
 	"tivapromi/internal/campaign"
+	"tivapromi/internal/chaostest"
 	"tivapromi/internal/dram"
 	"tivapromi/internal/hotpath"
 	"tivapromi/internal/memctrl"
@@ -76,34 +96,42 @@ import (
 )
 
 var (
-	seeds    = flag.Int("seeds", 5, "seeds per data point")
-	windows  = flag.Int("windows", 4, "refresh windows per run")
-	trials   = flag.Int("trials", 25, "flooding trials")
-	paper    = flag.Bool("paper", false, "full Table I scale (slow)")
-	csvOut   = flag.Bool("csv", false, "print Fig. 4 as CSV too")
-	svgOut   = flag.String("svg", "", "also write Fig. 4 as an SVG file at this path")
-	ckptPath = flag.String("checkpoint", "", "JSON checkpoint path for resumable campaigns")
-	resume   = flag.Bool("resume", false, "with -checkpoint: replay finished sections from the checkpoint")
-	workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	timeout  = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
-	progress = flag.Bool("progress", false, "stream per-cell progress to stderr")
-	benchOut = flag.String("bench-out", "BENCH_campaign.json", "bench: JSON report path")
-	profOut  = flag.String("profile-out", "BENCH_hotpath.json", "profile: JSON report path")
-	cpuProf  = flag.String("cpuprofile", "", "profile: write a pprof CPU profile here")
-	memProf  = flag.String("memprofile", "", "profile: write a pprof heap profile here")
+	seeds     = flag.Int("seeds", 5, "seeds per data point")
+	windows   = flag.Int("windows", 4, "refresh windows per run")
+	trials    = flag.Int("trials", 25, "flooding trials")
+	paper     = flag.Bool("paper", false, "full Table I scale (slow)")
+	csvOut    = flag.Bool("csv", false, "print Fig. 4 as CSV too")
+	svgOut    = flag.String("svg", "", "also write Fig. 4 as an SVG file at this path")
+	ckptPath  = flag.String("checkpoint", "", "JSON checkpoint path for resumable campaigns")
+	resume    = flag.Bool("resume", false, "with -checkpoint: replay finished sections from the checkpoint")
+	workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	timeout   = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
+	stall     = flag.Duration("stall", 0, "stall watchdog: cancel+retry a run silent for this long (0 = off)")
+	retryBudg = flag.Int("retry-budget", 0, "total cell-level re-attempts for transient failures (0 = none)")
+	progress  = flag.Bool("progress", false, "stream per-cell progress to stderr")
+	benchOut  = flag.String("bench-out", "BENCH_campaign.json", "bench: JSON report path")
+	profOut   = flag.String("profile-out", "BENCH_hotpath.json", "profile: JSON report path")
+	cpuProf   = flag.String("cpuprofile", "", "profile: write a pprof CPU profile here")
+	memProf   = flag.String("memprofile", "", "profile: write a pprof heap profile here")
+	chSeed    = flag.Uint64("chaos-seed", 1, "chaos: master seed for the torture schedule")
+	chCycles  = flag.Int("chaos-cycles", 3, "chaos: kill/resume cycles before the clean final run")
+	chCorrupt = flag.Bool("chaos-corrupt", true, "chaos: flip one checkpoint byte between cycles")
+	chDir     = flag.String("chaos-dir", "", "chaos: working directory (default: a fresh temp dir)")
 )
 
 // app binds one evaluation's knobs to its outputs. Tests construct it
 // directly; main builds it from the flags.
 type app struct {
-	ev       campaign.Eval
-	csv      bool
-	svgPath  string
-	resume   bool
-	workers  int
-	runner   *sim.Runner
-	stdout   io.Writer
-	progress io.Writer // nil: no progress events
+	ev          campaign.Eval
+	csv         bool
+	svgPath     string
+	resume      bool
+	workers     int
+	retryBudget int
+	runner      *sim.Runner
+	stdout      io.Writer
+	stderr      io.Writer // nil: degraded-run diagnostics are dropped
+	progress    io.Writer // nil: no progress events
 }
 
 // sectionNames returns the registry's section names in paper order.
@@ -147,26 +175,47 @@ func (a *app) runSections(ctx context.Context, names []string) error {
 
 	merged := campaign.Merge("evaluation", specs...)
 	rs, err := campaign.Run(ctx, merged, campaign.Options{
-		Workers:    a.workers,
-		Runner:     a.runner,
-		OnProgress: a.onProgress(),
+		Workers:     a.workers,
+		Runner:      a.runner,
+		OnProgress:  a.onProgress(),
+		RetryBudget: a.retryBudget,
 	})
 	if err != nil {
 		return err
 	}
 
 	rc := &report.Context{Eval: a.ev, Results: rs, CSV: a.csv, SVGPath: a.svgPath}
+	var degraded []string
 	for i, p := range sections {
 		if p.replay != "" {
 			if _, err := io.WriteString(a.stdout, p.replay); err != nil {
 				return err
 			}
-		} else if err := a.renderSection(p.def, rc); err != nil {
-			return err
+		} else {
+			skipped, err := a.renderSection(p.def, rc)
+			if err != nil {
+				return err
+			}
+			if skipped {
+				degraded = append(degraded, p.def.Name)
+			}
 		}
 		if len(sections) > 1 || i < len(sections)-1 {
 			fmt.Fprintln(a.stdout)
 		}
+	}
+	if skippedCells := rs.Skipped(); len(skippedCells) > 0 || len(degraded) > 0 {
+		// Degraded mode: everything that completed has been rendered; the
+		// banner and the non-zero exit report what is missing.
+		if a.stderr != nil {
+			fmt.Fprintf(a.stderr, "experiments: DEGRADED RUN: %d cell(s) skipped, %d section(s) incomplete\n",
+				len(skippedCells), len(degraded))
+			for _, k := range skippedCells {
+				fmt.Fprintf(a.stderr, "experiments:   skipped cell %s\n", k)
+			}
+		}
+		return fmt.Errorf("degraded run: %d cell(s) skipped after retries (%d section(s) incomplete; completed sections were rendered)",
+			len(skippedCells), len(degraded))
 	}
 	return nil
 }
@@ -176,16 +225,27 @@ func (a *app) runSections(ctx context.Context, names []string) error {
 // -resume replays them verbatim — byte-identical tables without
 // recomputation. Failed sections are not cached; their cells still are,
 // via the campaign's checkpoint, so the retry is cheap.
-func (a *app) renderSection(def report.SectionDef, rc *report.Context) error {
-	ck := a.runner.Checkpoint
-	if ck == nil {
-		return def.Render(a.stdout, rc)
-	}
+//
+// A section whose cells were parked by the campaign's circuit breaker
+// (campaign.ErrCellSkipped) renders as a one-line placeholder and
+// reports skipped=true instead of failing, so one bad section degrades
+// the report rather than truncating it.
+func (a *app) renderSection(def report.SectionDef, rc *report.Context) (skipped bool, err error) {
 	var buf bytes.Buffer
-	if err := def.Render(io.MultiWriter(a.stdout, &buf), rc); err != nil {
-		return err
+	if err := def.Render(&buf, rc); err != nil {
+		if errors.Is(err, campaign.ErrCellSkipped) {
+			fmt.Fprintf(a.stdout, "[section %s skipped: its cells exhausted the campaign retry budget]\n", def.Name)
+			return true, nil
+		}
+		return false, err
 	}
-	return ck.PutOutput(def.Name, buf.String())
+	if _, err := a.stdout.Write(buf.Bytes()); err != nil {
+		return false, err
+	}
+	if ck := a.runner.Checkpoint; ck != nil {
+		return false, ck.PutOutput(def.Name, buf.String())
+	}
+	return false, nil
 }
 
 // onProgress returns the campaign progress sink (nil when -progress is
@@ -197,12 +257,22 @@ func (a *app) onProgress() func(campaign.Progress) {
 	}
 	w := a.progress
 	return func(p campaign.Progress) {
+		if p.Cell == "" && p.Note != "" {
+			// Checkpoint-load report: quarantine, salvage, migration.
+			fmt.Fprintf(w, "campaign: checkpoint: %s\n", p.Note)
+			return
+		}
 		state := ""
 		if p.Cached {
 			state = " (cached)"
 		}
 		if p.Err != nil {
 			state = " (failed: " + p.Err.Error() + ")"
+		}
+		if p.Skipped {
+			state = fmt.Sprintf(" (SKIPPED after %d attempts: %v)", p.Attempts, p.Err)
+		} else if p.Attempts > 1 {
+			state += fmt.Sprintf(" (attempt %d)", p.Attempts)
 		}
 		eta := ""
 		if p.ETA > 0 {
@@ -211,6 +281,25 @@ func (a *app) onProgress() func(campaign.Progress) {
 		fmt.Fprintf(w, "campaign: [%d/%d] %s %s%s%s\n",
 			p.Done, p.Total, p.Cell, p.CellElapsed.Round(time.Millisecond), state, eta)
 	}
+}
+
+// chaos runs the crash-consistency torture harness (internal/chaostest)
+// and prints its report: a real campaign executed against a
+// fault-injecting filesystem, killed at randomized checkpoint-flush
+// boundaries, corrupted between cycles, resumed, and finally verified
+// byte-for-byte against an undisturbed run.
+func (a *app) chaos(ctx context.Context, cfg chaostest.Config) error {
+	rep, err := chaostest.Run(ctx, cfg)
+	fmt.Fprintf(a.stdout, "chaos: seed %#x: %d cycle(s), %d kill(s), %d corruption(s), %d injected fault(s) (%d torn, %d short, %d io, %d nospace, %d rename, %d fsync-loss, %d bitflip), %d quarantined file(s)\n",
+		cfg.Seed, rep.Cycles, rep.Kills, rep.Corruptions,
+		rep.Faults.Total(), rep.Faults.TornWrites, rep.Faults.ShortWrites,
+		rep.Faults.WriteErrs, rep.Faults.NoSpaceErrs, rep.Faults.RenameFails,
+		rep.Faults.FsyncLosses, rep.Faults.BitFlips, rep.Quarantined)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.stdout, "chaos: final report byte-identical to the undisturbed run (%d bytes)\n", rep.GoldenBytes)
+	return nil
 }
 
 // benchReport is the JSON document `experiments bench` writes: the
@@ -385,6 +474,7 @@ func main() {
 	runner := sim.NewRunner()
 	runner.Config.Workers = *workers
 	runner.Config.PerRunTimeout = *timeout
+	runner.Config.StallTimeout = *stall
 	if *ckptPath != "" {
 		ck, err := sim.LoadCheckpoint(*ckptPath)
 		if err != nil {
@@ -396,13 +486,15 @@ func main() {
 	}
 
 	a := &app{
-		ev:      ev,
-		csv:     *csvOut,
-		svgPath: *svgOut,
-		resume:  *resume,
-		workers: *workers,
-		runner:  runner,
-		stdout:  os.Stdout,
+		ev:          ev,
+		csv:         *csvOut,
+		svgPath:     *svgOut,
+		resume:      *resume,
+		workers:     *workers,
+		retryBudget: *retryBudg,
+		runner:      runner,
+		stdout:      os.Stdout,
+		stderr:      os.Stderr,
 	}
 	if *progress {
 		a.progress = os.Stderr
@@ -419,6 +511,18 @@ func main() {
 		err = a.runSections(ctx, sectionNames())
 	case "bench":
 		err = a.bench(ctx, *benchOut)
+	case "chaos":
+		cfg := chaostest.Config{
+			Seed:    *chSeed,
+			Cycles:  *chCycles,
+			Corrupt: *chCorrupt,
+			Workers: *workers,
+			Dir:     *chDir,
+		}
+		if *progress {
+			cfg.Log = os.Stderr
+		}
+		err = a.chaos(ctx, cfg)
 	case "profile":
 		err = a.profile(ctx, *profOut, *cpuProf, *memProf)
 	default:

@@ -1,0 +1,272 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tivapromi/internal/sim"
+)
+
+// failingProbeSpec builds a spec with one probe that fails failN times
+// before succeeding (failN < 0: fails forever), counting its runs.
+func failingProbeSpec(key string, failN int, runs *atomic.Int32) Spec {
+	var s Spec
+	s.Name = "hardened"
+	s.AddProbe(key,
+		func() any { return new(int) },
+		func(ctx context.Context, v any) error {
+			n := runs.Add(1)
+			if failN < 0 || int(n) <= failN {
+				return fmt.Errorf("probe glitch %d", n)
+			}
+			*v.(*int) = 7
+			return nil
+		})
+	return s
+}
+
+// noRetryRunner disables the runner-level transient retries so tests
+// can count exactly one workload execution per scheduler attempt.
+func noRetryRunner() *sim.Runner {
+	r := sim.NewRunner()
+	r.Config.Retries = 0
+	r.Config.Backoff = time.Microsecond
+	return r
+}
+
+// TestCellRetrySucceedsWithinBudget: a cell that fails once recovers on
+// its second scheduler attempt when the budget allows it.
+func TestCellRetrySucceedsWithinBudget(t *testing.T) {
+	var runs atomic.Int32
+	spec := failingProbeSpec("probe/flaky", 1, &runs)
+	rs, err := Run(context.Background(), spec, Options{
+		Runner:       noRetryRunner(),
+		RetryBudget:  3,
+		RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rs.Get("probe/flaky")
+	if cr.Err != nil || cr.Skipped {
+		t.Fatalf("cell = err %v skipped %v, want recovered", cr.Err, cr.Skipped)
+	}
+	if cr.Attempts != 2 || runs.Load() != 2 {
+		t.Fatalf("attempts=%d runs=%d, want 2/2", cr.Attempts, runs.Load())
+	}
+	if v, err := rs.Value("probe/flaky"); err != nil || *v.(*int) != 7 {
+		t.Fatalf("value = %v, %v", v, err)
+	}
+	if len(rs.Skipped()) != 0 {
+		t.Fatalf("recovered cell listed as skipped: %v", rs.Skipped())
+	}
+}
+
+// TestCellBreakerParksPersistentFailure: a cell that never succeeds is
+// parked as Skipped at the breaker threshold, with the root cause still
+// reachable through errors.Is.
+func TestCellBreakerParksPersistentFailure(t *testing.T) {
+	var runs atomic.Int32
+	spec := failingProbeSpec("probe/doomed", -1, &runs)
+	rs, err := Run(context.Background(), spec, Options{
+		Runner:       noRetryRunner(),
+		RetryBudget:  100,
+		BreakerAfter: 3,
+		RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rs.Get("probe/doomed")
+	if !cr.Skipped {
+		t.Fatal("persistent failure was not parked as Skipped")
+	}
+	if !errors.Is(cr.Err, ErrCellSkipped) {
+		t.Fatalf("cell error %v does not mark ErrCellSkipped", cr.Err)
+	}
+	if !strings.Contains(cr.Err.Error(), "probe glitch") {
+		t.Fatalf("root cause lost from %v", cr.Err)
+	}
+	if cr.Attempts != 3 || runs.Load() != 3 {
+		t.Fatalf("attempts=%d runs=%d, want breaker to trip at 3", cr.Attempts, runs.Load())
+	}
+	if got := rs.Skipped(); len(got) != 1 || got[0] != "probe/doomed" {
+		t.Fatalf("Skipped() = %v", got)
+	}
+	if rs.Err() == nil {
+		t.Fatal("skipped cell must still surface through Err()")
+	}
+}
+
+// TestRetryBudgetSharedAcrossCells: with a one-token pool and two doomed
+// cells, exactly one re-attempt happens in total.
+func TestRetryBudgetSharedAcrossCells(t *testing.T) {
+	var runsA, runsB atomic.Int32
+	var s Spec
+	s.Name = "budget"
+	fail := func(runs *atomic.Int32) func(context.Context, any) error {
+		return func(context.Context, any) error {
+			runs.Add(1)
+			return errors.New("doomed")
+		}
+	}
+	s.AddProbe("probe/a", func() any { return new(int) }, fail(&runsA))
+	s.AddProbe("probe/b", func() any { return new(int) }, fail(&runsB))
+	rs, err := Run(context.Background(), s, Options{
+		Workers:      1, // deterministic scheduling of the budget draw
+		Runner:       noRetryRunner(),
+		RetryBudget:  1,
+		BreakerAfter: 5,
+		RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := runsA.Load() + runsB.Load()
+	if total != 3 { // 2 first attempts + exactly 1 budgeted retry
+		t.Fatalf("total probe runs = %d, want 3", total)
+	}
+	if len(rs.Skipped()) != 2 {
+		t.Fatalf("Skipped() = %v, want both cells parked", rs.Skipped())
+	}
+}
+
+// TestZeroBudgetStillParksFailingCell: retries disabled, a failing cell
+// is parked immediately (one attempt) and keeps its cause.
+func TestZeroBudgetStillParksFailingCell(t *testing.T) {
+	var runs atomic.Int32
+	spec := failingProbeSpec("probe/doomed", -1, &runs)
+	rs, err := Run(context.Background(), spec, Options{Runner: noRetryRunner()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rs.Get("probe/doomed")
+	if runs.Load() != 1 || cr.Attempts != 1 {
+		t.Fatalf("runs=%d attempts=%d, want 1/1 with no budget", runs.Load(), cr.Attempts)
+	}
+	if !cr.Skipped || !errors.Is(cr.Err, ErrCellSkipped) {
+		t.Fatalf("cell = skipped %v err %v", cr.Skipped, cr.Err)
+	}
+}
+
+// TestProgressReportsSkipAndAttempts: the event stream carries the
+// scheduler's verdict for observability.
+func TestProgressReportsSkipAndAttempts(t *testing.T) {
+	var runs atomic.Int32
+	spec := failingProbeSpec("probe/doomed", -1, &runs)
+	var events []Progress
+	_, err := Run(context.Background(), spec, Options{
+		Runner:       noRetryRunner(),
+		RetryBudget:  10,
+		BreakerAfter: 2,
+		RetryBackoff: time.Microsecond,
+		OnProgress:   func(p Progress) { events = append(events, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if !ev.Skipped || ev.Attempts != 2 || ev.Err == nil {
+		t.Fatalf("event = %+v, want Skipped after 2 attempts", ev)
+	}
+}
+
+// TestCancelledMidCellDoesNotRetryOrLeak: cancelling the campaign stops
+// the retry loop immediately and leaves no goroutines behind.
+func TestCancelledMidCellDoesNotRetryOrLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var runs atomic.Int32
+	var s Spec
+	s.Name = "cancel"
+	started := make(chan struct{})
+	s.AddProbe("probe/block",
+		func() any { return new(int) },
+		func(ctx context.Context, v any) error {
+			runs.Add(1)
+			close(started)
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	done := make(chan struct{})
+	var rs *ResultSet
+	var runErr error
+	go func() {
+		rs, runErr = Run(ctx, s, Options{RetryBudget: 50, RetryBackoff: time.Microsecond})
+		close(done)
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("campaign did not return after cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", runErr)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("cancelled cell was retried %d times", runs.Load()-1)
+	}
+	if cr := rs.Get("probe/block"); cr.Skipped {
+		t.Fatal("cancellation must not be classified as a skip")
+	}
+	// Give exited workers a beat, then check for leaks.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestStalledSweepCellRetriedBySweepScheduler: a sweep whose only seed
+// stalls on its every runner-level attempt is re-attempted at the cell
+// level (the stall classifies as transient for the campaign too).
+func TestStalledSweepCellRetriedBySweepScheduler(t *testing.T) {
+	// The first cell-level attempt exhausts the runner's retries with
+	// stalls; the second cell-level attempt succeeds immediately.
+	var calls atomic.Int32
+	r := sim.NewRunner()
+	r.Config.Retries = 0
+	r.Config.Backoff = time.Microsecond
+	r.Config.StallTimeout = 15 * time.Millisecond
+	r.Config.SetRunFnForTest(func(ctx context.Context, c sim.Config, _ string) (sim.Result, error) {
+		if calls.Add(1) == 1 {
+			sim.HeartbeatFrom(ctx).Tick()
+			<-ctx.Done()
+			return sim.Result{}, ctx.Err()
+		}
+		return sim.Result{Seed: c.Seed, TotalActs: 1}, nil
+	})
+	var s Spec
+	s.Name = "stall"
+	s.AddSweep("sweep/stall", fastConfig(), "PARA", []uint64{1})
+	rs, err := Run(context.Background(), s, Options{
+		Runner:       r,
+		RetryBudget:  5,
+		BreakerAfter: 4,
+		RetryBackoff: time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := rs.Get("sweep/stall")
+	if cr.Skipped || cr.Err != nil || len(cr.RunErrors) != 0 {
+		t.Fatalf("cell = %+v, want recovered after stall", cr)
+	}
+	if cr.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (stalled then recovered)", cr.Attempts)
+	}
+}

@@ -3,13 +3,24 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tivapromi/internal/sim"
 )
+
+// ErrCellSkipped marks a cell the scheduler gave up on: its circuit
+// breaker tripped (BreakerAfter consecutive failures) or the campaign's
+// shared retry budget ran dry. The cell's CellResult keeps the last
+// underlying failure wrapped beneath this mark, so errors.Is still finds
+// the root cause, and the renderer can degrade (skip the section, keep
+// the rest of the report) instead of aborting.
+var ErrCellSkipped = errors.New("campaign: cell skipped (retry budget exhausted or circuit breaker open)")
 
 // Options tunes one campaign execution.
 type Options struct {
@@ -18,21 +29,47 @@ type Options struct {
 	// never multiplies). Zero means GOMAXPROCS.
 	Workers int
 	// Runner supplies the hardening policy (retries, deadlines, panic
-	// recovery) and the checkpoint. A nil Runner uses sim.NewRunner()
-	// with no checkpoint.
+	// recovery, stall watchdog) and the checkpoint. A nil Runner uses
+	// sim.NewRunner() with no checkpoint.
 	Runner *sim.Runner
-	// OnProgress, when non-nil, receives one event per completed cell.
-	// Events are delivered sequentially (never concurrently).
+	// OnProgress, when non-nil, receives one event per completed cell —
+	// plus, when a checkpoint load was noteworthy (quarantine, salvage
+	// drops, format migration), one leading Note-only event. Events are
+	// delivered sequentially (never concurrently).
 	OnProgress func(Progress)
+
+	// RetryBudget is the total number of cell re-attempts the whole
+	// campaign may spend (shared across cells; 0 disables cell-level
+	// retries). A cell re-attempt is cheap when a checkpoint is armed:
+	// completed seeds are memoized, so only the missing work re-runs.
+	// Cells are re-attempted when the cell itself failed (cr.Err) or when
+	// a seed stalled (sim.ErrStalled) — ordinary per-seed failures are
+	// the runner's domain and are reported, not retried here.
+	RetryBudget int
+	// BreakerAfter is the per-cell circuit breaker: a cell that has
+	// failed this many consecutive attempts is parked as Skipped instead
+	// of burning more budget (0 = 3 when retries are enabled).
+	BreakerAfter int
+	// RetryBackoff is the base delay between cell re-attempts (0 = 50ms).
+	// Actual sleeps follow a decorrelated-jitter schedule seeded from the
+	// cell key, so simultaneous cell failures don't retry in lockstep
+	// while every schedule stays reproducible.
+	RetryBackoff time.Duration
+	// RetrySeed perturbs the per-cell retry-jitter streams (0 is fine).
+	RetrySeed uint64
 }
 
-// Progress is one scheduler event: a cell finished (or failed).
+// Progress is one scheduler event: a cell finished (or failed), or — for
+// the leading Note event — the checkpoint load had something to report.
 type Progress struct {
 	Campaign    string        // spec name
-	Cell        string        // cell key
+	Cell        string        // cell key ("" for a Note-only event)
 	Done, Total int           // completed cells / campaign size
 	Cached      bool          // served entirely from the checkpoint
 	Err         error         // the cell's failure, if any
+	Attempts    int           // attempts this cell consumed (≥ 1)
+	Skipped     bool          // the scheduler parked this cell
+	Note        string        // checkpoint-load report (quarantine, salvage, migration)
 	CellElapsed time.Duration // this cell's wall-clock time
 	Elapsed     time.Duration // campaign wall-clock so far
 	ETA         time.Duration // naive remaining-time estimate
@@ -46,6 +83,8 @@ type CellResult struct {
 	Value     any             // probe cells: the NewValue pointer, filled
 	Err       error           // cell-level failure
 	Cached    bool            // probe served from the checkpoint
+	Attempts  int             // scheduler attempts consumed (≥ 1)
+	Skipped   bool            // parked by the breaker / budget exhaustion
 	Elapsed   time.Duration
 }
 
@@ -107,6 +146,21 @@ func (rs *ResultSet) Value(key string) (any, error) {
 		return nil, fmt.Errorf("campaign: cell %q: %w", key, cr.Err)
 	}
 	return cr.Value, nil
+}
+
+// Skipped returns the keys of cells the scheduler parked (circuit
+// breaker / retry budget), in spec order. A non-empty slice means the
+// ResultSet is partial and the renderer should degrade rather than
+// abort: skipped sections are annotated, completed sections render
+// normally.
+func (rs *ResultSet) Skipped() []string {
+	var out []string
+	for _, k := range rs.order {
+		if cr := rs.results[k]; cr != nil && cr.Skipped {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 // Err returns the first cell failure in spec order, or nil.
@@ -177,6 +231,15 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 		done int
 		wg   sync.WaitGroup
 	)
+	// Surface a noteworthy checkpoint load (quarantine, salvage drops,
+	// format migration) as one leading Note event; a clean or absent
+	// checkpoint emits nothing, so the event count stays cells-only in
+	// the common case.
+	if opts.OnProgress != nil && runner.Checkpoint != nil {
+		if note := runner.Checkpoint.LoadReport().Note(); note != "" {
+			opts.OnProgress(Progress{Campaign: spec.Name, Total: len(spec.Cells), Note: note, Elapsed: time.Since(start)})
+		}
+	}
 	finish := func(cr *CellResult, cellStart time.Time) {
 		cr.Elapsed = time.Since(cellStart)
 		mu.Lock()
@@ -192,10 +255,25 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 				Campaign: spec.Name, Cell: cr.Cell.Key,
 				Done: d, Total: total,
 				Cached: cr.Cached, Err: cr.Err,
+				Attempts: cr.Attempts, Skipped: cr.Skipped,
 				CellElapsed: cr.Elapsed, Elapsed: elapsed, ETA: eta,
 			})
 		}
 		mu.Unlock()
+	}
+
+	// The shared retry budget: cell re-attempts draw from one campaign-
+	// wide pool so a single pathological cell cannot starve the rest, and
+	// a storm of failing cells converges instead of retrying forever.
+	var budget atomic.Int64
+	budget.Store(int64(opts.RetryBudget))
+	breaker := opts.BreakerAfter
+	if breaker <= 0 {
+		breaker = 3
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
 	}
 
 	for _, c := range spec.Cells {
@@ -204,11 +282,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 		go func(c Cell, cr *CellResult) {
 			defer wg.Done()
 			cellStart := time.Now()
-			if c.IsSweep() {
-				runSweepCell(ctx, &runner, c, cr)
-			} else {
-				runProbeCell(ctx, &runner, c, cr)
-			}
+			runCell(ctx, &runner, c, cr, cellPolicy{
+				budget:  &budget,
+				breaker: breaker,
+				jitter: sim.NewRetryJitter(backoff, 0,
+					opts.RetrySeed^cellSeed(spec.Name, c.Key)),
+			})
 			finish(cr, cellStart)
 		}(c, cr)
 	}
@@ -217,6 +296,116 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 		return rs, err
 	}
 	return rs, nil
+}
+
+// cellPolicy carries the scheduler's cell-level retry machinery into one
+// cell's attempt loop.
+type cellPolicy struct {
+	budget  *atomic.Int64
+	breaker int
+	jitter  *sim.RetryJitter
+}
+
+// cellSeed derives a stable per-cell jitter seed from the campaign and
+// cell identity, so two cells failing at the same instant draw different
+// backoff schedules while each schedule stays reproducible.
+func cellSeed(campaign, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(campaign))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// runCell executes one cell with the scheduler's retry loop: transient
+// cell failures (cell-level errors, stalled seeds) are re-attempted under
+// the campaign's shared budget until the per-cell circuit breaker trips,
+// at which point the cell is parked as Skipped with its last failure
+// wrapped beneath ErrCellSkipped. Re-attempting a sweep cell is cheap
+// with a checkpoint armed: completed seeds are memoized, so only the
+// failed remainder re-runs.
+func runCell(ctx context.Context, r *sim.Runner, c Cell, cr *CellResult, pol cellPolicy) {
+	for {
+		cr.Attempts++
+		// Reset the slate a previous attempt may have left.
+		cr.Summary, cr.RunErrors, cr.Value, cr.Err, cr.Cached = sim.Summary{}, nil, nil, nil, false
+		if c.IsSweep() {
+			runSweepCell(ctx, r, c, cr)
+		} else {
+			runProbeCell(ctx, r, c, cr)
+		}
+		if !cellRetryable(ctx, cr) {
+			return
+		}
+		if cr.Attempts >= pol.breaker || !takeToken(pol.budget) {
+			cr.Skipped = true
+			cr.Err = fmt.Errorf("%w after %d attempt(s): %w", ErrCellSkipped, cr.Attempts, cellFailure(cr))
+			return
+		}
+		if !sleepOrDone(ctx, pol.jitter.Next()) {
+			return
+		}
+	}
+}
+
+// cellRetryable reports whether another scheduler attempt could help:
+// cell-level failures and stalled seeds are transient from the campaign's
+// point of view; ordinary per-seed RunErrors are reported as-is, and
+// cancellation ends the loop immediately.
+func cellRetryable(ctx context.Context, cr *CellResult) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if cr.Err != nil {
+		return !errors.Is(cr.Err, context.Canceled) && !errors.Is(cr.Err, context.DeadlineExceeded)
+	}
+	for _, re := range cr.RunErrors {
+		if errors.Is(re, sim.ErrStalled) {
+			return true
+		}
+	}
+	return false
+}
+
+// cellFailure returns the failure that made the attempt retryable — the
+// cell error when set, otherwise the first stalled seed.
+func cellFailure(cr *CellResult) error {
+	if cr.Err != nil {
+		return cr.Err
+	}
+	for _, re := range cr.RunErrors {
+		if errors.Is(re, sim.ErrStalled) {
+			return re
+		}
+	}
+	return errors.New("campaign: unknown failure")
+}
+
+// takeToken draws one re-attempt from the shared budget; it reports
+// false when the pool is dry (the decrement is rolled back so concurrent
+// callers see a non-negative pool).
+func takeToken(budget *atomic.Int64) bool {
+	if budget.Add(-1) < 0 {
+		budget.Add(1)
+		return false
+	}
+	return true
+}
+
+// sleepOrDone waits d or until ctx is done; it reports whether the wait
+// completed.
+func sleepOrDone(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // runSweepCell executes a seed-sweep cell through the hardened runner;

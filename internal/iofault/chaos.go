@@ -1,0 +1,270 @@
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tivapromi/internal/rng"
+)
+
+// Injected fault errors. They are distinct sentinel values so tests can
+// tell an injected failure from a real one with errors.Is.
+var (
+	// ErrInjectedIO is the chaos stand-in for EIO.
+	ErrInjectedIO = errors.New("iofault: injected I/O error")
+	// ErrInjectedNoSpace is the chaos stand-in for ENOSPC.
+	ErrInjectedNoSpace = errors.New("iofault: injected no space left on device")
+)
+
+// ChaosConfig sets the per-operation fault probabilities of a Chaos FS.
+// All probabilities are in [0, 1] and are evaluated independently per
+// operation from the seeded stream; the zero value injects nothing.
+type ChaosConfig struct {
+	// Seed drives every fault decision. Two Chaos FSes with the same
+	// seed and the same operation sequence make identical decisions.
+	Seed uint64
+
+	// TornWrite silently persists only a prefix of a Write while
+	// reporting full success — the classic crash-mid-write outcome.
+	TornWrite float64
+	// ShortWrite persists a prefix and reports it (n < len(p) with
+	// io.ErrShortWrite), the well-behaved sibling of TornWrite.
+	ShortWrite float64
+	// WriteErr fails a Write outright with ErrInjectedIO.
+	WriteErr float64
+	// NoSpace fails a Write with ErrInjectedNoSpace.
+	NoSpace float64
+	// RenameFail fails a Rename with ErrInjectedIO, leaving the target
+	// untouched (the temp file survives, the swap never happens).
+	RenameFail float64
+	// FsyncLoss makes Sync lie: it reports success without making the
+	// unsynced tail durable, and the tail is dropped when the file is
+	// closed — modeling a kill after fsync was acknowledged by a
+	// caching layer but before writeback.
+	FsyncLoss float64
+	// BitFlip flips one random byte of the persisted content at Close —
+	// silent media corruption.
+	BitFlip float64
+}
+
+// ChaosStats counts the faults a Chaos FS injected.
+type ChaosStats struct {
+	TornWrites  int
+	ShortWrites int
+	WriteErrs   int
+	NoSpaceErrs int
+	RenameFails int
+	FsyncLosses int
+	BitFlips    int
+	// Commits counts successful Renames — the durability boundaries a
+	// crash-consistency test kills at.
+	Commits int
+}
+
+// Total returns the number of injected faults (Commits excluded).
+func (s ChaosStats) Total() int {
+	return s.TornWrites + s.ShortWrites + s.WriteErrs + s.NoSpaceErrs +
+		s.RenameFails + s.FsyncLosses + s.BitFlips
+}
+
+// Chaos is the fault-injecting FS. It wraps an inner FS (OS{} in
+// practice), buffers file writes so faults can be applied to the final
+// content, and draws every decision from one seeded deterministic
+// stream. Safe for concurrent use; with a concurrent caller the fault
+// decisions remain drawn from the same stream, but which operation gets
+// which draw depends on scheduling (per-run reproducibility requires a
+// serial caller, which is how the torture harness uses it).
+type Chaos struct {
+	mu    sync.Mutex
+	inner FS
+	cfg   ChaosConfig
+	src   *rng.XorShift64Star
+	stats ChaosStats
+
+	// OnCommit, when non-nil, runs after every successful Rename with
+	// the destination path and the 1-based commit ordinal. The torture
+	// harness uses it to kill a campaign at a randomized flush
+	// boundary. Called without the Chaos lock held.
+	OnCommit func(path string, commit int)
+}
+
+// NewChaos wraps inner (nil means OS{}) with fault injection.
+func NewChaos(inner FS, cfg ChaosConfig) *Chaos {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Chaos{inner: inner, cfg: cfg, src: rng.NewXorShift64Star(cfg.Seed ^ 0xc4a05)}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (c *Chaos) Stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// roll draws one Bernoulli decision with probability p from the seeded
+// stream. Requires c.mu held.
+func (c *Chaos) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return rng.Float64(c.src) < p
+}
+
+// intn draws a bounded integer from the seeded stream. Requires c.mu
+// held.
+func (c *Chaos) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return rng.Intn(c.src, n)
+}
+
+// ReadFile implements FS (reads are passed through unfaulted: the
+// checkpoint's read path is attacked via the bytes a faulted write left
+// behind, which is the realistic channel).
+func (c *Chaos) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+// CreateTemp implements FS.
+func (c *Chaos) CreateTemp(dir, pattern string) (File, error) {
+	f, err := c.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, inner: f}, nil
+}
+
+// Rename implements FS.
+func (c *Chaos) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	fail := c.roll(c.cfg.RenameFail)
+	if fail {
+		c.stats.RenameFails++
+	}
+	c.mu.Unlock()
+	if fail {
+		return fmt.Errorf("iofault: rename %s: %w", newpath, ErrInjectedIO)
+	}
+	if err := c.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Commits++
+	n := c.stats.Commits
+	hook := c.OnCommit
+	c.mu.Unlock()
+	if hook != nil {
+		hook(newpath, n)
+	}
+	return nil
+}
+
+// Remove implements FS.
+func (c *Chaos) Remove(path string) error { return c.inner.Remove(path) }
+
+// chaosFile buffers all writes in memory, applying write-time faults,
+// and materializes the (possibly torn, truncated, or corrupted) final
+// content into the real temp file at Close.
+type chaosFile struct {
+	fs    *Chaos
+	inner File
+	buf   []byte
+	// durable is the watermark of the last honest Sync; an fsync-loss
+	// fault truncates the persisted content to it at Close.
+	durable  int
+	lostSync bool
+	closed   bool
+}
+
+// shortWriteErr mirrors io.ErrShortWrite without importing io here.
+var shortWriteErr = errors.New("short write")
+
+// Write implements io.Writer with injected write faults.
+func (f *chaosFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	switch {
+	case c.roll(c.cfg.WriteErr):
+		c.stats.WriteErrs++
+		c.mu.Unlock()
+		return 0, fmt.Errorf("iofault: write %s: %w", f.inner.Name(), ErrInjectedIO)
+	case c.roll(c.cfg.NoSpace):
+		c.stats.NoSpaceErrs++
+		c.mu.Unlock()
+		return 0, fmt.Errorf("iofault: write %s: %w", f.inner.Name(), ErrInjectedNoSpace)
+	case c.roll(c.cfg.TornWrite):
+		// Persist a strict prefix but report complete success: the
+		// caller proceeds to rename a torn file into place.
+		c.stats.TornWrites++
+		keep := c.intn(len(p))
+		c.mu.Unlock()
+		f.buf = append(f.buf, p[:keep]...)
+		return len(p), nil
+	case c.roll(c.cfg.ShortWrite):
+		c.stats.ShortWrites++
+		keep := c.intn(len(p))
+		c.mu.Unlock()
+		f.buf = append(f.buf, p[:keep]...)
+		return keep, shortWriteErr
+	}
+	c.mu.Unlock()
+	f.buf = append(f.buf, p...)
+	return len(p), nil
+}
+
+// Sync implements File; an fsync-loss fault acknowledges the sync
+// without advancing the durability watermark.
+func (f *chaosFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	lost := c.roll(c.cfg.FsyncLoss)
+	if lost {
+		c.stats.FsyncLosses++
+	}
+	c.mu.Unlock()
+	if lost {
+		f.lostSync = true
+		return nil
+	}
+	f.durable = len(f.buf)
+	return nil
+}
+
+// Close materializes the final (post-fault) content into the real file.
+func (f *chaosFile) Close() error {
+	if f.closed {
+		return errors.New("iofault: file already closed")
+	}
+	f.closed = true
+	out := f.buf
+	if f.lostSync {
+		// The acknowledged-but-lost tail vanishes with the crash.
+		out = out[:f.durable]
+	}
+	c := f.fs
+	c.mu.Lock()
+	if len(out) > 0 && c.roll(c.cfg.BitFlip) {
+		c.stats.BitFlips++
+		pos := c.intn(len(out))
+		flip := byte(1) << uint(c.intn(8))
+		c.mu.Unlock()
+		out = append([]byte(nil), out...)
+		out[pos] ^= flip
+	} else {
+		c.mu.Unlock()
+	}
+	if _, err := f.inner.Write(out); err != nil {
+		f.inner.Close()
+		return err
+	}
+	if err := f.inner.Sync(); err != nil {
+		f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}
+
+// Name implements File.
+func (f *chaosFile) Name() string { return f.inner.Name() }

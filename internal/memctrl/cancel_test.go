@@ -1,0 +1,106 @@
+package memctrl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingSource fills every slot with the same benign access and counts
+// Fill calls so tests can bound how much work ran after cancellation.
+type countingSource struct {
+	fills atomic.Int64
+}
+
+func (s *countingSource) Fill(buf []Access) int {
+	s.fills.Add(1)
+	for i := range buf {
+		buf[i] = Access{Bank: 0, Row: int32(i % 64)}
+	}
+	return len(buf)
+}
+
+func TestRunBatchesCtxCompletesWithLiveContext(t *testing.T) {
+	c := newCtl(t, nil)
+	src := &countingSource{}
+	if err := c.RunBatchesCtx(context.Background(), 3, src, 0); err != nil {
+		t.Fatalf("uncanceled run returned %v", err)
+	}
+	if got := c.Device().Interval(); got != 3 {
+		t.Fatalf("advanced %d intervals, want 3", got)
+	}
+	if src.fills.Load() == 0 {
+		t.Fatal("source was never consulted")
+	}
+}
+
+// TestRunBatchesCtxAlreadyCancelled pins the entry check: a dead context
+// stops the run before any batch is pulled.
+func TestRunBatchesCtxAlreadyCancelled(t *testing.T) {
+	c := newCtl(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := &countingSource{}
+	err := c.RunBatchesCtx(ctx, 1000, src, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if src.fills.Load() != 0 {
+		t.Fatalf("cancelled run still pulled %d batches", src.fills.Load())
+	}
+	if c.Device().Interval() != 0 {
+		t.Fatalf("cancelled run advanced %d intervals", c.Device().Interval())
+	}
+}
+
+// TestRunBatchesCtxCancelMidRunStopsPromptly cancels from the source's
+// own Fill callback: the run must stop at the next batch boundary — at
+// most one more Fill — instead of grinding to the interval target.
+func TestRunBatchesCtxCancelMidRunStopsPromptly(t *testing.T) {
+	c := newCtl(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	src := &countingSource{}
+	trip := &cancellingSource{inner: src, cancel: cancel, after: 2}
+	err := c.RunBatchesCtx(ctx, 1<<30, trip, 8)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancel fires during Fill #2; the poll at the top of the next
+	// iteration must observe it, so at most one further Fill can land.
+	if n := src.fills.Load(); n > 3 {
+		t.Fatalf("run kept pulling batches after cancel: %d fills", n)
+	}
+}
+
+type cancellingSource struct {
+	inner  AccessSource
+	cancel context.CancelFunc
+	after  int
+	calls  int
+}
+
+func (s *cancellingSource) Fill(buf []Access) int {
+	s.calls++
+	if s.calls == s.after {
+		s.cancel()
+	}
+	return s.inner.Fill(buf)
+}
+
+// TestRunBatchesCtxDeadline runs an effectively unbounded workload under
+// a short deadline and requires a prompt DeadlineExceeded return.
+func TestRunBatchesCtxDeadline(t *testing.T) {
+	c := newCtl(t, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.RunBatchesCtx(ctx, 1<<30, &countingSource{}, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("run overshot its deadline by %v", elapsed)
+	}
+}

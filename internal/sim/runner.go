@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,13 +64,32 @@ type RunnerConfig struct {
 	// RunError — retrying would overrun again.
 	PerRunTimeout time.Duration
 	// Retries is the number of re-attempts for transient failures (a
-	// worker panic, or an error marked transient by a custom factory).
-	// Permanent and context errors are never retried.
+	// worker panic, a stall-watchdog cancellation, or an error marked
+	// transient by a custom factory). Permanent and context errors are
+	// never retried.
 	Retries int
-	// Backoff is the base delay before a retry, doubling per attempt
-	// (default 10ms). Sleeps are context-aware: cancellation cuts them
-	// short.
+	// Backoff is the base delay before a retry (default 10ms). The
+	// actual sleeps follow a seeded decorrelated-jitter schedule (see
+	// RetryJitter): reproducible for a given seed, but desynchronized
+	// across workers so retry storms don't beat in lockstep. Sleeps are
+	// context-aware: cancellation cuts them short.
 	Backoff time.Duration
+	// MaxBackoff caps one retry sleep (0 = 64 × Backoff).
+	MaxBackoff time.Duration
+	// JitterSeed perturbs the per-seed retry-jitter streams; the
+	// default (0) is fine — each simulated seed already gets its own
+	// stream — but campaigns that want globally distinct schedules can
+	// set it.
+	JitterSeed uint64
+
+	// StallTimeout arms the stall watchdog (0 = disabled): a run whose
+	// progress heartbeat (see Heartbeat) goes silent for longer than
+	// this is cancelled and classified as ErrStalled — separately from
+	// a PerRunTimeout overrun, which is permanent. Stalls are usually
+	// scheduling wedges, so they are retried as transient failures.
+	// Workloads that never tick are exempt (the watchdog only judges
+	// runs that demonstrated heartbeat cooperation).
+	StallTimeout time.Duration
 
 	// Gate optionally bounds concurrency across several sweeps sharing
 	// the same channel: every run (and every RunnerConfig.Do probe)
@@ -82,6 +102,14 @@ type RunnerConfig struct {
 
 	// runFn overrides the run function for tests (nil = RunCtx).
 	runFn func(context.Context, Config, string) (Result, error)
+}
+
+// SetRunFnForTest overrides the run function (nil restores RunCtx). It
+// exists for cross-package tests — the campaign scheduler's hardening
+// tests inject deterministic stalls and failures below the scheduler —
+// and is never called by production code.
+func (rc *RunnerConfig) SetRunFnForTest(fn func(context.Context, Config, string) (Result, error)) {
+	rc.runFn = fn
 }
 
 // DefaultRunnerConfig returns the standard pool sizing: GOMAXPROCS
@@ -104,12 +132,12 @@ func (rc RunnerConfig) workers(jobs int) int {
 	return w
 }
 
-func (rc RunnerConfig) backoff(attempt int) time.Duration {
-	b := rc.Backoff
-	if b <= 0 {
-		b = 10 * time.Millisecond
-	}
-	return b << uint(attempt)
+// jitter builds the decorrelated retry-jitter source for one seed's
+// attempt sequence. Mixing the simulated seed in decorrelates workers
+// (each sweeps a different seed) while keeping every schedule
+// reproducible.
+func (rc RunnerConfig) jitter(seed uint64) *RetryJitter {
+	return NewRetryJitter(rc.Backoff, rc.MaxBackoff, rc.JitterSeed^(seed*0x9e3779b97f4a7c15+0x7f4a7c15))
 }
 
 // RunSeedsCtx executes Run for every seed under ctx with a bounded worker
@@ -190,10 +218,12 @@ feed:
 	return Summarize(completed), failed, nil
 }
 
-// runWithRetry attempts one seed with panic recovery, a per-run deadline
-// and exponential backoff between attempts.
+// runWithRetry attempts one seed with panic recovery, a per-run
+// deadline, the stall watchdog, and seeded decorrelated-jitter backoff
+// between attempts.
 func runWithRetry(ctx context.Context, rc RunnerConfig, run func(context.Context, Config, string) (Result, error), cfg Config, technique string) (Result, int, error) {
 	var lastErr error
+	var jit *RetryJitter
 	attempts := 0
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -211,14 +241,18 @@ func runWithRetry(ctx context.Context, rc RunnerConfig, run func(context.Context
 		if attempt >= rc.Retries || !retriable(ctx, err) {
 			return Result{}, attempts, err
 		}
-		if !sleepCtx(ctx, rc.backoff(attempt)) {
+		if jit == nil {
+			jit = rc.jitter(cfg.Seed)
+		}
+		if !sleepCtx(ctx, jit.Next()) {
 			return Result{}, attempts, lastErr
 		}
 	}
 }
 
-// runOnce executes one simulation, converting a panic into a PanicError
-// and enforcing the per-run deadline.
+// runOnce executes one simulation, converting a panic into a PanicError,
+// enforcing the per-run deadline, and — when StallTimeout is armed —
+// running the heartbeat watchdog beside the workload.
 func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Config, string) (Result, error), cfg Config, technique string) (res Result, err error) {
 	runCtx := ctx
 	if rc.PerRunTimeout > 0 {
@@ -226,13 +260,31 @@ func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Con
 		runCtx, cancel = context.WithTimeout(ctx, rc.PerRunTimeout)
 		defer cancel()
 	}
+	var stalled atomic.Bool
+	if rc.StallTimeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(runCtx)
+		defer cancel()
+		hb := &Heartbeat{}
+		runCtx = WithHeartbeat(runCtx, hb)
+		stop := make(chan struct{})
+		defer close(stop)
+		go watchdog(hb, rc.StallTimeout, &stalled, cancel, stop)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
 	res, err = run(runCtx, cfg, technique)
-	if err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+	switch {
+	case err != nil && stalled.Load():
+		// The stall watchdog cancelled this attempt: classify apart from
+		// both deadline overruns and sweep-level cancellation so the
+		// retry policy (and the campaign scheduler's failure accounting)
+		// can treat a wedge as transient.
+		err = fmt.Errorf("%w (no heartbeat within %s): %w", ErrStalled, rc.StallTimeout, err)
+	case err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 		// The per-run deadline fired, not the sweep's context: the run is
 		// deterministic, so a retry would overrun again.
 		err = permanent(err)
@@ -240,12 +292,15 @@ func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Con
 	return res, err
 }
 
-// retriable reports whether a failure is worth another attempt: panics
-// and unmarked errors are retried; permanent marks and sweep-level
-// cancellation are not.
+// retriable reports whether a failure is worth another attempt: panics,
+// stalls and unmarked errors are retried; permanent marks and
+// sweep-level cancellation are not.
 func retriable(ctx context.Context, err error) bool {
 	if ctx.Err() != nil {
 		return false
+	}
+	if errors.Is(err, ErrStalled) {
+		return true
 	}
 	if errors.Is(err, ErrPermanent) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false

@@ -37,6 +37,7 @@ import (
 	"tivapromi/internal/core"
 	"tivapromi/internal/dram"
 	"tivapromi/internal/faults"
+	"tivapromi/internal/iofault"
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register every technique
@@ -115,6 +116,45 @@ type (
 	FaultPoint = sim.FaultPoint
 	// FaultSweepConfig describes a techniques × models × rates campaign.
 	FaultSweepConfig = sim.FaultSweepConfig
+)
+
+// Crash-consistency types: the checkpoint store writes through an
+// injectable filesystem seam (FS), so fault injection reaches the I/O
+// layer too. OSFS is the passthrough; ChaosFS injects seed-deterministic
+// torn writes, rename failures, fsync loss, and bit flips for torture
+// testing (see internal/iofault and internal/chaostest).
+type (
+	// FS is the filesystem seam the checkpoint writes through.
+	FS = iofault.FS
+	// OSFS is the real-filesystem passthrough.
+	OSFS = iofault.OS
+	// ChaosFS injects seed-deterministic I/O faults beneath an FS.
+	ChaosFS = iofault.Chaos
+	// ChaosFSConfig sets per-operation fault probabilities and the seed.
+	ChaosFSConfig = iofault.ChaosConfig
+	// ChaosFSStats tallies the faults a ChaosFS injected.
+	ChaosFSStats = iofault.ChaosStats
+	// CheckpointLoadReport describes what loading a checkpoint found:
+	// entries kept, corrupt entries dropped, v1 migration, quarantine.
+	CheckpointLoadReport = sim.LoadReport
+)
+
+// Robustness sentinels, matchable with errors.Is.
+var (
+	// ErrStalled marks a run cancelled by the stall watchdog (no
+	// heartbeat progress within RunnerConfig.StallTimeout); it classifies
+	// as transient and is retried.
+	ErrStalled = sim.ErrStalled
+	// ErrCheckpointCorrupt marks checkpoint bytes that failed
+	// checksum/structure verification (the file is quarantined and every
+	// verifiable entry salvaged).
+	ErrCheckpointCorrupt = sim.ErrCheckpointCorrupt
+	// ErrCheckpointVersion marks a checkpoint from an unknown future
+	// format version.
+	ErrCheckpointVersion = sim.ErrCheckpointVersion
+	// ErrCampaignCellSkipped marks a campaign cell parked by the retry
+	// circuit breaker; the root cause stays wrapped underneath.
+	ErrCampaignCellSkipped = campaign.ErrCellSkipped
 )
 
 // Fault models (see internal/faults for the scenario each one realizes).
@@ -249,7 +289,16 @@ func DefaultRunnerConfig() RunnerConfig { return sim.DefaultRunnerConfig() }
 
 // LoadCheckpoint opens or creates a resumable-sweep checkpoint; assign
 // it to a Runner to make killed sweeps continue where they stopped.
+// Corrupt files are quarantined and every verifiable entry salvaged; the
+// LoadReport on the returned Checkpoint says what happened.
 func LoadCheckpoint(path string) (*Checkpoint, error) { return sim.LoadCheckpoint(path) }
+
+// LoadCheckpointFS is LoadCheckpoint writing through an explicit
+// filesystem seam (nil = the real filesystem); pass a ChaosFS to torture
+// the crash-consistency machinery.
+func LoadCheckpointFS(path string, fsys FS) (*Checkpoint, error) {
+	return sim.LoadCheckpointFS(path, fsys)
+}
 
 // NewRunner returns a hardened sweep runner with default pool sizing and
 // no checkpoint.
