@@ -28,6 +28,12 @@
 //	                               vs reference pipeline throughput, written
 //	                               to BENCH_hotpath.json (optionally with
 //	                               pprof CPU/heap profiles)
+//	experiments serve            — long-running multi-tenant campaign server:
+//	                               HTTP/JSON campaign submission, per-tenant
+//	                               fair queuing and admission control over one
+//	                               shared worker pool, SSE progress streams,
+//	                               cross-tenant dedup through the -checkpoint
+//	                               cache, graceful drain on SIGINT/SIGTERM
 //
 // Every section is a campaign.Spec in the report.Sections registry; this
 // command only merges the selected specs, runs them through the campaign
@@ -65,6 +71,16 @@
 //	                  (default true)
 //	-bench-out PATH   where `bench` writes its JSON report (default
 //	                  BENCH_campaign.json)
+//	-bench-min-speedup X
+//	                  bench: fail when the parallel run's speedup over the
+//	                  serial run is below X on a multi-core host (0 = no
+//	                  floor; single-CPU hosts are never gated)
+//	-addr HOST:PORT   serve: listen address (default :8077)
+//	-queue-depth N    serve: per-tenant pending-job bound before 429s
+//	                  (default 8)
+//	-max-tenants N    serve: distinct-tenant bound (default 64)
+//	-drain-timeout D  serve: grace given to in-flight jobs on shutdown
+//	                  before they are force-cancelled (default 30s)
 //	-profile-out PATH where `profile` writes its JSON report (default
 //	                  BENCH_hotpath.json)
 //	-cpuprofile PATH  profile: also capture a pprof CPU profile of the
@@ -84,6 +100,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"tivapromi/internal/campaign"
@@ -92,6 +109,7 @@ import (
 	"tivapromi/internal/hotpath"
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/report"
+	"tivapromi/internal/serve"
 	"tivapromi/internal/sim"
 )
 
@@ -117,6 +135,11 @@ var (
 	chCycles  = flag.Int("chaos-cycles", 3, "chaos: kill/resume cycles before the clean final run")
 	chCorrupt = flag.Bool("chaos-corrupt", true, "chaos: flip one checkpoint byte between cycles")
 	chDir     = flag.String("chaos-dir", "", "chaos: working directory (default: a fresh temp dir)")
+	benchMin  = flag.Float64("bench-min-speedup", 0, "bench: fail below this parallel speedup on multi-core (0 = no floor)")
+	addr      = flag.String("addr", ":8077", "serve: listen address")
+	queueDep  = flag.Int("queue-depth", 8, "serve: per-tenant pending-job bound before 429s")
+	maxTen    = flag.Int("max-tenants", 64, "serve: distinct-tenant bound")
+	drainTO   = flag.Duration("drain-timeout", 30*time.Second, "serve: in-flight grace on shutdown before force-cancel")
 )
 
 // app binds one evaluation's knobs to its outputs. Tests construct it
@@ -132,6 +155,10 @@ type app struct {
 	stdout      io.Writer
 	stderr      io.Writer // nil: degraded-run diagnostics are dropped
 	progress    io.Writer // nil: no progress events
+
+	// benchMinSpeedup, when > 0, fails `bench` if the parallel run's
+	// speedup over the serial run is below it on a multi-core host.
+	benchMinSpeedup float64
 }
 
 // sectionNames returns the registry's section names in paper order.
@@ -381,10 +408,17 @@ func (a *app) bench(ctx context.Context, path string) error {
 	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
 		return err
 	}
+	// The CPU count leads the summary: a speedup number is meaningless
+	// without knowing how many cores were available to produce it.
+	fmt.Fprintf(a.stdout, "bench: cpus=%d gomaxprocs=%d\n", rep.CPUs, rep.GoMaxProcs)
 	fmt.Fprintf(a.stdout, "bench: %d cells, serial %.1fs, parallel(%d) %.1fs, speedup %.2fx, identical %v — wrote %s\n",
 		rep.Cells, rep.SerialSeconds, par, rep.ParallelSeconds, rep.Speedup, rep.Identical, path)
 	if !rep.Identical {
 		return fmt.Errorf("bench: serial and parallel outputs differ")
+	}
+	if a.benchMinSpeedup > 0 && rep.CPUs > 1 && rep.Speedup < a.benchMinSpeedup {
+		return fmt.Errorf("bench: parallel speedup %.2fx on %d CPUs is below the -bench-min-speedup floor %.2f — the worker pool is not overlapping work",
+			rep.Speedup, rep.CPUs, a.benchMinSpeedup)
 	}
 	return nil
 }
@@ -486,23 +520,25 @@ func main() {
 	}
 
 	a := &app{
-		ev:          ev,
-		csv:         *csvOut,
-		svgPath:     *svgOut,
-		resume:      *resume,
-		workers:     *workers,
-		retryBudget: *retryBudg,
-		runner:      runner,
-		stdout:      os.Stdout,
-		stderr:      os.Stderr,
+		ev:              ev,
+		csv:             *csvOut,
+		svgPath:         *svgOut,
+		resume:          *resume,
+		workers:         *workers,
+		retryBudget:     *retryBudg,
+		runner:          runner,
+		stdout:          os.Stdout,
+		stderr:          os.Stderr,
+		benchMinSpeedup: *benchMin,
 	}
 	if *progress {
 		a.progress = os.Stderr
 	}
 
-	// Ctrl-C cancels the campaign; completed cells are already in the
-	// checkpoint, so the re-run is cheap.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or a supervisor's SIGTERM cancels the campaign (or, for
+	// `serve`, triggers the graceful drain); completed cells are already
+	// in the checkpoint, so the re-run is cheap.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var err error
@@ -525,6 +561,19 @@ func main() {
 		err = a.chaos(ctx, cfg)
 	case "profile":
 		err = a.profile(ctx, *profOut, *cpuProf, *memProf)
+	case "serve":
+		err = a.serveCmd(ctx, *addr, serve.Config{
+			Workers:        *workers,
+			QueueDepth:     *queueDep,
+			MaxTenants:     *maxTen,
+			RetryBudget:    *retryBudg,
+			BaseEval:       ev,
+			CheckpointPath: *ckptPath,
+			PerRunTimeout:  *timeout,
+			StallTimeout:   *stall,
+			DrainTimeout:   *drainTO,
+			Log:            os.Stderr,
+		})
 	default:
 		if _, ok := report.Section(cmd); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)

@@ -1,0 +1,155 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProgressStreamUnderCancellation pins the event stream's shutdown
+// contract: when the campaign context dies mid-run, Run returns, and
+// after it returns the OnProgress callback is never invoked again (the
+// serving layer routes these events into subscriber channels — a
+// post-return event would be a send into torn-down plumbing) and no
+// scheduler goroutine survives.
+func TestProgressStreamUnderCancellation(t *testing.T) {
+	var s Spec
+	s.Name = "cancelstream"
+	// Two fast probes emit real progress before the cancel; four blocking
+	// probes guarantee the campaign is mid-flight when it lands.
+	for _, key := range []string{"probe/fast1", "probe/fast2"} {
+		s.AddProbe(key, func() any { return new(int) }, func(context.Context, any) error { return nil })
+	}
+	for _, key := range []string{"probe/block1", "probe/block2", "probe/block3", "probe/block4"} {
+		s.AddProbe(key, func() any { return new(int) }, func(ctx context.Context, _ any) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	}
+
+	var returned atomic.Bool
+	var events, lateEvents atomic.Int32
+	fastDone := make(chan struct{}, len(s.Cells))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, s, Options{
+			Workers: 4,
+			OnProgress: func(p Progress) {
+				events.Add(1)
+				if returned.Load() {
+					lateEvents.Add(1)
+				}
+				if strings.HasPrefix(p.Cell, "probe/fast") && p.Err == nil {
+					fastDone <- struct{}{}
+				}
+				if p.Total != len(s.Cells) {
+					t.Errorf("event Total = %d, want %d", p.Total, len(s.Cells))
+				}
+			},
+		})
+		returned.Store(true)
+		runDone <- err
+	}()
+
+	// Cancel only once both fast probes have reported real progress, so
+	// the stream provably carried events before the shutdown.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-fastDone:
+		case <-time.After(30 * time.Second):
+			t.Fatal("fast probes never reported progress")
+		}
+	}
+	cancel()
+	var err error
+	select {
+	case err = <-runDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if err == nil {
+		t.Fatal("cancelled campaign returned nil error")
+	}
+	if events.Load() == 0 {
+		t.Fatal("no progress events before the cancel")
+	}
+
+	// The stream must be silent from the moment Run returns — give any
+	// straggler goroutine ample time to prove it exists.
+	time.Sleep(100 * time.Millisecond)
+	if n := lateEvents.Load(); n != 0 {
+		t.Fatalf("%d progress event(s) delivered after Run returned", n)
+	}
+	waitNoCampaignGoroutines(t)
+}
+
+// TestProgressStreamCompleteCampaignQuiesces is the uncancelled control:
+// a campaign that finishes naturally also stops emitting the moment Run
+// returns and leaves no goroutines.
+func TestProgressStreamCompleteCampaignQuiesces(t *testing.T) {
+	var s Spec
+	s.Name = "quiesce"
+	for _, key := range []string{"probe/a", "probe/b", "probe/c"} {
+		s.AddProbe(key, func() any { return new(int) }, func(context.Context, any) error { return nil })
+	}
+	var returned atomic.Bool
+	var late atomic.Int32
+	rs, err := Run(context.Background(), s, Options{
+		Workers: 2,
+		OnProgress: func(Progress) {
+			if returned.Load() {
+				late.Add(1)
+			}
+		},
+	})
+	returned.Store(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rs.Keys()); got != 3 {
+		t.Fatalf("completed cells = %d, want 3", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if n := late.Load(); n != 0 {
+		t.Fatalf("%d progress event(s) after natural completion", n)
+	}
+	waitNoCampaignGoroutines(t)
+}
+
+// waitNoCampaignGoroutines asserts every campaign scheduler goroutine
+// exited (Run's workers are joined before it returns, so any survivor
+// is a leak).
+func waitNoCampaignGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n, stacks := campaignGoroutines(); n == 0 {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("%d campaign goroutine(s) still running:\n%s", n, stacks)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// campaignGoroutines counts live goroutines inside this package's
+// scheduler (test-owned frames are in _test.go files and don't match).
+func campaignGoroutines() (int, string) {
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	n := 0
+	var matched []string
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if strings.Contains(g, "campaign.Run(") || strings.Contains(g, "campaign.Run.func") {
+			n++
+			matched = append(matched, g)
+		}
+	}
+	return n, strings.Join(matched, "\n\n")
+}

@@ -57,12 +57,29 @@ type Options struct {
 	RetryBackoff time.Duration
 	// RetrySeed perturbs the per-cell retry-jitter streams (0 is fine).
 	RetrySeed uint64
+
+	// Gate, when non-nil, is a shared admission gate used instead of a
+	// fresh per-campaign gate: every simulation of every campaign holding
+	// the same channel competes for its capacity, so a serving layer can
+	// bound total concurrency across many tenants' campaigns with one
+	// Workers-sized pool. The channel's capacity, not Options.Workers,
+	// bounds in-flight simulations when Gate is set.
+	Gate chan struct{}
+	// SharedRetryBudget, when non-nil, replaces the campaign-private
+	// retry pool: cell re-attempts draw from this counter instead, so
+	// several campaigns (e.g. one tenant's concurrent jobs) share one
+	// self-healing allowance. RetryBudget is ignored when set.
+	SharedRetryBudget *atomic.Int64
+	// Tenant labels every Progress event with the submitting tenant, so
+	// a multi-campaign progress sink can fan events back out per client.
+	Tenant string
 }
 
 // Progress is one scheduler event: a cell finished (or failed), or — for
 // the leading Note event — the checkpoint load had something to report.
 type Progress struct {
 	Campaign    string        // spec name
+	Tenant      string        // Options.Tenant, verbatim ("" outside a serving layer)
 	Cell        string        // cell key ("" for a Note-only event)
 	Done, Total int           // completed cells / campaign size
 	Cached      bool          // served entirely from the checkpoint
@@ -207,8 +224,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 	}
 	// One admission gate bounds every simulation in flight, whichever
 	// cell it belongs to: launching all cells at once stays safe because
-	// seeds and probes alike must win a gate slot before running.
-	gate := make(chan struct{}, workers)
+	// seeds and probes alike must win a gate slot before running. A
+	// caller-supplied gate extends the same bound across campaigns.
+	gate := opts.Gate
+	if gate == nil {
+		gate = make(chan struct{}, workers)
+	}
 	runner := *base
 	runner.Config.Gate = gate
 	if runner.Config.Workers <= 0 || runner.Config.Workers > workers {
@@ -237,7 +258,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 	// the common case.
 	if opts.OnProgress != nil && runner.Checkpoint != nil {
 		if note := runner.Checkpoint.LoadReport().Note(); note != "" {
-			opts.OnProgress(Progress{Campaign: spec.Name, Total: len(spec.Cells), Note: note, Elapsed: time.Since(start)})
+			opts.OnProgress(Progress{Campaign: spec.Name, Tenant: opts.Tenant, Total: len(spec.Cells), Note: note, Elapsed: time.Since(start)})
 		}
 	}
 	finish := func(cr *CellResult, cellStart time.Time) {
@@ -252,7 +273,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 		}
 		if opts.OnProgress != nil {
 			opts.OnProgress(Progress{
-				Campaign: spec.Name, Cell: cr.Cell.Key,
+				Campaign: spec.Name, Tenant: opts.Tenant, Cell: cr.Cell.Key,
 				Done: d, Total: total,
 				Cached: cr.Cached, Err: cr.Err,
 				Attempts: cr.Attempts, Skipped: cr.Skipped,
@@ -264,9 +285,13 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 
 	// The shared retry budget: cell re-attempts draw from one campaign-
 	// wide pool so a single pathological cell cannot starve the rest, and
-	// a storm of failing cells converges instead of retrying forever.
-	var budget atomic.Int64
-	budget.Store(int64(opts.RetryBudget))
+	// a storm of failing cells converges instead of retrying forever. A
+	// caller-supplied pool spans campaigns (per-tenant budgets).
+	budget := opts.SharedRetryBudget
+	if budget == nil {
+		budget = new(atomic.Int64)
+		budget.Store(int64(opts.RetryBudget))
+	}
 	breaker := opts.BreakerAfter
 	if breaker <= 0 {
 		breaker = 3
@@ -283,7 +308,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 			defer wg.Done()
 			cellStart := time.Now()
 			runCell(ctx, &runner, c, cr, cellPolicy{
-				budget:  &budget,
+				budget:  budget,
 				breaker: breaker,
 				jitter: sim.NewRetryJitter(backoff, 0,
 					opts.RetrySeed^cellSeed(spec.Name, c.Key)),

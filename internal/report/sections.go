@@ -25,8 +25,9 @@ import (
 type Context struct {
 	Eval    campaign.Eval
 	Results *campaign.ResultSet
-	CSV     bool   // fig4: also print the scatter as CSV
-	SVGPath string // fig4: also write the scatter as an SVG file
+	CSV     bool      // fig4: also print the scatter as CSV
+	SVGPath string    // fig4: also write the scatter as an SVG file
+	SVGSink io.Writer // fig4: also stream the SVG here (no file, no log line)
 }
 
 // SectionDef binds one evaluation section's name to its campaign spec
@@ -235,6 +236,14 @@ func renderFig4(w io.Writer, rc *Context) error {
 	}
 	if rc.CSV {
 		if err := s.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	if rc.SVGSink != nil {
+		// The in-memory sink (the campaign server's figure endpoint)
+		// deliberately adds no "wrote" line: the text report must stay
+		// byte-identical with and without figure capture.
+		if err := s.WriteSVG(rc.SVGSink); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDecodeRequest holds the request decoder to its contract: any byte
+// sequence either decodes into a validated Request or fails with a typed
+// error (ErrBadSpec or ErrSpecTooLarge) — never a panic, and never an
+// allocation proportional to a number the client made up (over-limit
+// grids are rejected by the limit check, not materialized).
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"sections":["table2"]}`))
+	f.Add([]byte(`{"sections":["table2","flooding"],"seeds":4,"windows":8}`))
+	f.Add([]byte(`{"tenant":"alpha","sections":["thresholds"],"thresholds":[139000,70000]}`))
+	f.Add([]byte(`{"sections":[]}`))
+	f.Add([]byte(`{"sections":["nonesuch"]}`))
+	f.Add([]byte(`{"sections":["table2"],"seeds":-1}`))
+	f.Add([]byte(`{"sections":["table2"],"seeds":999999999}`))
+	f.Add([]byte(`{"sections":["table2"],"timeout_ms":1e18}`))
+	f.Add([]byte(`{"sections":["table2"]}{"x":1}`))
+	f.Add([]byte(`{"sections":["table2"],"unknown":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte("\x00\xff\xfe"))
+
+	lim := DefaultLimits()
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		req, err := DecodeRequest(raw, lim)
+		if err != nil {
+			// Every failure must carry one of the two typed marks so the
+			// HTTP layer can map it to 400 or 413.
+			if !errors.Is(err, ErrBadSpec) && !errors.Is(err, ErrSpecTooLarge) {
+				t.Fatalf("untyped decode error %v for input %q", err, raw)
+			}
+			return
+		}
+		// A request the decoder accepts must be within every limit the
+		// server admits by...
+		if len(req.Sections) == 0 || len(req.Sections) > lim.MaxSections {
+			t.Fatalf("accepted request with %d sections", len(req.Sections))
+		}
+		if req.Seeds < 0 || req.Seeds > lim.MaxSeeds ||
+			req.Windows < 0 || req.Windows > lim.MaxWindows ||
+			req.Trials < 0 || req.Trials > lim.MaxTrials ||
+			req.TimeoutMs < 0 {
+			t.Fatalf("accepted request with out-of-range knobs: %+v", req)
+		}
+		if len(req.Thresholds) > lim.MaxThresholds {
+			t.Fatalf("accepted request with %d thresholds", len(req.Thresholds))
+		}
+		// ...and must expand into a bounded campaign, or fail typed.
+		spec, _, berr := BuildCampaign(req, testEval(), lim)
+		if berr != nil {
+			if !errors.Is(berr, ErrBadSpec) && !errors.Is(berr, ErrSpecTooLarge) {
+				t.Fatalf("untyped build error %v for request %+v", berr, req)
+			}
+			return
+		}
+		if len(spec.Cells) > lim.MaxCells {
+			t.Fatalf("built campaign with %d cells, limit %d", len(spec.Cells), lim.MaxCells)
+		}
+		for _, name := range req.Sections {
+			if !utf8.ValidString(name) {
+				// JSON decoding replaces invalid UTF-8; reaching here with an
+				// invalid name would mean the validator let a non-registry
+				// section through.
+				t.Fatalf("accepted non-UTF8 section name %q", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,286 @@
+// HTTP front end: routing, tenant resolution, admission responses,
+// SSE streaming, and the panic-isolation middleware. Every handler runs
+// behind recoverMiddleware, so a bug in one request's path answers 500
+// and increments a counter instead of killing every tenant's server.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"tivapromi/internal/sim"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/campaigns              submit a campaign (202, 400, 413, 429, 503)
+//	GET  /v1/campaigns/{id}         job status JSON
+//	GET  /v1/campaigns/{id}/events  SSE Progress/ETA stream
+//	GET  /v1/campaigns/{id}/report  rendered sections (text/plain; 409 until done)
+//	GET  /v1/campaigns/{id}/figure.svg  fig4 SVG (404 unless the job computed it)
+//	GET  /v1/stats                  server + cache census
+//	GET  /healthz                   liveness (503 while draining)
+//
+// Job endpoints are tenant-scoped: the X-Tenant header must match the
+// submitting tenant or the job is a 404 — tenants cannot enumerate or
+// read each other's work.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/campaigns/{id}/figure.svg", s.handleFigure)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s.recoverMiddleware(mux)
+}
+
+// recoverMiddleware converts a handler panic into a 500 — one request
+// dies, the server does not. If the response already started (an SSE
+// stream mid-flight), the connection is simply dropped.
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.counters.Panics.Add(1)
+				s.logf("serve: PANIC in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Best-effort 500; ignored if headers are already out.
+				writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// tenantOf resolves the requesting tenant: the X-Tenant header, else
+// the body's tenant field (submit only), else "default".
+func tenantOf(r *http.Request, bodyTenant string) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	return "default"
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes+1))
+	if err != nil {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	req, err := DecodeRequest(body, s.cfg.Limits)
+	if err != nil {
+		writeJSONError(w, statusForSpecErr(err), err.Error())
+		return
+	}
+	tenantName := tenantOf(r, req.Tenant)
+	j, rej := s.submit(tenantName, req)
+	if rej != nil {
+		if rej.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(rej.retryAfter))
+		}
+		writeJSONError(w, rej.status, rej.reason)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, j.status())
+}
+
+// jobFor fetches a job and enforces tenant scoping; it writes the 404
+// itself when the job is missing or foreign.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok || j.Tenant != tenantOf(r, "") {
+		writeJSONError(w, http.StatusNotFound, "no such job")
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, j.status())
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	state, rep, _, err := j.snapshot()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(rep)
+	case StateFailed, StateCanceled:
+		writeJSONError(w, http.StatusConflict, fmt.Sprintf("job %s: %v", state, err))
+	default:
+		w.Header().Set("Retry-After", "2")
+		writeJSONError(w, http.StatusConflict, fmt.Sprintf("job is %s", state))
+	}
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	state, _, svg, _ := j.snapshot()
+	if state != StateDone || len(svg) == 0 {
+		writeJSONError(w, http.StatusNotFound, "no figure for this job (is fig4 in the sections, and is the job done?)")
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Write(svg)
+}
+
+// handleEvents streams the job's Progress/ETA events as SSE: buffered
+// history first, then live events, then one terminal "done" event. The
+// stream ends when the job reaches a terminal state or the client goes
+// away; either way the subscription is detached and nothing leaks.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeJSONError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay := j.subscribe()
+	defer j.unsubscribe(ch)
+	for _, ev := range replay {
+		if !writeSSE(w, "progress", ev) {
+			return
+		}
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev := <-ch:
+			if !writeSSE(w, "progress", ev) {
+				return
+			}
+			flusher.Flush()
+		case <-heartbeat.C:
+			// SSE comment keep-alive so idle proxies don't cut the stream.
+			if _, err := io.WriteString(w, ": keep-alive\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-j.done:
+			// Drain anything published before the terminal transition.
+			for {
+				select {
+				case ev := <-ch:
+					if !writeSSE(w, "progress", ev) {
+						return
+					}
+				default:
+					writeSSE(w, "done", j.status())
+					flusher.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// StatsReport is the /v1/stats document.
+type StatsReport struct {
+	Draining  bool           `json:"draining"`
+	Admitted  int64          `json:"jobs_admitted"`
+	Rejected  int64          `json:"jobs_rejected"`
+	Completed int64          `json:"jobs_completed"`
+	Failed    int64          `json:"jobs_failed"`
+	Canceled  int64          `json:"jobs_canceled"`
+	Panics    int64          `json:"handler_panics"`
+	Cache     sim.CacheStats `json:"cache"`
+	Tenants   []TenantStats  `json:"tenants"`
+}
+
+// TenantStats is one tenant's row in the stats document.
+type TenantStats struct {
+	Name        string `json:"name"`
+	Queued      int    `json:"queued"`
+	Active      bool   `json:"active"`
+	BudgetLeft  int64  `json:"retry_budget_left"`
+	BreakerOpen bool   `json:"breaker_open"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	admitted, rejected, completed, failed, canceled, panics := s.CountersSnapshot()
+	rep := StatsReport{
+		Admitted: admitted, Rejected: rejected,
+		Completed: completed, Failed: failed, Canceled: canceled,
+		Panics: panics,
+		Cache:  s.CacheStats(),
+	}
+	s.mu.Lock()
+	rep.Draining = s.draining
+	for _, t := range s.tenants {
+		rep.Tenants = append(rep.Tenants, TenantStats{
+			Name: t.name, Queued: len(t.queue), Active: t.active != nil,
+			BudgetLeft:  t.budget.Load(),
+			BreakerOpen: time.Now().Before(t.openUntil),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, rep)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSONError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeJSONError writes a {"error": ...} body with the given status.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// writeSSE writes one SSE event; it reports false when the client is
+// gone.
+func writeSSE(w io.Writer, event string, v any) bool {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+	return err == nil
+}

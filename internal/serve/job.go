@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"tivapromi/internal/campaign"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle: Queued (admitted, waiting for its tenant's turn) →
+// Running → exactly one of Done / Failed / Canceled.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one progress notification on a job's SSE stream — a wire
+// mirror of campaign.Progress plus the job identity.
+type Event struct {
+	Job       string `json:"job"`
+	Tenant    string `json:"tenant"`
+	Cell      string `json:"cell,omitempty"`
+	Done      int    `json:"done"`
+	Total     int    `json:"total"`
+	Cached    bool   `json:"cached,omitempty"`
+	Skipped   bool   `json:"skipped,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Note      string `json:"note,omitempty"`
+	ElapsedMs int64  `json:"elapsed_ms"`
+	EtaMs     int64  `json:"eta_ms,omitempty"`
+}
+
+// eventBuffer bounds how many past events a job replays to a late SSE
+// subscriber; older events are dropped from the front (the status
+// endpoint always has the authoritative Done/Total).
+const eventBuffer = 512
+
+// subBuffer is each subscriber's channel depth. A subscriber that falls
+// further behind than this loses intermediate events (never the final
+// state, which the handler reads from the job itself).
+const subBuffer = 64
+
+// job is one admitted campaign: its spec, its lifecycle, its event
+// history, and its outputs. All mutable fields are guarded by mu; done
+// closes exactly once, when the state turns terminal.
+type job struct {
+	ID      string
+	Tenant  string
+	Names   []string // requested sections, in output order
+	Spec    campaign.Spec
+	Eval    campaign.Eval
+	Timeout time.Duration // whole-job deadline (0 = none)
+
+	mu        sync.Mutex
+	state     JobState
+	events    []Event
+	subs      map[chan Event]struct{}
+	report    []byte
+	svg       []byte
+	err       error
+	cancel    context.CancelFunc // set while running; drain force-cancels through it
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	doneCells int
+	total     int
+	dedupHits int64 // checkpoint cache hits attributed to this job
+	done      chan struct{}
+}
+
+func newJob(id, tenant string, names []string, spec campaign.Spec, ev campaign.Eval, timeout time.Duration) *job {
+	return &job{
+		ID: id, Tenant: tenant, Names: names, Spec: spec, Eval: ev,
+		Timeout: timeout,
+		state:   StateQueued,
+		subs:    make(map[chan Event]struct{}),
+		created: time.Now(),
+		total:   len(spec.Cells),
+		done:    make(chan struct{}),
+	}
+}
+
+// publish records one event and fans it out to every subscriber.
+// Subscribers are never blocked on: a full subscriber channel drops the
+// event (the terminal state is read from the job, not the stream), so a
+// stalled SSE client cannot wedge the campaign's progress callback.
+func (j *job) publish(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.events) >= eventBuffer {
+		j.events = append(j.events[:0], j.events[len(j.events)-eventBuffer/2:]...)
+	}
+	j.events = append(j.events, ev)
+	if ev.Done > 0 {
+		j.doneCells = ev.Done
+	}
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// onProgress adapts campaign.Progress into the job's event stream.
+func (j *job) onProgress(p campaign.Progress) {
+	ev := Event{
+		Job: j.ID, Tenant: j.Tenant, Cell: p.Cell,
+		Done: p.Done, Total: p.Total,
+		Cached: p.Cached, Skipped: p.Skipped, Attempts: p.Attempts,
+		Note:      p.Note,
+		ElapsedMs: p.Elapsed.Milliseconds(),
+		EtaMs:     p.ETA.Milliseconds(),
+	}
+	if p.Err != nil {
+		ev.Error = p.Err.Error()
+	}
+	j.publish(ev)
+}
+
+// subscribe registers a new event channel and returns it along with a
+// replay of the buffered history. The caller must unsubscribe.
+func (j *job) subscribe() (ch chan Event, replay []Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch = make(chan Event, subBuffer)
+	j.subs[ch] = struct{}{}
+	return ch, append([]Event(nil), j.events...)
+}
+
+// unsubscribe detaches a channel. The channel is abandoned, never
+// closed, so a publish racing the detach can never hit a closed channel.
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	delete(j.subs, ch)
+}
+
+// start flips the job to running and installs its cancel hook.
+func (j *job) start(cancel context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+}
+
+// finish moves the job to a terminal state exactly once, recording the
+// outputs, and releases every waiter. Calls after the first are no-ops
+// (a drain cancel racing a natural completion resolves to whichever
+// came first).
+func (j *job) finish(state JobState, rep, svg []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.report = rep
+	j.svg = svg
+	j.err = err
+	j.finished = time.Now()
+	j.cancel = nil
+	close(j.done)
+}
+
+// forceCancel cancels a running job's context (no-op otherwise).
+func (j *job) forceCancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Status is the JSON snapshot the status endpoint serves.
+type Status struct {
+	ID        string   `json:"id"`
+	Tenant    string   `json:"tenant"`
+	State     JobState `json:"state"`
+	Sections  []string `json:"sections"`
+	DoneCells int      `json:"done_cells"`
+	Total     int      `json:"total_cells"`
+	DedupHits int64    `json:"dedup_hits"`
+	Error     string   `json:"error,omitempty"`
+	CreatedAt string   `json:"created_at"`
+	ElapsedMs int64    `json:"elapsed_ms"`
+}
+
+// status snapshots the job.
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, Tenant: j.Tenant, State: j.state,
+		Sections:  j.Names,
+		DoneCells: j.doneCells, Total: j.total,
+		DedupHits: j.dedupHits,
+		CreatedAt: j.created.UTC().Format(time.RFC3339),
+	}
+	switch {
+	case j.state.Terminal():
+		st.ElapsedMs = j.finished.Sub(j.created).Milliseconds()
+	default:
+		st.ElapsedMs = time.Since(j.created).Milliseconds()
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// snapshot returns the terminal outputs (valid once done returns).
+func (j *job) snapshot() (state JobState, rep, svg []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.report, j.svg, j.err
+}

@@ -1,0 +1,532 @@
+// Package serve is the multi-tenant campaign serving layer: a
+// long-running HTTP/JSON front end over the campaign engine. Tenants
+// POST campaign specs; the server schedules them onto one shared
+// Workers-bounded simulation pool with per-tenant fair queuing (each
+// tenant runs at most one campaign at a time, so a tenant with a deep
+// backlog cannot starve the others), admission control (bounded queue
+// depth, 429 + Retry-After load shedding), per-request deadlines that
+// propagate into the sim runner's context/stall-watchdog machinery, and
+// cross-tenant deduplication through the checkpoint's content-addressed
+// result cache — two tenants asking for overlapping grids pay for the
+// overlap once.
+//
+// Robustness is the point: request handlers are panic-isolated, each
+// tenant gets a retry budget and a circuit breaker reusing the campaign
+// engine's self-healing, and SIGTERM/SIGINT triggers a graceful drain —
+// stop admitting, let in-flight cells finish or reach the checkpoint,
+// then exit. The servetest torture harness (internal/servetest) holds
+// the whole stack to the same standard the chaos harness holds the
+// persistence layer to: byte-identical results under concurrency,
+// injected I/O faults, and kill/restart.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tivapromi/internal/campaign"
+	"tivapromi/internal/iofault"
+	"tivapromi/internal/report"
+	"tivapromi/internal/sim"
+)
+
+// ErrDraining marks rejections issued while the server winds down.
+var ErrDraining = errors.New("serve: server is draining")
+
+// Config tunes one Server.
+type Config struct {
+	// Workers bounds simulations in flight across every tenant's
+	// campaigns — the one shared pool (0 = GOMAXPROCS via campaign).
+	Workers int
+	// QueueDepth bounds each tenant's pending (not yet running) jobs;
+	// submissions beyond it are shed with 429 + Retry-After (0 = 8).
+	QueueDepth int
+	// MaxTenants bounds distinct tenants; new tenants beyond it are
+	// rejected with 429 (0 = 64).
+	MaxTenants int
+	// RetryBudget seeds each tenant's shared cell re-attempt pool — the
+	// campaign engine's self-healing allowance, scoped per tenant so one
+	// tenant's flaky grid cannot burn everyone's retries (0 = 32).
+	RetryBudget int
+	// BreakerAfter is the per-cell circuit breaker passed through to the
+	// campaign engine (0 = campaign default).
+	BreakerAfter int
+	// TenantBreakAfter trips a per-tenant circuit breaker after this
+	// many consecutive failed jobs; further submissions are rejected
+	// with 429 until TenantCooldown passes (0 = 3).
+	TenantBreakAfter int
+	// TenantCooldown is how long a tripped tenant breaker stays open
+	// (0 = 30s).
+	TenantCooldown time.Duration
+	// Limits bounds what one request may ask for (zero fields =
+	// DefaultLimits).
+	Limits Limits
+	// BaseEval is the evaluation every request starts from before its
+	// overrides (zero = campaign.DefaultEval()).
+	BaseEval campaign.Eval
+	// CheckpointPath, when non-empty, arms the shared content-addressed
+	// result cache: one sim checkpoint all tenants' campaigns read and
+	// write, which is both crash recovery and cross-tenant dedup.
+	CheckpointPath string
+	// FS is the filesystem seam under the shared cache (nil = the real
+	// filesystem; the torture harness injects iofault.Chaos here).
+	FS iofault.FS
+	// PerRunTimeout bounds one simulation (0 = none).
+	PerRunTimeout time.Duration
+	// StallTimeout arms the sim runner's stall watchdog (0 = off).
+	StallTimeout time.Duration
+	// JobTimeout is the default whole-job deadline when a request does
+	// not set timeout_ms (0 = none).
+	JobTimeout time.Duration
+	// DrainTimeout is the grace Drain gives in-flight jobs before
+	// force-cancelling them (completed cells are already checkpointed,
+	// so a force-cancelled job loses no finished work) (0 = 30s).
+	DrainTimeout time.Duration
+	// Log, when non-nil, receives one-line operational narration.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 64
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 32
+	}
+	if c.TenantBreakAfter <= 0 {
+		c.TenantBreakAfter = 3
+	}
+	if c.TenantCooldown <= 0 {
+		c.TenantCooldown = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.BaseEval.SeedsPerPoint == 0 {
+		c.BaseEval = campaign.DefaultEval()
+	}
+	c.Limits = c.Limits.withDefaults()
+	return c
+}
+
+// tenant is one client's serving state: a bounded FIFO of pending jobs,
+// the at-most-one running job, the tenant-scoped retry budget, and the
+// consecutive-failure circuit breaker.
+type tenant struct {
+	name      string
+	queue     []*job
+	active    *job
+	budget    atomic.Int64 // shared across the tenant's jobs
+	fails     int          // consecutive failed jobs
+	openUntil time.Time    // tenant breaker: reject submissions until then
+}
+
+// Counters aggregates the server's lifetime admission accounting.
+type Counters struct {
+	Admitted  atomic.Int64
+	Rejected  atomic.Int64
+	Completed atomic.Int64
+	Failed    atomic.Int64
+	Canceled  atomic.Int64
+	Panics    atomic.Int64
+}
+
+// Server is the multi-tenant campaign server. Construct with New, mount
+// Handler on an http.Server, and call Drain then Close on shutdown.
+type Server struct {
+	cfg  Config
+	ck   *sim.Checkpoint
+	gate chan struct{}
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	jobs     map[string]*job
+	nextID   int
+	draining bool
+
+	wg       sync.WaitGroup // running job goroutines
+	counters Counters
+
+	// runCampaign is the campaign entry point; tests override it to
+	// control job timing without running real simulations.
+	runCampaign func(context.Context, campaign.Spec, campaign.Options) (*campaign.ResultSet, error)
+}
+
+// New builds a Server, loading (or creating) the shared result cache
+// when CheckpointPath is set.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	s := &Server{
+		cfg:         cfg,
+		gate:        make(chan struct{}, workers),
+		tenants:     make(map[string]*tenant),
+		jobs:        make(map[string]*job),
+		runCampaign: campaign.Run,
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.CheckpointPath != "" {
+		ck, err := sim.LoadCheckpointFS(cfg.CheckpointPath, cfg.FS)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shared cache: %w", err)
+		}
+		if note := ck.LoadReport().Note(); note != "" {
+			s.logf("serve: shared cache: %s", note)
+		}
+		s.ck = ck
+	}
+	return s, nil
+}
+
+// SetRunCampaignForTest overrides the campaign entry point (nil
+// restores campaign.Run). Unit tests use it to hold jobs open and
+// observe scheduling order; it is never called by production code.
+func (s *Server) SetRunCampaignForTest(fn func(context.Context, campaign.Spec, campaign.Options) (*campaign.ResultSet, error)) {
+	if fn == nil {
+		fn = campaign.Run
+	}
+	s.runCampaign = fn
+}
+
+// CacheStats returns the shared result cache's counters (zero when no
+// cache is armed).
+func (s *Server) CacheStats() sim.CacheStats { return s.ck.CacheStats() }
+
+// CountersSnapshot returns the lifetime admission counters.
+func (s *Server) CountersSnapshot() (admitted, rejected, completed, failed, canceled, panics int64) {
+	return s.counters.Admitted.Load(), s.counters.Rejected.Load(),
+		s.counters.Completed.Load(), s.counters.Failed.Load(),
+		s.counters.Canceled.Load(), s.counters.Panics.Load()
+}
+
+// rejection describes a refused submission.
+type rejection struct {
+	status     int // HTTP status (429 or 503)
+	retryAfter int // seconds for the Retry-After header
+	reason     string
+}
+
+// submit admits one decoded request into its tenant's queue, or
+// explains the refusal. Admission is O(1) and never blocks on running
+// work — load shedding must stay responsive precisely when the server
+// is busiest.
+func (s *Server) submit(tenantName string, req Request) (*job, *rejection) {
+	spec, ev, err := BuildCampaign(req, s.cfg.BaseEval, s.cfg.Limits)
+	if err != nil {
+		return nil, &rejection{status: statusForSpecErr(err), retryAfter: 0, reason: err.Error()}
+	}
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.cfg.JobTimeout
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.counters.Rejected.Add(1)
+		return nil, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()}
+	}
+	t := s.tenants[tenantName]
+	if t == nil {
+		if len(s.tenants) >= s.cfg.MaxTenants {
+			s.counters.Rejected.Add(1)
+			return nil, &rejection{status: 429, retryAfter: 30, reason: "serve: tenant table full"}
+		}
+		t = &tenant{name: tenantName}
+		t.budget.Store(int64(s.cfg.RetryBudget))
+		s.tenants[tenantName] = t
+	}
+	if until := t.openUntil; time.Now().Before(until) {
+		s.counters.Rejected.Add(1)
+		return nil, &rejection{
+			status:     429,
+			retryAfter: int(time.Until(until)/time.Second) + 1,
+			reason:     fmt.Sprintf("serve: tenant %q circuit breaker open after %d consecutive failed jobs", tenantName, t.fails),
+		}
+	}
+	if len(t.queue) >= s.cfg.QueueDepth {
+		s.counters.Rejected.Add(1)
+		// Retry-After scales with the backlog: a deeper queue means a
+		// longer wait before a slot frees up.
+		return nil, &rejection{status: 429, retryAfter: 2 * len(t.queue), reason: "serve: tenant queue full"}
+	}
+
+	s.nextID++
+	id := fmt.Sprintf("j%06d", s.nextID)
+	j := newJob(id, tenantName, append([]string(nil), req.Sections...), spec, ev, timeout)
+	s.jobs[id] = j
+	t.queue = append(t.queue, j)
+	s.counters.Admitted.Add(1)
+	s.dispatchLocked(t)
+	return j, nil
+}
+
+// statusForSpecErr maps decode/build failures to HTTP statuses.
+func statusForSpecErr(err error) int {
+	if errors.Is(err, ErrSpecTooLarge) {
+		return 413
+	}
+	return 400
+}
+
+// dispatchLocked starts the tenant's next queued job when none is
+// running. One active job per tenant IS the fair-queuing discipline:
+// every tenant with work holds exactly one campaign against the shared
+// gate, so pool slots divide across tenants, not across backlogs.
+// Requires s.mu held.
+func (s *Server) dispatchLocked(t *tenant) {
+	if t.active != nil || len(t.queue) == 0 || s.draining {
+		return
+	}
+	j := t.queue[0]
+	t.queue = t.queue[1:]
+	t.active = j
+	s.wg.Add(1)
+	go s.runJob(t, j)
+}
+
+// runJob executes one admitted campaign end to end: context assembly
+// (server lifetime + per-job deadline), the hardened runner over the
+// shared cache, tenant-scoped self-healing, rendering, and tenant
+// bookkeeping. It never panics the server: the campaign engine already
+// converts worker panics into cell errors, and this goroutine's own
+// epilogue is defer-protected.
+func (s *Server) runJob(t *tenant, j *job) {
+	defer s.wg.Done()
+	state, rep, svg, jobErr := s.executeJob(t, j)
+	j.finish(state, rep, svg, jobErr)
+	s.logf("serve: %s: job %s %s", t.name, j.ID, state)
+
+	// The epilogue runs whatever happened above — a panicking job must
+	// never leave its tenant marked active, or the queue wedges.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.active = nil
+	switch state {
+	case StateDone:
+		s.counters.Completed.Add(1)
+		t.fails = 0
+	case StateCanceled:
+		s.counters.Canceled.Add(1)
+	default:
+		s.counters.Failed.Add(1)
+		t.fails++
+		if t.fails >= s.cfg.TenantBreakAfter {
+			t.openUntil = time.Now().Add(s.cfg.TenantCooldown)
+			s.logf("serve: %s: circuit breaker OPEN for %s after %d consecutive failures",
+				t.name, s.cfg.TenantCooldown, t.fails)
+		}
+	}
+	s.dispatchLocked(t)
+}
+
+// executeJob runs the campaign and renders the outputs, converting any
+// panic on the job path into a failed job (the server survives).
+func (s *Server) executeJob(t *tenant, j *job) (state JobState, rep, svg []byte, jobErr error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.counters.Panics.Add(1)
+			s.logf("serve: %s: job %s PANIC: %v", t.name, j.ID, rec)
+			state, rep, svg, jobErr = StateFailed, nil, nil, fmt.Errorf("serve: job panicked: %v", rec)
+		}
+	}()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	defer cancel()
+	j.start(cancel)
+	s.logf("serve: %s: job %s started (%d cells)", t.name, j.ID, len(j.Spec.Cells))
+
+	runner := sim.NewRunner()
+	runner.Config.Workers = s.cfg.Workers
+	runner.Config.PerRunTimeout = s.cfg.PerRunTimeout
+	runner.Config.StallTimeout = s.cfg.StallTimeout
+	runner.Checkpoint = s.ck
+
+	before := s.ck.CacheStats()
+	rs, err := s.runCampaign(ctx, j.Spec, campaign.Options{
+		Workers:           s.cfg.Workers,
+		Runner:            runner,
+		Gate:              s.gate,
+		Tenant:            t.name,
+		OnProgress:        j.onProgress,
+		SharedRetryBudget: &t.budget,
+		BreakerAfter:      s.cfg.BreakerAfter,
+	})
+	hits := s.ck.CacheStats().Hits() - before.Hits()
+	j.mu.Lock()
+	j.dedupHits = hits
+	j.mu.Unlock()
+	return s.settle(j, rs, err)
+}
+
+// settle classifies a finished campaign and renders its outputs.
+func (s *Server) settle(j *job, rs *campaign.ResultSet, err error) (JobState, []byte, []byte, error) {
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		return StateCanceled, nil, nil, err
+	case err != nil:
+		return StateFailed, nil, nil, err
+	}
+	if skipped := rs.Skipped(); len(skipped) > 0 {
+		return StateFailed, nil, nil, fmt.Errorf("serve: %d cell(s) skipped after self-healing: %v", len(skipped), skipped)
+	}
+	if cellErr := rs.Err(); cellErr != nil {
+		return StateFailed, nil, nil, cellErr
+	}
+	rep, svg, rerr := RenderReport(j.Eval, rs, j.Names)
+	if rerr != nil {
+		return StateFailed, nil, nil, rerr
+	}
+	return StateDone, rep, svg, nil
+}
+
+// RenderReport renders the named sections from an executed result set
+// with exactly the separator discipline cmd/experiments uses, so a
+// served report is byte-identical to the CLI run of the same sections.
+// The second return value is the fig4 SVG when that section was part of
+// the request (nil otherwise).
+func RenderReport(ev campaign.Eval, rs *campaign.ResultSet, names []string) (text, svg []byte, err error) {
+	var buf, svgBuf bytes.Buffer
+	rc := &report.Context{Eval: ev, Results: rs, SVGSink: &svgBuf}
+	for i, name := range names {
+		def, ok := report.Section(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("serve: unknown section %q", name)
+		}
+		if err := def.Render(&buf, rc); err != nil {
+			return nil, nil, err
+		}
+		if len(names) > 1 || i < len(names)-1 {
+			buf.WriteByte('\n')
+		}
+	}
+	if svgBuf.Len() == 0 {
+		return buf.Bytes(), nil, nil
+	}
+	return buf.Bytes(), svgBuf.Bytes(), nil
+}
+
+// Job looks a job up by id.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Draining reports whether the server has stopped admitting.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain winds the server down gracefully: admission closes immediately
+// (submissions get 503 + Retry-After), queued jobs are cancelled where
+// they stand, and in-flight jobs get DrainTimeout to finish — their
+// completed cells are already in the shared cache, so even a job that
+// is then force-cancelled loses no finished work. The shared cache is
+// flushed before returning. Drain is idempotent; ctx bounds the whole
+// wait on top of DrainTimeout.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	var dropped []*job
+	if !already {
+		for _, t := range s.tenants {
+			dropped = append(dropped, t.queue...)
+			t.queue = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range dropped {
+		j.finish(StateCanceled, nil, nil, ErrDraining)
+		s.counters.Canceled.Add(1)
+	}
+	s.logf("serve: draining: %d queued job(s) cancelled, waiting up to %s for in-flight work", len(dropped), s.cfg.DrainTimeout)
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	grace := time.NewTimer(s.cfg.DrainTimeout)
+	defer grace.Stop()
+	select {
+	case <-finished:
+	case <-grace.C:
+		// Grace expired: checkpoint what is in flight by cancelling it.
+		s.mu.Lock()
+		var running []*job
+		for _, t := range s.tenants {
+			if t.active != nil {
+				running = append(running, t.active)
+			}
+		}
+		s.mu.Unlock()
+		s.logf("serve: drain grace expired, force-cancelling %d running job(s)", len(running))
+		for _, j := range running {
+			j.forceCancel()
+		}
+		select {
+		case <-finished:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	if err := s.ck.Flush(); err != nil {
+		return fmt.Errorf("serve: drain flush: %w", err)
+	}
+	s.logf("serve: drained")
+	return nil
+}
+
+// Close hard-stops the server: every running job's context dies and the
+// job goroutines are awaited. Safe after (or instead of) Drain; the
+// torture harness uses a bare Close as its mid-flight kill.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	var dropped []*job
+	for _, t := range s.tenants {
+		dropped = append(dropped, t.queue...)
+		t.queue = nil
+	}
+	s.mu.Unlock()
+	for _, j := range dropped {
+		j.finish(StateCanceled, nil, nil, ErrDraining)
+		s.counters.Canceled.Add(1)
+	}
+	s.stop()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}

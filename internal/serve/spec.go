@@ -1,0 +1,236 @@
+// Campaign-spec wire format: the request body a tenant POSTs to
+// /v1/campaigns, its decoder, and the admission limits that keep a
+// hostile or clumsy request from turning into an unbounded grid. The
+// decoder is deliberately paranoid — it is fuzzed (FuzzDecodeRequest)
+// with the contract "never panic, never allocate proportionally to a
+// number the client made up, always fail with a typed error".
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"tivapromi/internal/campaign"
+	"tivapromi/internal/report"
+)
+
+// Typed decode failures. Handlers map ErrBadSpec to 400 and
+// ErrSpecTooLarge to 413; both are rejections, never panics or OOMs.
+var (
+	// ErrBadSpec marks a request that is not a usable campaign spec:
+	// unparseable JSON, unknown fields, unknown sections, no sections.
+	ErrBadSpec = errors.New("serve: bad campaign spec")
+	// ErrSpecTooLarge marks a spec that parses but exceeds the server's
+	// admission limits (grid dimensions, body size, cell count).
+	ErrSpecTooLarge = errors.New("serve: campaign spec exceeds server limits")
+)
+
+// LimitError reports which admission limit a spec exceeded. It unwraps
+// to ErrSpecTooLarge.
+type LimitError struct {
+	Field string
+	Got   int
+	Max   int
+}
+
+// Error implements error.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("serve: %s %d exceeds the server limit %d", e.Field, e.Got, e.Max)
+}
+
+// Unwrap exposes the ErrSpecTooLarge mark to errors.Is.
+func (e *LimitError) Unwrap() error { return ErrSpecTooLarge }
+
+// Request is the wire form of one campaign submission. Zero-valued
+// knobs inherit the server's base evaluation defaults; Sections is the
+// only required field.
+type Request struct {
+	// Tenant optionally names the submitting tenant in the body; the
+	// X-Tenant header, when present, wins.
+	Tenant string `json:"tenant,omitempty"`
+	// Sections names the report sections to compute, in output order
+	// (the report.Sections registry is the vocabulary).
+	Sections []string `json:"sections"`
+	// Seeds is the per-data-point seed count (0 = server default).
+	Seeds int `json:"seeds,omitempty"`
+	// Windows is the refresh windows per run (0 = server default).
+	Windows int `json:"windows,omitempty"`
+	// Trials is the flooding trial count (0 = server default).
+	Trials int `json:"trials,omitempty"`
+	// Thresholds overrides the flip-threshold sweep (empty = default).
+	Thresholds []uint32 `json:"thresholds,omitempty"`
+	// TimeoutMs bounds the whole job's wall clock (0 = server default;
+	// the per-request deadline propagates into the sim runner's context
+	// and stall-watchdog machinery).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// Limits bounds what one request may ask for. The zero value of any
+// field selects the DefaultLimits value, so partial configuration is
+// safe.
+type Limits struct {
+	// MaxBodyBytes bounds the request body read off the socket.
+	MaxBodyBytes int64
+	// MaxSections bounds len(Sections).
+	MaxSections int
+	// MaxSeeds bounds the per-point seed count.
+	MaxSeeds int
+	// MaxWindows bounds the refresh windows per run.
+	MaxWindows int
+	// MaxTrials bounds the flooding trial count.
+	MaxTrials int
+	// MaxThresholds bounds the threshold sweep length.
+	MaxThresholds int
+	// MaxCells bounds the merged campaign's cell count after expansion.
+	MaxCells int
+}
+
+// DefaultLimits is the serving default: generous enough for the whole
+// paper evaluation, small enough that no request can OOM the server.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBodyBytes:  64 << 10,
+		MaxSections:   32,
+		MaxSeeds:      64,
+		MaxWindows:    64,
+		MaxTrials:     256,
+		MaxThresholds: 16,
+		MaxCells:      4096,
+	}
+}
+
+// withDefaults fills zero fields from DefaultLimits.
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if l.MaxSections <= 0 {
+		l.MaxSections = d.MaxSections
+	}
+	if l.MaxSeeds <= 0 {
+		l.MaxSeeds = d.MaxSeeds
+	}
+	if l.MaxWindows <= 0 {
+		l.MaxWindows = d.MaxWindows
+	}
+	if l.MaxTrials <= 0 {
+		l.MaxTrials = d.MaxTrials
+	}
+	if l.MaxThresholds <= 0 {
+		l.MaxThresholds = d.MaxThresholds
+	}
+	if l.MaxCells <= 0 {
+		l.MaxCells = d.MaxCells
+	}
+	return l
+}
+
+// DecodeRequest parses and validates one campaign submission against the
+// admission limits. It never panics on any input; every failure carries
+// ErrBadSpec or ErrSpecTooLarge (via LimitError) for the handler to map
+// to 400 or 413.
+func DecodeRequest(raw []byte, lim Limits) (Request, error) {
+	lim = lim.withDefaults()
+	var req Request
+	if int64(len(raw)) > lim.MaxBodyBytes {
+		return req, &LimitError{Field: "body bytes", Got: len(raw), Max: int(lim.MaxBodyBytes)}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return Request{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	// Trailing garbage after the document is a malformed request, not an
+	// ignorable suffix.
+	if dec.More() {
+		return Request{}, fmt.Errorf("%w: trailing data after the spec document", ErrBadSpec)
+	}
+	if err := req.validate(lim); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// validate applies the admission limits and the section vocabulary.
+func (r Request) validate(lim Limits) error {
+	if len(r.Sections) == 0 {
+		return fmt.Errorf("%w: no sections requested", ErrBadSpec)
+	}
+	if len(r.Sections) > lim.MaxSections {
+		return &LimitError{Field: "sections", Got: len(r.Sections), Max: lim.MaxSections}
+	}
+	seen := make(map[string]bool, len(r.Sections))
+	for _, name := range r.Sections {
+		if _, ok := report.Section(name); !ok {
+			return fmt.Errorf("%w: unknown section %q", ErrBadSpec, name)
+		}
+		if seen[name] {
+			return fmt.Errorf("%w: duplicate section %q", ErrBadSpec, name)
+		}
+		seen[name] = true
+	}
+	if r.Seeds < 0 || r.Windows < 0 || r.Trials < 0 || r.TimeoutMs < 0 {
+		return fmt.Errorf("%w: negative knob", ErrBadSpec)
+	}
+	if r.Seeds > lim.MaxSeeds {
+		return &LimitError{Field: "seeds", Got: r.Seeds, Max: lim.MaxSeeds}
+	}
+	if r.Windows > lim.MaxWindows {
+		return &LimitError{Field: "windows", Got: r.Windows, Max: lim.MaxWindows}
+	}
+	if r.Trials > lim.MaxTrials {
+		return &LimitError{Field: "trials", Got: r.Trials, Max: lim.MaxTrials}
+	}
+	if len(r.Thresholds) > lim.MaxThresholds {
+		return &LimitError{Field: "thresholds", Got: len(r.Thresholds), Max: lim.MaxThresholds}
+	}
+	for _, th := range r.Thresholds {
+		if th == 0 {
+			return fmt.Errorf("%w: zero flip threshold", ErrBadSpec)
+		}
+	}
+	return nil
+}
+
+// eval applies the request's overrides to the server's base evaluation.
+func (r Request) eval(base campaign.Eval) campaign.Eval {
+	ev := base
+	if r.Seeds > 0 {
+		ev.SeedsPerPoint = r.Seeds
+	}
+	if r.Windows > 0 {
+		ev.Base.Windows = r.Windows
+	}
+	if r.Trials > 0 {
+		ev.Trials = r.Trials
+	}
+	if len(r.Thresholds) > 0 {
+		ev.Thresholds = append([]uint32(nil), r.Thresholds...)
+	}
+	return ev
+}
+
+// BuildCampaign expands a validated request into the merged campaign
+// spec it runs as, enforcing the post-expansion cell bound (a request
+// within every per-field limit can still multiply into a grid the
+// server refuses to hold).
+func BuildCampaign(r Request, base campaign.Eval, lim Limits) (campaign.Spec, campaign.Eval, error) {
+	lim = lim.withDefaults()
+	ev := r.eval(base)
+	var specs []campaign.Spec
+	for _, name := range r.Sections {
+		def, ok := report.Section(name)
+		if !ok {
+			return campaign.Spec{}, ev, fmt.Errorf("%w: unknown section %q", ErrBadSpec, name)
+		}
+		specs = append(specs, def.Spec(ev))
+	}
+	merged := campaign.Merge("serve", specs...)
+	if len(merged.Cells) > lim.MaxCells {
+		return campaign.Spec{}, ev, &LimitError{Field: "campaign cells", Got: len(merged.Cells), Max: lim.MaxCells}
+	}
+	return merged, ev, nil
+}

@@ -1,0 +1,61 @@
+package servetest
+
+import (
+	"context"
+	"testing"
+)
+
+// TestServingTortureByteIdentical is the acceptance test for the whole
+// serving stack: four concurrent tenants with overlapping campaigns, a
+// chaos filesystem under the shared cache, one hard kill/restart cycle,
+// then full convergence — every report byte-identical to its serial
+// golden run, dedup hits on the shared cache, overflow shed with 429 +
+// Retry-After, a drain that terminates, zero leaked serve goroutines,
+// and bounded heap.
+func TestServingTortureByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving torture run in -short mode")
+	}
+	rep, err := Run(context.Background(), Config{
+		Seed: 11,
+		Dir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Variants == 0 {
+		t.Fatal("no golden variants computed")
+	}
+	if !rep.Identical || rep.Compared == 0 {
+		t.Fatalf("served reports not byte-identical to serial golden runs (%d compared)", rep.Compared)
+	}
+	if rep.SubmittedClean != 2*4 {
+		t.Errorf("clean-phase submissions = %d, want 8 (4 tenants x 2 rounds)", rep.SubmittedClean)
+	}
+	if rep.DedupHits == 0 {
+		t.Error("overlapping campaigns produced zero shared-cache dedup hits")
+	}
+	if rep.Rejected429 == 0 {
+		t.Error("overflow burst past the queue depth drew no 429")
+	}
+	if !rep.RetryAfterSeen {
+		t.Error("a 429 rejection arrived without a Retry-After header")
+	}
+	if rep.LeakedGoroutines != 0 {
+		t.Errorf("%d serve goroutine(s) survived the drain", rep.LeakedGoroutines)
+	}
+	// Bounded memory: the whole torture run — every tenant, both phases,
+	// all reports — fits comfortably in a fixed budget.
+	const heapBudget = 512 << 20
+	if rep.HeapAllocBytes > heapBudget {
+		t.Errorf("post-run heap %d bytes exceeds the %d budget", rep.HeapAllocBytes, heapBudget)
+	}
+	// The seeded kill must land mid-flight for the CI seed — a chaos
+	// phase that finishes peacefully leaves the restart path untested.
+	if !rep.Killed {
+		t.Error("kill ordinal never fired; pick a seed whose kill lands mid-campaign")
+	}
+	if rep.Faults.Total() == 0 {
+		t.Error("chaos phase injected no faults")
+	}
+}

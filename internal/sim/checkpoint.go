@@ -196,10 +196,44 @@ type Checkpoint struct {
 	report LoadReport
 	// dirty counts results accepted since the last flush.
 	dirty int
+	// stats counts cache traffic (see CacheStats).
+	stats CacheStats
 	// FlushEvery bounds how many new results accumulate in memory before
 	// an automatic flush (default 1: write through on every result, the
 	// safest setting for multi-hour sweeps).
 	FlushEvery int
+}
+
+// CacheStats counts a checkpoint's cache traffic. When several campaigns
+// share one checkpoint — the serving layer's content-addressed result
+// cache — the hit counters are the cross-tenant dedup census: every hit
+// is a simulation some earlier submission already paid for.
+type CacheStats struct {
+	// SweepHits / SweepMisses count per-seed sweep lookups.
+	SweepHits   int64 `json:"sweep_hits"`
+	SweepMisses int64 `json:"sweep_misses"`
+	// ProbeHits / ProbeMisses count probe-cell lookups.
+	ProbeHits   int64 `json:"probe_hits"`
+	ProbeMisses int64 `json:"probe_misses"`
+	// Entries is the number of entries currently held (seeds + probes +
+	// outputs).
+	Entries int `json:"entries"`
+}
+
+// Hits returns the total cache hits across entry kinds.
+func (s CacheStats) Hits() int64 { return s.SweepHits + s.ProbeHits }
+
+// CacheStats returns a snapshot of the checkpoint's cache counters (the
+// zero value for a nil checkpoint).
+func (c *Checkpoint) CacheStats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = c.data.entries()
+	return st
 }
 
 // LoadCheckpoint opens or creates a checkpoint at path through the real
@@ -427,9 +461,15 @@ func (c *Checkpoint) lookup(fp string, seed uint64) (Result, bool) {
 	defer c.mu.Unlock()
 	sw := c.data.Sweeps[fp]
 	if sw == nil {
+		c.stats.SweepMisses++
 		return Result{}, false
 	}
 	r, ok := sw.Done[seedKey(seed)]
+	if ok {
+		c.stats.SweepHits++
+	} else {
+		c.stats.SweepMisses++
+	}
 	return r, ok
 }
 
@@ -492,6 +532,11 @@ func (c *Checkpoint) Probe(fp string) (json.RawMessage, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	raw, ok := c.data.Probes[fp]
+	if ok {
+		c.stats.ProbeHits++
+	} else {
+		c.stats.ProbeMisses++
+	}
 	return raw, ok
 }
 

@@ -41,6 +41,7 @@ import (
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register every technique
+	"tivapromi/internal/serve"
 	"tivapromi/internal/sim"
 	"tivapromi/internal/workload"
 )
@@ -368,3 +369,25 @@ func MergeCampaigns(name string, cs ...Campaign) Campaign {
 
 // DefaultCampaignEval mirrors the cmd/experiments flag defaults.
 func DefaultCampaignEval() CampaignEval { return campaign.DefaultEval() }
+
+// Serving-layer types: run campaigns as a long-running multi-tenant
+// HTTP service — per-tenant fair queuing over one shared worker pool,
+// admission control with 429 + Retry-After load shedding, cross-tenant
+// dedup through the shared checkpoint cache, SSE progress streams, and
+// graceful drain (see internal/serve and DESIGN.md §11).
+type (
+	// CampaignServer is the multi-tenant campaign server. Mount
+	// Handler() on an http.Server; call Drain then Close on shutdown.
+	CampaignServer = serve.Server
+	// ServeConfig tunes one CampaignServer.
+	ServeConfig = serve.Config
+	// ServeLimits bounds what one campaign submission may ask for.
+	ServeLimits = serve.Limits
+	// ServeRequest is the wire form of one campaign submission.
+	ServeRequest = serve.Request
+)
+
+// NewCampaignServer builds a CampaignServer, loading (or creating) the
+// shared cross-tenant result cache when ServeConfig.CheckpointPath is
+// set.
+func NewCampaignServer(cfg ServeConfig) (*CampaignServer, error) { return serve.New(cfg) }
