@@ -56,11 +56,16 @@ bench-campaign:
 	$(GO) run ./cmd/experiments -seeds 2 -windows 2 -trials 5 -bench-min-speedup $(BENCH_MIN_SPEEDUP) bench
 
 # Hot-path benchmark harness: per-technique activation-path ns/act and
-# allocs/act (with the serial-LFSR "before" reference), batched-vs-
-# reference pipeline throughput, written to BENCH_hotpath.json. Fails if
-# any act path allocates.
+# allocs/act (with the serial-LFSR "before" reference), plus the full
+# pipeline per stage — generation, reference, block, bank-sharded — with
+# result-equality checks, written to BENCH_hotpath.json. Fails if any
+# act path allocates or if block dispatch is a net loss against the
+# reference driver. Set PERF_BASELINE to a committed BENCH_hotpath.json
+# to additionally fail on a >15% regression against it (CI gates against
+# the repository copy).
+PERF_BASELINE ?=
 bench-hotpath:
-	$(GO) run ./cmd/experiments profile
+	$(GO) run ./cmd/experiments $(if $(PERF_BASELINE),-perf-baseline $(PERF_BASELINE)) profile
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

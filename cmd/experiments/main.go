@@ -24,9 +24,11 @@
 //	experiments bench            — run `all` at -workers 1 and -workers N,
 //	                               verify byte-identical output, write timings
 //	experiments profile          — hot-path benchmark harness: per-technique
-//	                               act-path ns/act + allocs/act and batched
-//	                               vs reference pipeline throughput, written
-//	                               to BENCH_hotpath.json (optionally with
+//	                               act-path ns/act + allocs/act, and the
+//	                               full pipeline per stage (generation,
+//	                               reference, block, bank-sharded) with
+//	                               result-equality checks, written to
+//	                               BENCH_hotpath.json (optionally with
 //	                               pprof CPU/heap profiles)
 //	experiments serve            — long-running multi-tenant campaign server:
 //	                               HTTP/JSON campaign submission, per-tenant
@@ -56,6 +58,11 @@
 //	                  from the checkpoint instead of recomputing them
 //	-workers N        bound the campaign's concurrent simulations (default
 //	                  GOMAXPROCS)
+//	-shards N         fan each simulation's lane servicing out over N
+//	                  goroutines (bank-sharded; results are byte-identical
+//	                  at any value, 0/1 = serial). Multiplies with -workers:
+//	                  use -shards when a campaign has fewer concurrent runs
+//	                  than cores
 //	-timeout D        per-run deadline for one simulation (0 = none)
 //	-stall D          stall watchdog: cancel and retry a run whose progress
 //	                  heartbeat goes silent for D (0 = off)
@@ -83,6 +90,11 @@
 //	                  before they are force-cancelled (default 30s)
 //	-profile-out PATH where `profile` writes its JSON report (default
 //	                  BENCH_hotpath.json)
+//	-perf-baseline PATH
+//	                  profile: compare the fresh report against this
+//	                  committed BENCH_hotpath.json and fail on a >15%
+//	                  regression (absolute rates on a same-shaped machine,
+//	                  speedup ratios otherwise)
 //	-cpuprofile PATH  profile: also capture a pprof CPU profile of the
 //	                  pipeline measurements
 //	-memprofile PATH  profile: also capture a pprof heap profile at exit
@@ -123,12 +135,14 @@ var (
 	ckptPath  = flag.String("checkpoint", "", "JSON checkpoint path for resumable campaigns")
 	resume    = flag.Bool("resume", false, "with -checkpoint: replay finished sections from the checkpoint")
 	workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	shardsF   = flag.Int("shards", 0, "bank-sharding goroutines inside each simulation (0/1 = serial; results are identical at any value)")
 	timeout   = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
 	stall     = flag.Duration("stall", 0, "stall watchdog: cancel+retry a run silent for this long (0 = off)")
 	retryBudg = flag.Int("retry-budget", 0, "total cell-level re-attempts for transient failures (0 = none)")
 	progress  = flag.Bool("progress", false, "stream per-cell progress to stderr")
 	benchOut  = flag.String("bench-out", "BENCH_campaign.json", "bench: JSON report path")
 	profOut   = flag.String("profile-out", "BENCH_hotpath.json", "profile: JSON report path")
+	perfBase  = flag.String("perf-baseline", "", "profile: committed baseline BENCH_hotpath.json to gate against (fail on >15% regression)")
 	cpuProf   = flag.String("cpuprofile", "", "profile: write a pprof CPU profile here")
 	memProf   = flag.String("memprofile", "", "profile: write a pprof heap profile here")
 	chSeed    = flag.Uint64("chaos-seed", 1, "chaos: master seed for the torture schedule")
@@ -341,6 +355,7 @@ type benchReport struct {
 	CPUs            int     `json:"cpus"`
 	GoMaxProcs      int     `json:"gomaxprocs"`
 	BatchSize       int     `json:"batch_size"`
+	Shards          int     `json:"shards"`
 	WorkersParallel int     `json:"workers_parallel"`
 	SerialSeconds   float64 `json:"serial_seconds"`
 	ParallelSeconds float64 `json:"parallel_seconds"`
@@ -395,6 +410,7 @@ func (a *app) bench(ctx context.Context, path string) error {
 		CPUs:            runtime.NumCPU(),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
 		BatchSize:       memctrl.DefaultBatchSize,
+		Shards:          a.runner.Config.Shards,
 		WorkersParallel: par,
 		SerialSeconds:   serialDur.Seconds(),
 		ParallelSeconds: parDur.Seconds(),
@@ -426,10 +442,12 @@ func (a *app) bench(ctx context.Context, path string) error {
 // profile runs the hot-path benchmark harness (internal/hotpath) and
 // writes its report to path. It exits with an error when any technique's
 // activation path allocates — the regression the harness exists to catch —
-// or when the batched and reference pipeline drivers disagree. Optional
-// pprof captures cover the pipeline measurements (CPU) and the end state
+// when any pipeline driver disagrees on the Result, when block dispatch
+// is a net loss against the reference driver, or (with basePath set) on
+// a >15% regression against a committed baseline report. Optional pprof
+// captures cover the pipeline measurements (CPU) and the end state
 // (heap).
-func (a *app) profile(ctx context.Context, path, cpuPath, memPath string) error {
+func (a *app) profile(ctx context.Context, path, basePath, cpuPath, memPath string) error {
 	if runtime.NumCPU() == 1 {
 		fmt.Fprintln(os.Stderr,
 			"experiments: profile on a single-CPU host: throughput numbers will be depressed by timer interference")
@@ -465,10 +483,30 @@ func (a *app) profile(ctx context.Context, path, cpuPath, memPath string) error 
 		fmt.Fprintln(a.stdout, line)
 	}
 	for _, p := range rep.Pipeline {
-		fmt.Fprintf(a.stdout, "profile: pipeline %-10s ref %10.0f acts/sec  batched %10.0f acts/sec  %.2fx  match=%v\n",
-			p.Technique, p.RefActsPerSec, p.BatchedActsPerSec, p.Speedup, p.ResultsMatch)
+		fmt.Fprintf(a.stdout,
+			"profile: pipeline %-10s stages gen %5.1f + service %5.1f = %5.1f ns/access (ref %5.1f)  ref %10.0f acts/sec  block %10.0f acts/sec  %.2fx  match=%v\n",
+			p.Technique, p.GenNsPerAccess, p.ServiceNsPerAccess, p.BlockNsPerAccess,
+			p.RefNsPerAccess, p.RefActsPerSec, p.BlockActsPerSec, p.BlockSpeedup, p.ResultsMatch)
+		for _, sr := range p.Sharded {
+			fmt.Fprintf(a.stdout, "profile: pipeline %-10s sharded(%d) %10.0f acts/sec  %.2fx vs block\n",
+				p.Technique, sr.Shards, sr.ActsPerSec, sr.Speedup)
+		}
 	}
 	fmt.Fprintf(a.stdout, "profile: wrote %s\n", path)
+	if basePath != "" {
+		braw, err := os.ReadFile(basePath)
+		if err != nil {
+			return fmt.Errorf("profile: read baseline: %w", err)
+		}
+		var base hotpath.Report
+		if err := json.Unmarshal(braw, &base); err != nil {
+			return fmt.Errorf("profile: parse baseline %s: %w", basePath, err)
+		}
+		if err := hotpath.CheckBaseline(rep, base, 15); err != nil {
+			return err
+		}
+		fmt.Fprintf(a.stdout, "profile: within 15%% of baseline %s\n", basePath)
+	}
 	if memPath != "" {
 		f, err := os.Create(memPath)
 		if err != nil {
@@ -507,6 +545,7 @@ func main() {
 
 	runner := sim.NewRunner()
 	runner.Config.Workers = *workers
+	runner.Config.Shards = *shardsF
 	runner.Config.PerRunTimeout = *timeout
 	runner.Config.StallTimeout = *stall
 	if *ckptPath != "" {
@@ -560,7 +599,7 @@ func main() {
 		}
 		err = a.chaos(ctx, cfg)
 	case "profile":
-		err = a.profile(ctx, *profOut, *cpuProf, *memProf)
+		err = a.profile(ctx, *profOut, *perfBase, *cpuProf, *memProf)
 	case "serve":
 		err = a.serveCmd(ctx, *addr, serve.Config{
 			Workers:        *workers,

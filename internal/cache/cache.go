@@ -59,35 +59,42 @@ func (s Stats) HitRate() float64 {
 }
 
 // Cache is one level. It is not safe for concurrent use.
+//
+// Set/way state is struct-of-arrays: three flat slices indexed by
+// set*Ways+way, so an access is pure index arithmetic over preallocated
+// memory — no per-set slice headers to chase and zero allocations on the
+// access path.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // line tag per way
+	used     []uint64 // LRU clock value per way
+	state    []uint8  // stateValid | stateDirty per way
+	ways     int
 	setMask  uint64
 	lineBits uint
 	stats    Stats
 	tick     uint64 // LRU clock
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64
-}
+const (
+	stateValid uint8 = 1 << 0
+	stateDirty uint8 = 1 << 1
+)
 
 // New builds a cache, returning an error for invalid configurations.
 func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	n := cfg.Sets() * cfg.Ways
 	c := &Cache{
 		cfg:      cfg,
-		sets:     make([][]line, cfg.Sets()),
+		tags:     make([]uint64, n),
+		used:     make([]uint64, n),
+		state:    make([]uint8, n),
+		ways:     cfg.Ways,
 		setMask:  uint64(cfg.Sets() - 1),
 		lineBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
 	}
 	return c, nil
 }
@@ -112,36 +119,42 @@ type Result struct {
 func (c *Cache) Access(addr uint64, write bool) Result {
 	c.tick++
 	tag := addr >> c.lineBits
-	set := c.sets[tag&c.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
+	base := int(tag&c.setMask) * c.ways
+	end := base + c.ways
+	for i := base; i < end; i++ {
+		if c.state[i]&stateValid != 0 && c.tags[i] == tag {
 			c.stats.Hits++
-			set[i].used = c.tick
+			c.used[i] = c.tick
 			if write {
-				set[i].dirty = true
+				c.state[i] |= stateDirty
 			}
 			return Result{Hit: true}
 		}
 	}
 	c.stats.Misses++
 	// Choose victim: first invalid way, else LRU.
-	victim := 0
-	for i := range set {
-		if !set[i].valid {
+	victim := base
+	for i := base; i < end; i++ {
+		if c.state[i]&stateValid == 0 {
 			victim = i
 			break
 		}
-		if set[i].used < set[victim].used {
+		if c.used[i] < c.used[victim] {
 			victim = i
 		}
 	}
 	res := Result{}
-	if set[victim].valid && set[victim].dirty {
+	if c.state[victim]&(stateValid|stateDirty) == stateValid|stateDirty {
 		c.stats.WriteBacks++
 		res.Evicted = true
-		res.EvictedAddr = set[victim].tag << c.lineBits
+		res.EvictedAddr = c.tags[victim] << c.lineBits
 	}
-	set[victim] = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	c.tags[victim] = tag
+	c.used[victim] = c.tick
+	c.state[victim] = stateValid
+	if write {
+		c.state[victim] |= stateDirty
+	}
 	return res
 }
 
@@ -150,14 +163,17 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 func (c *Cache) Flush(addr uint64) (wroteBack bool) {
 	c.stats.Flushes++
 	tag := addr >> c.lineBits
-	set := c.sets[tag&c.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			wroteBack = set[i].dirty
+	base := int(tag&c.setMask) * c.ways
+	end := base + c.ways
+	for i := base; i < end; i++ {
+		if c.state[i]&stateValid != 0 && c.tags[i] == tag {
+			wroteBack = c.state[i]&stateDirty != 0
 			if wroteBack {
 				c.stats.WriteBacks++
 			}
-			set[i] = line{}
+			c.tags[i] = 0
+			c.used[i] = 0
+			c.state[i] = 0
 			return wroteBack
 		}
 	}
@@ -167,8 +183,10 @@ func (c *Cache) Flush(addr uint64) (wroteBack bool) {
 // Contains reports whether addr's line is cached (for tests).
 func (c *Cache) Contains(addr uint64) bool {
 	tag := addr >> c.lineBits
-	for _, l := range c.sets[tag&c.setMask] {
-		if l.valid && l.tag == tag {
+	base := int(tag&c.setMask) * c.ways
+	end := base + c.ways
+	for i := base; i < end; i++ {
+		if c.state[i]&stateValid != 0 && c.tags[i] == tag {
 			return true
 		}
 	}

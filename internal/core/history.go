@@ -13,6 +13,15 @@ type HistoryTable struct {
 	intervals []int32
 	valid     []bool
 	next      int // FIFO replacement cursor
+	// live bounds the slots that can possibly be valid: the FIFO cursor
+	// fills slots in order from a cleared table, so until the first
+	// wrap-around only the prefix [0, live) has ever been written. Scans
+	// stop there — on the hot path the table is usually nearly empty
+	// (triggers are rare and the table clears every window), so a lookup
+	// touches a handful of slots instead of the full capacity. A fault
+	// injection can revive an arbitrary slot, which conservatively resets
+	// the bound to the full table.
+	live int
 }
 
 // NewHistoryTable returns a table with the given capacity (32 entries in
@@ -39,7 +48,7 @@ func (h *HistoryTable) Lookup(row int) (interval int, ok bool) {
 	// comparing the 4-byte row addresses touches less memory than loading
 	// the valid column for every slot. The predicate is commutative, so
 	// the first matching index — and thus the result — is unchanged.
-	for i, rv := range h.rows {
+	for i, rv := range h.rows[:h.live] {
 		if rv == r && h.valid[i] {
 			return int(h.intervals[i]), true
 		}
@@ -52,7 +61,7 @@ func (h *HistoryTable) Lookup(row int) (interval int, ok bool) {
 // replaced.
 func (h *HistoryTable) Record(row, interval int) {
 	r := int32(row)
-	for i, v := range h.valid {
+	for i, v := range h.valid[:h.live] {
 		if v && h.rows[i] == r {
 			h.intervals[i] = int32(interval)
 			return
@@ -61,15 +70,34 @@ func (h *HistoryTable) Record(row, interval int) {
 	h.rows[h.next] = r
 	h.intervals[h.next] = int32(interval)
 	h.valid[h.next] = true
+	if h.next >= h.live {
+		h.live = h.next + 1
+	}
 	h.next = (h.next + 1) % len(h.rows)
 }
 
-// Clear invalidates all entries (new refresh window).
+// Clear invalidates all entries (new refresh window). Like the hardware
+// it models, it touches only the valid column — the row and interval
+// SRAM keeps its old contents.
 func (h *HistoryTable) Clear() {
 	for i := range h.valid {
 		h.valid[i] = false
 	}
 	h.next = 0
+	h.live = 0
+}
+
+// Reset returns the table to its power-on state with every field zeroed.
+// Replay (Mitigator.Reset) needs the stronger form: a fault injection can
+// revive an arbitrary slot, at which point leftover row garbage from the
+// previous run would become observable through Lookup and break
+// bit-identical replays.
+func (h *HistoryTable) Reset() {
+	for i := range h.rows {
+		h.rows[i] = 0
+		h.intervals[i] = 0
+	}
+	h.Clear()
 }
 
 // InjectBitFlip flips one random bit of one random slot, modeling an SRAM
@@ -95,6 +123,9 @@ func (h *HistoryTable) InjectBitFlip(src rng.Source, rowBits, intervalBits int) 
 		}
 		h.intervals[i] ^= 1 << rng.Intn(src, intervalBits)
 	}
+	// The upset may have revived a slot outside the filled prefix; widen
+	// the scan bound so lookups still see every valid slot.
+	h.live = len(h.rows)
 	return true
 }
 

@@ -314,7 +314,11 @@ func (t *TiVaPRoMi) OnNewWindow() {
 // survives the reset (hardware RNG faults do not heal on state reset) but
 // is reseeded so replays stay deterministic.
 func (t *TiVaPRoMi) Reset() {
-	t.OnNewWindow()
+	// Power-on reset, not the window clear: fault injection can expose
+	// row SRAM left over from the previous run (see HistoryTable.Reset).
+	for b := range t.tables {
+		t.tables[b].Reset()
+	}
 	t.src = rng.NewLFSR32(t.seed ^ 0x7177a)
 	if t.override != nil {
 		t.override.Seed(t.seed ^ 0x7177a)

@@ -115,7 +115,10 @@ func (p *HammerProgram) Next() Op {
 		return Op{Addr: addr, Flush: true}
 	}
 	p.flush = true
-	p.pos = (p.pos + 1) % len(p.addrs)
+	p.pos++
+	if p.pos == len(p.addrs) {
+		p.pos = 0
+	}
 	return Op{Addr: addr}
 }
 
@@ -179,7 +182,12 @@ func (s *System) Step(core int) {
 // Run executes n operations round-robin across the cores.
 func (s *System) Run(n uint64) {
 	cores := len(s.programs)
+	core := 0
 	for i := uint64(0); i < n; i++ {
-		s.Step(int(i) % cores)
+		s.Step(core)
+		core++
+		if core == cores {
+			core = 0
+		}
 	}
 }

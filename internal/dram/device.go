@@ -155,31 +155,53 @@ func (d *Device) disturbNeighbor(bank, prow int) {
 	c := d.disturb[bank][prow] + 1
 	d.disturb[bank][prow] = c
 	if c >= d.p.FlipThreshold {
-		pos := bank*d.p.RowsPerBank + prow
-		if !d.flipped.Get(pos) {
-			d.flipped.Set(pos)
-			d.flippedDirty = append(d.flippedDirty, int32(pos))
-			d.stats.Flips++
-			d.flips = append(d.flips, FlipEvent{
-				Bank: bank, Row: prow,
-				Window: d.Window(), Interval: d.interval,
-			})
-			if d.data != nil {
-				d.data.corrupt(bank, prow, d.Window())
-			}
+		d.recordFlip(bank, prow)
+	}
+}
+
+// recordFlip handles a threshold crossing: one FlipEvent per victim per
+// window (the flipped bitset dedupes sustained hammering). It is the cold
+// half of the disturbance path — counters keep incrementing past the
+// threshold, but this is only reached once the attack has succeeded.
+func (d *Device) recordFlip(bank, prow int) {
+	pos := bank*d.p.RowsPerBank + prow
+	if !d.flipped.Get(pos) {
+		d.flipped.Set(pos)
+		d.flippedDirty = append(d.flippedDirty, int32(pos))
+		d.stats.Flips++
+		d.flips = append(d.flips, FlipEvent{
+			Bank: bank, Row: prow,
+			Window: d.Window(), Interval: d.interval,
+		})
+		if d.data != nil {
+			d.data.corrupt(bank, prow, d.Window())
 		}
 	}
 }
 
 // activatePhysical performs the electrical work of an activation of a
 // physical row: restore the row itself, disturb both physical neighbors.
+// The counter updates are written out inline with the bank's column and
+// the threshold hoisted into locals — this runs once per activation, and
+// re-deriving the two-level slice index per neighbor showed up in the
+// pipeline profile.
 func (d *Device) activatePhysical(bank, prow int) {
-	d.restore(bank, prow)
+	col := d.disturb[bank]
+	thr := d.p.FlipThreshold
+	col[prow] = 0
 	if prow > 0 {
-		d.disturbNeighbor(bank, prow-1)
+		c := col[prow-1] + 1
+		col[prow-1] = c
+		if c >= thr {
+			d.recordFlip(bank, prow-1)
+		}
 	}
-	if prow < d.p.RowsPerBank-1 {
-		d.disturbNeighbor(bank, prow+1)
+	if prow < len(col)-1 {
+		c := col[prow+1] + 1
+		col[prow+1] = c
+		if c >= thr {
+			d.recordFlip(bank, prow+1)
+		}
 	}
 }
 

@@ -61,30 +61,10 @@ func DefaultConfig() Config {
 	return Config{RowHitNs: 15, RowMissNs: 45, PendingCap: 8}
 }
 
-// Access is one memory access in a batched dispatch buffer. Tagged marks
-// accesses the source wants counted separately (the simulation harness tags
-// attacker accesses); the controller counts them into Stats.TaggedAccesses
-// as they are serviced, so a partially consumed batch is accounted exactly.
-type Access struct {
-	Bank   int32
-	Row    int32
-	Write  bool
-	Tagged bool
-}
-
-// AccessSource produces accesses for batched dispatch. Fill writes up to
-// len(buf) accesses into buf and returns how many it wrote; it must write
-// at least one when len(buf) > 0. Generation must not depend on device or
-// controller state — the controller may consume only a prefix of a batch
-// (when the interval target is reached mid-batch), and the stream an
-// implementation produces has to be independent of where that cut lands.
-type AccessSource interface {
-	Fill(buf []Access) int
-}
-
-// DefaultBatchSize is the access-batch size RunBatchesCtx uses when the
-// caller passes batch <= 0: large enough to amortize the per-batch context
-// poll and loop overhead, small enough that a canceled run stops promptly.
+// DefaultBatchSize is the access-block size the simulation's lane drivers
+// use when the caller passes batch <= 0: large enough to amortize the
+// per-block context poll and generation-loop overhead, small enough that
+// a canceled run stops promptly.
 const DefaultBatchSize = 512
 
 // Stats aggregates controller activity.
@@ -92,9 +72,6 @@ type Stats struct {
 	Accesses  uint64
 	RowHits   uint64
 	RowMisses uint64
-	// TaggedAccesses counts serviced accesses with Access.Tagged set (only
-	// the batched path produces them).
-	TaggedAccesses uint64
 	// Mitigation command counts by kind.
 	ActN       uint64
 	ActNOne    uint64
@@ -127,11 +104,9 @@ type Controller struct {
 	pending []mitigation.Command
 	delayed []mitigation.Command
 	scratch []mitigation.Command
-	batch   []Access
 	stats   Stats
 	hook    func(mitigation.Command)
 	filter  func(mitigation.Command) Disposition
-	tick    func()
 }
 
 // New builds a controller over dev with the given mitigation (nil for
@@ -170,12 +145,6 @@ func (c *Controller) SetCommandHook(fn func(mitigation.Command)) { c.hook = fn }
 // a promoted command is not re-filtered, so a filter cannot starve the
 // path forever). A nil filter delivers everything.
 func (c *Controller) SetCommandFilter(fn func(mitigation.Command) Disposition) { c.filter = fn }
-
-// SetAccessTick installs a callback the batched dispatch path invokes once
-// before every serviced access. Fault harnesses use it for per-access
-// injector ticks; it replaces the closure wrapper the unbatched path wraps
-// around next(). Nil (the common case) costs one predictable branch.
-func (c *Controller) SetAccessTick(fn func()) { c.tick = fn }
 
 // Stats returns the controller counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -344,47 +313,6 @@ func (c *Controller) RunIntervalsCtx(ctx context.Context, n int, next func() (ba
 		}
 		bank, row, write := next()
 		c.AccessRow(bank, row, write)
-	}
-	return nil
-}
-
-// RunBatchesCtx drives the controller with accesses pulled from src in
-// batches of the given size (DefaultBatchSize when batch <= 0) until n
-// refresh intervals have elapsed. Relative to RunIntervalsCtx it amortizes
-// the context poll, the per-access indirect call, and the injector-tick
-// branch over a whole batch. The serviced access stream is identical to the
-// unbatched path because src generates accesses independently of device
-// state (see AccessSource): reaching the interval target mid-batch simply
-// leaves the tail of the batch unserviced.
-//
-// It returns ctx.Err() when canceled, nil on completion.
-func (c *Controller) RunBatchesCtx(ctx context.Context, n int, src AccessSource, batch int) error {
-	if batch <= 0 {
-		batch = DefaultBatchSize
-	}
-	if cap(c.batch) < batch {
-		c.batch = make([]Access, batch)
-	}
-	buf := c.batch[:batch]
-	target := c.dev.Interval() + n
-	for c.dev.Interval() < target {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		m := src.Fill(buf)
-		if m <= 0 || m > len(buf) {
-			panic(fmt.Sprintf("memctrl: AccessSource.Fill returned %d for a buffer of %d", m, len(buf)))
-		}
-		for i := 0; i < m && c.dev.Interval() < target; i++ {
-			a := buf[i]
-			if c.tick != nil {
-				c.tick()
-			}
-			if a.Tagged {
-				c.stats.TaggedAccesses++
-			}
-			c.AccessRow(int(a.Bank), int(a.Row), a.Write)
-		}
 	}
 	return nil
 }

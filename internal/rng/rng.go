@@ -180,18 +180,29 @@ func (l *SerialLFSR32) Uint64() uint64 {
 // bits.
 type Bernoulli struct {
 	src  Source
-	bits uint // fixed-point resolution in bits, 1..63
+	s32  interface{ Uint32() uint32 } // non-nil when src serves 32-bit draws and bits ≤ 32
+	bits uint                         // fixed-point resolution in bits, 1..63
 	mask uint64
 }
 
 // NewBernoulli returns a Bernoulli decision maker with the given fixed-point
 // resolution. bits must be in [1, 63]; it panics otherwise because the
 // resolution is a static hardware parameter, not runtime input.
+//
+// When the source offers a native Uint32 (the LFSRs do) and the resolution
+// fits in 32 bits, each decision consumes one 32-bit word instead of two:
+// the paper's comparator reads `bits` fresh register bits per decision, and
+// a 32-bit draw already provides them — clocking the register a second
+// word per decision modeled nothing.
 func NewBernoulli(src Source, bits uint) *Bernoulli {
 	if bits < 1 || bits > 63 {
 		panic("rng: Bernoulli resolution out of range [1,63]")
 	}
-	return &Bernoulli{src: src, bits: bits, mask: (1 << bits) - 1}
+	b := &Bernoulli{src: src, bits: bits, mask: (1 << bits) - 1}
+	if s32, ok := src.(interface{ Uint32() uint32 }); ok && bits <= 32 {
+		b.s32 = s32
+	}
+	return b
 }
 
 // Bits returns the fixed-point resolution.
@@ -206,6 +217,9 @@ func (b *Bernoulli) Trigger(weight uint64) bool {
 	if weight > b.mask {
 		return true
 	}
+	if b.s32 != nil {
+		return uint64(b.s32.Uint32())&b.mask < weight
+	}
 	return b.src.Uint64()&b.mask < weight
 }
 
@@ -217,9 +231,19 @@ func Float64(src Source) float64 {
 }
 
 // Intn returns a uniform value in [0, n) from src. It panics if n <= 0.
+//
+// For bounds that fit in 32 bits the reduction is a multiply-shift of the
+// draw's high word — scale the fraction x/2^32 by n — instead of a modulo,
+// keeping the 64-bit division off the trace-generation hot path (the
+// residual non-uniformity is at most n/2^32, invisible next to the
+// generator's own statistical noise). For n a power of two this selects
+// the top bits of the draw, so Intn(src, 16) is exactly src.Uint64()>>60.
 func Intn(src Source, n int) int {
 	if n <= 0 {
 		panic("rng: Intn with non-positive bound")
+	}
+	if n <= 1<<31 {
+		return int((src.Uint64() >> 32) * uint64(n) >> 32)
 	}
 	return int(src.Uint64() % uint64(n))
 }

@@ -5,7 +5,6 @@ import (
 	"io"
 
 	"tivapromi/internal/dram"
-	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	"tivapromi/internal/trace"
 )
@@ -98,41 +97,55 @@ func ReplayTrace(r *trace.Reader, technique string, flipThreshold uint32) (Resul
 
 // RecordTrace runs the configured workload+attacker (without any
 // mitigation) and writes the resulting activation trace — the equivalent
-// of capturing a gem5 run for later replay.
+// of capturing a gem5 run for later replay. Unlike the lazy run drivers,
+// the recorder fires every lane's refresh boundary eagerly at each
+// interval crossing, so the trace carries exactly one IntervalEnd per
+// global interval, placed after that interval's activations.
 func RecordTrace(cfg Config, w *trace.Writer) error {
-	if err := cfg.Validate(); err != nil {
-		return err
-	}
-	pol, err := cfg.policy(cfg.Seed)
-	if err != nil {
-		return err
-	}
-	dev, err := dram.New(cfg.Params, pol)
+	env, err := prepareRun(cfg, "")
 	if err != nil {
 		return err
 	}
 	var werr error
-	dev.SetObserver(
-		func(bank, row int) {
-			if werr == nil {
-				werr = w.WriteAct(bank, row)
+	for b, l := range env.lanes {
+		bank := b
+		onInterval := func() {}
+		if b == 0 {
+			// One IntervalEnd per global interval; lane 0 fires first at
+			// every eager catch-up below.
+			onInterval = func() {
+				if werr == nil {
+					werr = w.WriteIntervalEnd()
+				}
 			}
-		},
-		func() {
-			if werr == nil {
-				werr = w.WriteIntervalEnd()
-			}
-		},
-	)
-	ctl, err := memctrl.New(memctrl.DefaultConfig(), dev, nil)
-	if err != nil {
-		return err
+		}
+		l.Device().SetObserver(
+			func(_, row int) {
+				if werr == nil {
+					werr = w.WriteAct(bank, row)
+				}
+			},
+			onInterval,
+		)
 	}
-	st, err := newStream(cfg)
-	if err != nil {
-		return err
+	catchUpAll := func(iv int) {
+		for _, l := range env.lanes {
+			l.CatchUp(iv)
+		}
 	}
-	ctl.RunIntervals(cfg.Windows*cfg.Params.RefInt, st.next)
+	total := env.intervals * env.api
+	iv, rem := 0, env.api
+	for i := 0; i < total; i++ {
+		a, _ := env.st.gen()
+		if rem == 0 {
+			iv++
+			rem = env.api
+			catchUpAll(iv)
+		}
+		rem--
+		env.lanes[a.Bank].Access(int32(a.Row), a.Write)
+	}
+	catchUpAll(env.intervals)
 	if werr != nil {
 		return werr
 	}

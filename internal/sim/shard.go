@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"tivapromi/internal/workload"
+)
+
+// shardChunk is the access-block size of the sharded driver: larger than
+// the serial default so each handoff amortizes the cross-goroutine
+// synchronization cost (one channel send per worker plus two WaitGroup
+// operations per block).
+const shardChunk = 4096
+
+// shardMsg hands one filled block to every worker. Workers scan the whole
+// block — the scan is cheap, the lane servicing is the work — and each
+// services only the lanes of banks congruent to its index mod the shard
+// count, maintaining its own interval cursor from (iv, rem).
+type shardMsg struct {
+	blk *workload.Block
+	n   int
+	iv  int // global refresh interval of the block's first access
+	rem int // accesses remaining in interval iv at the block's start
+	par int // which of the two blocks this is (double buffering)
+}
+
+// runSharded is the parallel driver: generation stays sequential on the
+// calling goroutine (one stateful RNG defines the interleave), servicing
+// fans out over `shards` workers with statically partitioned banks. Two
+// blocks alternate: while the workers chew on one, the producer fills the
+// other, and a WaitGroup per block parity gates reuse. Determinism is
+// structural — each lane receives exactly the accesses of its bank, in
+// stream order, with boundary positions fixed by access index — so no
+// ordering decision ever depends on goroutine scheduling.
+func (e *runEnv) runSharded(ctx context.Context, shards int) error {
+	if shards > len(e.lanes) {
+		shards = len(e.lanes)
+	}
+	hb := HeartbeatFrom(ctx)
+	total := e.intervals * e.api
+
+	var done [2]sync.WaitGroup
+	var join sync.WaitGroup
+	blocks := [2]*workload.Block{workload.NewBlock(shardChunk), workload.NewBlock(shardChunk)}
+	chans := make([]chan shardMsg, shards)
+	for w := 0; w < shards; w++ {
+		chans[w] = make(chan shardMsg, 1)
+	}
+	join.Add(shards)
+	for w := 0; w < shards; w++ {
+		go func(self int, ch <-chan shardMsg) {
+			defer join.Done()
+			// Worker-local catch-up gate (see runBlocks); local so workers
+			// never share a cache line of cursors.
+			laneIv := make([]int32, len(e.lanes))
+			for i := range laneIv {
+				laneIv[i] = -1
+			}
+			api, lanes := e.api, e.lanes
+			for msg := range ch {
+				n := msg.n
+				banks, rows, flags := msg.blk.Bank[:n], msg.blk.Row[:n], msg.blk.Flag[:n]
+				iv, rem := msg.iv, msg.rem
+				for i := 0; i < n; i++ {
+					if rem == 0 {
+						iv++
+						rem = api
+					}
+					rem--
+					b := int(banks[i])
+					if b%shards != self {
+						continue
+					}
+					l := lanes[b]
+					if laneIv[b] != int32(iv) {
+						l.CatchUp(iv)
+						laneIv[b] = int32(iv)
+					}
+					l.Access(rows[i], flags[i]&workload.FlagWrite != 0)
+				}
+				done[msg.par].Done()
+			}
+		}(w, chans[w])
+	}
+
+	shutdown := func() {
+		done[0].Wait()
+		done[1].Wait()
+		for _, ch := range chans {
+			close(ch)
+		}
+		join.Wait()
+	}
+
+	iv, rem := 0, e.api
+	round := 0
+	for produced := 0; produced < total; round++ {
+		if err := ctx.Err(); err != nil {
+			shutdown()
+			return err
+		}
+		if hb != nil {
+			hb.Tick()
+		}
+		par := round & 1
+		if round >= 2 {
+			// Both workers' passes over this block finished two rounds
+			// ago; safe to overwrite.
+			done[par].Wait()
+		}
+		n := total - produced
+		if n > shardChunk {
+			n = shardChunk
+		}
+		blk := blocks[par]
+		e.st.fill(blk, n)
+		done[par].Add(shards)
+		msg := shardMsg{blk: blk, n: n, iv: iv, rem: rem, par: par}
+		for _, ch := range chans {
+			ch <- msg
+		}
+		// Advance the interval cursor past the block just handed out.
+		k := rem
+		if k > n {
+			k = n
+		}
+		rem -= k
+		for left := n - k; left > 0; {
+			iv++
+			k = e.api
+			if k > left {
+				k = left
+			}
+			rem = e.api - k
+			left -= k
+		}
+		produced += n
+	}
+	shutdown()
+	e.finish()
+	return nil
+}

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"tivapromi/internal/faults"
+)
+
+// shardConfig widens shrunkenConfig to four banks so the shard sweep can
+// exercise uneven partitions (4 banks over 3 workers) and the full
+// one-lane-per-worker case.
+func shardConfig() Config {
+	cfg := shrunkenConfig()
+	cfg.Params.Banks = 4
+	cfg.AttackBanks = []int{1, 3}
+	return cfg
+}
+
+// TestShardsMatchReference is the sharding-equivalence contract: for
+// every shard count — serial fallback, even and uneven partitions, and
+// one lane per worker — RunShardedCtx must produce the identical Result
+// to the unbatched reference driver, for every registered technique plus
+// an unprotected run, a non-default refresh policy, and a remapped
+// device. Determinism is structural (each lane's state is a function of
+// its own bank's access subsequence), so any divergence here means a
+// lane accidentally read shared state.
+func TestShardsMatchReference(t *testing.T) {
+	type tcase struct {
+		name      string
+		technique string
+		mutate    func(*Config)
+	}
+	cases := []tcase{
+		{name: "unprotected", technique: ""},
+		{name: "PARA-random-policy", technique: "PARA",
+			mutate: func(c *Config) { c.Policy = PolicyRandom }},
+		{name: "CaPRoMi-remapped", technique: "CaPRoMi",
+			mutate: func(c *Config) { c.RemapSwaps = 8 }},
+	}
+	for _, tech := range TechniqueNames() {
+		cases = append(cases, tcase{name: tech, technique: tech})
+	}
+	ctx := context.Background()
+	shardCounts := []int{1, 2, 3, 4}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := shardConfig()
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			want, err := RunReferenceCtx(ctx, cfg, tc.technique)
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, shards := range shardCounts {
+				got, err := RunShardedCtx(ctx, cfg, tc.technique, shards)
+				if err != nil {
+					t.Fatalf("shards %d: %v", shards, err)
+				}
+				if got != want {
+					t.Errorf("shards %d: result diverged from reference\n got: %+v\nwant: %+v",
+						shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedFaultPlansMatchReference pins shard invariance under every
+// fault-injection pathway: per-access injector ticks (WeakCells), the
+// Harness wrap (StateSEU), and the command filter (DropActN, DelayActN).
+// Each lane owns its fault instrumentation with a bank-mixed seed, so the
+// streams must not depend on how lanes are scheduled across workers.
+func TestShardedFaultPlansMatchReference(t *testing.T) {
+	plans := []faults.Plan{
+		{Model: faults.WeakCells, Rate: 0.001, Seed: 7},
+		{Model: faults.StateSEU, Rate: 0.0005, Seed: 11},
+		{Model: faults.DropActN, Rate: 0.01, Seed: 13},
+		{Model: faults.DelayActN, Rate: 0.01, Seed: 17},
+	}
+	ctx := context.Background()
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Model.String(), func(t *testing.T) {
+			t.Parallel()
+			cfg := shardConfig()
+			cfg.Fault = plan
+			want, err := RunReferenceCtx(ctx, cfg, "LiPRoMi")
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, shards := range []int{2, 4} {
+				got, err := RunShardedCtx(ctx, cfg, "LiPRoMi", shards)
+				if err != nil {
+					t.Fatalf("shards %d: %v", shards, err)
+				}
+				if got != want {
+					t.Errorf("shards %d with %v plan: result diverged\n got: %+v\nwant: %+v",
+						shards, plan.Model, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardsClampToBanks pins that asking for more workers than banks is
+// harmless: the count clamps and the result still matches.
+func TestShardsClampToBanks(t *testing.T) {
+	ctx := context.Background()
+	cfg := shardConfig()
+	want, err := RunShardedCtx(ctx, cfg, "PARA", cfg.Params.Banks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunShardedCtx(ctx, cfg, "PARA", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("oversubscribed shards diverged:\n%+v\n%+v", got, want)
+	}
+}
+
+// TestDriversHonorCancellation replaces the cancellation coverage of the
+// removed controller-level batch driver: every driver must notice a
+// canceled context and return its error instead of a Result.
+func TestDriversHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := shardConfig()
+	if _, err := RunCtxBatch(ctx, cfg, "PARA", 0); err != context.Canceled {
+		t.Errorf("block driver: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunReferenceCtx(ctx, cfg, "PARA"); err != context.Canceled {
+		t.Errorf("reference driver: err = %v, want context.Canceled", err)
+	}
+	if _, err := RunShardedCtx(ctx, cfg, "PARA", 2); err != context.Canceled {
+		t.Errorf("sharded driver: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunnerConfigShards pins the runner plumbing: a sweep with Shards
+// set aggregates the same Summary as the serial default.
+func TestRunnerConfigShards(t *testing.T) {
+	cfg := shardConfig()
+	seeds := Seeds(3, 3)
+	rcSerial := DefaultRunnerConfig()
+	want, errsW, err := RunSeedsCtx(context.Background(), rcSerial, cfg, "LoPRoMi", seeds)
+	if err != nil || len(errsW) > 0 {
+		t.Fatalf("serial sweep: %v %v", err, errsW)
+	}
+	rcSharded := DefaultRunnerConfig()
+	rcSharded.Shards = 2
+	got, errsG, err := RunSeedsCtx(context.Background(), rcSharded, cfg, "LoPRoMi", seeds)
+	if err != nil || len(errsG) > 0 {
+		t.Fatalf("sharded sweep: %v %v", err, errsG)
+	}
+	if len(got.Runs) != len(want.Runs) {
+		t.Fatalf("run counts differ: %d vs %d", len(got.Runs), len(want.Runs))
+	}
+	for i := range want.Runs {
+		if got.Runs[i] != want.Runs[i] {
+			t.Errorf("seed %d: sharded sweep diverged\n got: %+v\nwant: %+v",
+				i, got.Runs[i], want.Runs[i])
+		}
+	}
+}

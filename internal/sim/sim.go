@@ -206,215 +206,394 @@ func Run(cfg Config, technique string) (Result, error) {
 }
 
 // RunCtx is Run with cooperative cancellation: the simulation polls ctx
-// between batches of accesses and returns ctx.Err() when cut short, so a
+// between blocks of accesses and returns ctx.Err() when cut short, so a
 // seed sweep can be abandoned mid-run without leaking work. Accesses are
-// dispatched in batches of memctrl.DefaultBatchSize; see RunCtxBatch.
+// generated into struct-of-arrays blocks of memctrl.DefaultBatchSize and
+// dispatched to per-bank lanes; see RunCtxBatch and RunShardedCtx.
 func RunCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
 	return RunCtxBatch(ctx, cfg, technique, 0)
 }
 
-// RunCtxBatch is RunCtx with an explicit access-batch size (batch <= 0
-// selects memctrl.DefaultBatchSize). The serviced access stream, every RNG
-// draw and every mitigation command are identical at any batch size — the
-// batch only amortizes per-access dispatch overhead — so the Result is
-// invariant in batch; TestBatchSizesMatchReference pins this against
-// RunReferenceCtx. The batch size is deliberately a parameter, not a
-// Config field: checkpoint fingerprints hash the Config, and a purely
-// mechanical dispatch knob must not invalidate resumable campaign state.
+// RunCtxBatch is RunCtx with an explicit access-block size (batch <= 0
+// selects memctrl.DefaultBatchSize). The generated access stream, every
+// RNG draw and every mitigation command are identical at any block size —
+// the block only amortizes per-access generation and dispatch overhead —
+// so the Result is invariant in batch; TestBatchSizesMatchReference pins
+// this against RunReferenceCtx. The block size is deliberately a
+// parameter, not a Config field: checkpoint fingerprints hash the Config,
+// and a purely mechanical dispatch knob must not invalidate resumable
+// campaign state.
 func RunCtxBatch(ctx context.Context, cfg Config, technique string, batch int) (Result, error) {
 	env, err := prepareRun(cfg, technique)
 	if err != nil {
 		return Result{}, err
 	}
-	if env.weaken != nil {
-		env.ctl.SetAccessTick(env.weaken)
-	}
-	var src memctrl.AccessSource = env.st
-	if hb := HeartbeatFrom(ctx); hb != nil {
-		// Report forward progress once per access batch so the hardened
-		// runner's stall watchdog can tell a wedged run from a slow one.
-		// Ticking per batch (not per access) keeps the hot path untouched.
-		hb.Tick()
-		src = &tickingSource{inner: env.st, hb: hb}
-	}
-	if err := env.ctl.RunBatchesCtx(ctx, cfg.Windows*cfg.Params.RefInt, src, batch); err != nil {
+	if err := env.runBlocks(ctx, batch); err != nil {
 		return Result{}, err
 	}
-	// Attacker accesses are counted at dispatch (Access.Tagged), so the
-	// unserviced tail of the final batch is excluded exactly.
-	return env.collect(env.ctl.Stats().TaggedAccesses), nil
+	return env.collect(), nil
+}
+
+// RunShardedCtx is RunCtx with the lane servicing fanned out over
+// `shards` goroutines (clamped to the bank count; <= 1 falls back to the
+// serial block driver). Trace generation stays sequential on the calling
+// goroutine — the interleave is defined by one stateful RNG — and each
+// worker services the lanes of banks congruent to its index mod shards.
+// Because every lane's state evolves only from its own bank's accesses
+// and count-based refresh boundaries, the Result is byte-identical at any
+// shard count; TestShardsMatchReference pins this against
+// RunReferenceCtx.
+func RunShardedCtx(ctx context.Context, cfg Config, technique string, shards int) (Result, error) {
+	if shards <= 1 {
+		return RunCtxBatch(ctx, cfg, technique, 0)
+	}
+	env, err := prepareRun(cfg, technique)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := env.runSharded(ctx, shards); err != nil {
+		return Result{}, err
+	}
+	return env.collect(), nil
 }
 
 // RunReferenceCtx executes the run with the unbatched one-access-per-call
-// driver the seed implementation used: generate, tick the weak-cell
-// injector, dispatch, repeat. It is the behavioral reference the batched
-// path is tested against and the "before" pipeline of the hot-path
-// benchmark harness; production callers should use RunCtx.
+// oracle driver: generate one access, route it to its bank lane, repeat.
+// It is the behavioral reference the block and sharded drivers are tested
+// against and the "before" pipeline of the hot-path benchmark harness;
+// production callers should use RunCtx or RunShardedCtx.
 func RunReferenceCtx(ctx context.Context, cfg Config, technique string) (Result, error) {
 	env, err := prepareRun(cfg, technique)
 	if err != nil {
 		return Result{}, err
 	}
-	next := env.st.next
-	if env.weaken != nil {
-		inner := next
-		next = func() (int, int, bool) {
-			env.weaken()
-			return inner()
+	total := env.intervals * env.api
+	iv, rem := 0, env.api
+	for i := 0; i < total; i++ {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
 		}
+		a, _ := env.st.gen()
+		if rem == 0 {
+			iv++
+			rem = env.api
+		}
+		rem--
+		l := env.lanes[a.Bank]
+		l.CatchUp(iv)
+		l.Access(int32(a.Row), a.Write)
 	}
-	if err := env.ctl.RunIntervalsCtx(ctx, cfg.Windows*cfg.Params.RefInt, next); err != nil {
-		return Result{}, err
-	}
-	return env.collect(env.st.attackerAccesses), nil
+	env.finish()
+	return env.collect(), nil
 }
 
-// runEnv is a fully wired simulation — device, controller, traffic stream,
-// fault instrumentation and classification hook — ready to be driven by
-// either dispatch loop.
+// DrainStream generates cfg's full access stream into a reusable block
+// without servicing any of it — the trace-generation stage in isolation.
+// The hot-path harness times it to split the pipeline profile into
+// generation and lane-servicing shares. Returns the number of accesses
+// generated.
+func DrainStream(ctx context.Context, cfg Config) (uint64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, permanent(err)
+	}
+	api := memctrl.AccessesPerInterval(cfg.Params)
+	st, err := newStream(cfg, api)
+	if err != nil {
+		return 0, err
+	}
+	total := cfg.Windows * cfg.Params.RefInt * api
+	blk := workload.NewBlock(memctrl.DefaultBatchSize)
+	for done := 0; done < total; {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n := total - done
+		if n > memctrl.DefaultBatchSize {
+			n = memctrl.DefaultBatchSize
+		}
+		st.fill(blk, n)
+		done += n
+	}
+	return uint64(total), nil
+}
+
+// runEnv is a fully wired simulation: one memctrl.Lane per bank (each
+// with its own single-bank device, mitigation instance, fault
+// instrumentation and classification hook) plus the shared traffic
+// stream. The refresh timeline is count-based — access i of the run
+// belongs to global refresh interval i/api — so a lane's entire evolution
+// is a function of its own access subsequence, independent of how the
+// stream is partitioned across goroutines.
 type runEnv struct {
-	dev     *dram.Device
-	ctl     *memctrl.Controller
-	st      *stream
-	mit     mitigation.Mitigator
-	harness *faults.Harness
-	weaken  func()
-	res     Result // identity fields + FalseActs accumulated by the hook
+	cfg       Config
+	api       int // accesses per global refresh interval
+	intervals int // total refresh intervals (Windows * RefInt)
+	lanes     []*memctrl.Lane
+	harnesses []*faults.Harness // per lane; nil without an active plan
+	st        *stream
+	mit0      mitigation.Mitigator // lane 0's (possibly fault-wrapped) instance
+	falseActs []padCounter         // per lane, padded against false sharing
+	res       Result               // identity fields
 }
 
-// prepareRun builds the runEnv for one configuration. Everything that both
+// padCounter is a cache-line-padded counter: one per lane, so shard
+// workers incrementing neighboring lanes' counters never contend on a
+// line.
+type padCounter struct {
+	n uint64
+	_ [56]byte
+}
+
+// laneSeed derives the per-bank seed for bank b; bank 0 keeps the base
+// seed, so single-bank configurations reproduce the unsharded seeding.
+func laneSeed(seed uint64, bank int) uint64 {
+	return seed + uint64(bank)*0x9e3779b97f4a7c15
+}
+
+// prepareRun builds the runEnv for one configuration. Everything that all
 // run drivers share — and therefore everything that determines behavior —
 // lives here; the drivers differ only in dispatch mechanics.
 func prepareRun(cfg Config, technique string) (*runEnv, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, permanent(err)
 	}
-	pol, err := cfg.policy(cfg.Seed)
-	if err != nil {
-		return nil, permanent(err)
-	}
-	dev, err := dram.New(cfg.Params, pol)
-	if err != nil {
-		return nil, permanent(err)
-	}
-	if cfg.RemapSwaps > 0 {
-		if err := dev.SetRowRemap(remapPerm(cfg.Params.RowsPerBank, cfg.RemapSwaps, cfg.Seed)); err != nil {
-			return nil, err
-		}
-	}
-
-	var mit mitigation.Mitigator
+	var factory mitigation.Factory
 	if cfg.Factory != nil {
-		mit = cfg.Factory(cfg.Target(), cfg.Seed)
+		factory = cfg.Factory
 	} else if technique != "" {
-		factory, err := mitigation.Lookup(technique)
+		f, err := mitigation.Lookup(technique)
 		if err != nil {
 			return nil, permanent(err)
 		}
-		mit = factory(cfg.Target(), cfg.Seed)
+		factory = f
 	}
 
+	api := memctrl.AccessesPerInterval(cfg.Params)
+	st, err := newStream(cfg, api)
+	if err != nil {
+		return nil, err
+	}
+
+	banks := cfg.Params.Banks
+	rpb := cfg.Params.RowsPerBank
+	laneParams := cfg.Params
+	laneParams.Banks = 1
+	laneTarget := mitigation.Target{
+		Banks:         1,
+		RowsPerBank:   rpb,
+		RefInt:        cfg.Params.RefInt,
+		FlipThreshold: cfg.Params.FlipThreshold,
+	}
+	var perm []int
+	if cfg.RemapSwaps > 0 {
+		perm = remapPerm(rpb, cfg.RemapSwaps, cfg.Seed)
+	}
 	// Fault plan: derive a per-seed campaign so every seed of a sweep
-	// sees an independent but reproducible fault stream.
-	plan := cfg.Fault
-	plan.Seed = cfg.Fault.Seed ^ (cfg.Seed * 0x9e3779b97f4a7c15)
-	var harness *faults.Harness
-	if plan.Active() && mit != nil {
-		harness = faults.Wrap(mit, plan)
-		mit = harness
-	}
+	// sees an independent but reproducible fault stream; each lane then
+	// mixes its bank in, so banks see independent streams too.
+	basePlan := cfg.Fault
+	basePlan.Seed = cfg.Fault.Seed ^ (cfg.Seed * 0x9e3779b97f4a7c15)
 
-	ctl, err := memctrl.New(memctrl.DefaultConfig(), dev, mit)
-	if err != nil {
-		return nil, err
-	}
-	if f := faults.CommandFilter(plan); f != nil {
-		ctl.SetCommandFilter(f)
-	}
-
-	// Traffic: the SPEC-like mix plus (optionally) the attacker.
-	st, err := newStream(cfg)
-	if err != nil {
-		return nil, err
+	// False-positive ground truth, per bank: an extra activation is a
+	// true positive when it restores a potential victim of a real
+	// aggressor. Dense row bitsets (nil for banks without aggressors)
+	// keep the per-command check to one bit probe.
+	aggRows := make([]*bitset.Bitset, banks)
+	if st.att != nil {
+		st.att.EachAggressor(func(bank, row int) {
+			if bank < 0 || bank >= banks || row < 0 || row >= rpb {
+				return
+			}
+			if aggRows[bank] == nil {
+				aggRows[bank] = bitset.New(rpb)
+			}
+			aggRows[bank].Set(row)
+		})
 	}
 
 	env := &runEnv{
-		dev:     dev,
-		ctl:     ctl,
-		st:      st,
-		mit:     mit,
-		harness: harness,
-		weaken:  faults.WeakCellInjector(plan, dev),
-		res: Result{
-			Technique: techniqueName(mit),
-			Policy:    dev.Policy().Name(),
-			Seed:      cfg.Seed,
-		},
+		cfg:       cfg,
+		api:       api,
+		intervals: cfg.Windows * cfg.Params.RefInt,
+		lanes:     make([]*memctrl.Lane, banks),
+		harnesses: make([]*faults.Harness, banks),
+		st:        st,
+		falseActs: make([]padCounter, banks),
 	}
-
-	// False-positive classification: an extra activation is a true
-	// positive when it restores a potential victim of a real aggressor.
-	// Ground truth is a dense bitset over bank*RowsPerBank+row (the seed
-	// used a map[[2]int]bool, which put two hash probes on every
-	// RefreshRow command); neighbor probes that fall off the device are
-	// non-members by construction.
-	rpb := cfg.Params.RowsPerBank
-	var agg *bitset.Bitset
-	if st.att != nil {
-		agg = bitset.New(cfg.Params.Banks * rpb)
-		st.att.EachAggressor(func(bank, row int) {
-			if row >= 0 && row < rpb {
-				agg.Set(bank*rpb + row)
+	for b := 0; b < banks; b++ {
+		// Every lane gets its own policy instance seeded with the base
+		// seed: all banks refresh the same rows each interval, exactly as
+		// one shared multi-bank device would.
+		pol, err := cfg.policy(cfg.Seed)
+		if err != nil {
+			return nil, permanent(err)
+		}
+		dev, err := dram.New(laneParams, pol)
+		if err != nil {
+			return nil, permanent(err)
+		}
+		if perm != nil {
+			if err := dev.SetRowRemap(perm); err != nil {
+				return nil, err
+			}
+		}
+		var mit mitigation.Mitigator
+		if factory != nil {
+			mit = factory(laneTarget, laneSeed(cfg.Seed, b))
+		}
+		plan := basePlan
+		plan.Seed = laneSeed(basePlan.Seed, b)
+		if plan.Active() && mit != nil {
+			h := faults.Wrap(mit, plan)
+			env.harnesses[b] = h
+			mit = h
+		}
+		lane, err := memctrl.NewLane(memctrl.DefaultConfig(), dev, mit)
+		if err != nil {
+			return nil, err
+		}
+		if f := faults.CommandFilter(plan); f != nil {
+			lane.SetCommandFilter(f)
+		}
+		if weaken := faults.WeakCellInjector(plan, dev); weaken != nil {
+			lane.SetAccessTick(weaken)
+		}
+		bs := aggRows[b]
+		ctr := &env.falseActs[b]
+		lane.SetCommandHook(func(cmd mitigation.Command) {
+			protective := false
+			switch cmd.Kind {
+			case mitigation.ActN, mitigation.ActNOne:
+				protective = rowIsAggressor(bs, cmd.Row, rpb)
+			case mitigation.RefreshRow:
+				protective = rowIsAggressor(bs, cmd.Row-1, rpb) ||
+					rowIsAggressor(bs, cmd.Row+1, rpb)
+			}
+			if !protective {
+				ctr.n++
 			}
 		})
+		env.lanes[b] = lane
+		if b == 0 {
+			env.mit0 = mit
+		}
 	}
-	has := func(bank, row int) bool {
-		if agg == nil || row < 0 || row >= rpb {
-			return false
-		}
-		return agg.Get(bank*rpb + row)
+	env.res = Result{
+		Technique: techniqueName(env.mit0),
+		Policy:    env.lanes[0].Device().Policy().Name(),
+		Seed:      cfg.Seed,
 	}
-	ctl.SetCommandHook(func(cmd mitigation.Command) {
-		protective := false
-		switch cmd.Kind {
-		case mitigation.ActN, mitigation.ActNOne:
-			protective = has(cmd.Bank, cmd.Row)
-		case mitigation.RefreshRow:
-			protective = has(cmd.Bank, cmd.Row-1) || has(cmd.Bank, cmd.Row+1)
-		}
-		if !protective {
-			env.res.FalseActs++
-		}
-	})
 	return env, nil
 }
 
-// collect finalizes the Result after a completed run. attackerActs is
-// driver-specific: the batched driver counts tagged accesses at dispatch,
-// the reference driver counts at generation (equal on any completed run,
-// since the reference generates exactly what it dispatches).
-func (e *runEnv) collect(attackerActs uint64) Result {
-	ds := e.dev.Stats()
-	cs := e.ctl.Stats()
+// rowIsAggressor probes the per-bank ground-truth bitset; neighbor probes
+// that fall off the device are non-members by construction.
+func rowIsAggressor(bs *bitset.Bitset, row, rpb int) bool {
+	return bs != nil && row >= 0 && row < rpb && bs.Get(row)
+}
+
+// runBlocks is the serial production driver: fill a struct-of-arrays
+// block from the stream, then scan its flat arrays routing each access to
+// its bank lane, firing any refresh boundaries the access index has
+// crossed. One context poll and one heartbeat tick per block.
+func (e *runEnv) runBlocks(ctx context.Context, chunk int) error {
+	if chunk <= 0 {
+		chunk = memctrl.DefaultBatchSize
+	}
+	hb := HeartbeatFrom(ctx)
+	total := e.intervals * e.api
+	blk := workload.NewBlock(chunk)
+	// laneIv[b] is the interval lane b was last caught up to; the gate
+	// replaces a CatchUp call per access with a compare that only fails
+	// on a lane's first access of a new interval.
+	laneIv := make([]int32, len(e.lanes))
+	for i := range laneIv {
+		laneIv[i] = -1
+	}
+	iv, rem := 0, e.api
+	api, lanes := e.api, e.lanes
+	for done := 0; done < total; {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if hb != nil {
+			// Report forward progress once per block so the hardened
+			// runner's stall watchdog can tell a wedged run from a slow
+			// one; per-block ticking keeps the hot path untouched.
+			hb.Tick()
+		}
+		n := total - done
+		if n > chunk {
+			n = chunk
+		}
+		e.st.fill(blk, n)
+		banks, rows, flags := blk.Bank[:n], blk.Row[:n], blk.Flag[:n]
+		for i := 0; i < n; i++ {
+			if rem == 0 {
+				iv++
+				rem = api
+			}
+			rem--
+			b := banks[i]
+			l := lanes[b]
+			if laneIv[b] != int32(iv) {
+				l.CatchUp(iv)
+				laneIv[b] = int32(iv)
+			}
+			l.Access(rows[i], flags[i]&workload.FlagWrite != 0)
+		}
+		done += n
+	}
+	e.finish()
+	return nil
+}
+
+// finish fires every lane's outstanding refresh boundaries so all lanes
+// end the run at the same interval count.
+func (e *runEnv) finish() {
+	for _, l := range e.lanes {
+		l.CatchUp(e.intervals)
+	}
+}
+
+// collect merges the per-lane devices and controllers into the Result, in
+// bank order. The per-bank interval statistics merge exactly: each lane's
+// device counts one bank-interval per boundary, so the sums, counts, and
+// maxima add up to what one multi-bank device would have recorded.
+func (e *runEnv) collect() Result {
 	res := e.res
-	res.TotalActs = ds.Activates
-	res.AttackerActs = attackerActs // attacker accesses are all misses
-	res.ExtraActs = cs.ActN + cs.ActNOne + cs.RefreshRow
+	var sumIA, seenIA uint64
+	for b, l := range e.lanes {
+		ds := l.Device().Stats()
+		cs := l.Stats()
+		res.TotalActs += ds.Activates
+		res.ExtraActs += cs.ActN + cs.ActNOne + cs.RefreshRow
+		res.Flips += len(l.Device().Flips())
+		if ds.MaxActsInIntv > res.MaxActsPerInterval {
+			res.MaxActsPerInterval = ds.MaxActsInIntv
+		}
+		sumIA += ds.IntervalActsSum
+		seenIA += ds.IntervalActsSeen
+		res.DroppedCmds += cs.DroppedCmds
+		res.DelayedCmds += cs.DelayedCmds
+		if h := e.harnesses[b]; h != nil {
+			res.InjectedFaults += h.Injected
+		}
+		res.FalseActs += e.falseActs[b].n
+	}
+	res.AttackerActs = e.st.attackerAccesses // attacker accesses are all misses
 	if res.TotalActs > 0 {
 		res.OverheadPct = 100 * float64(res.ExtraActs) / float64(res.TotalActs)
 		res.FPRPct = 100 * float64(res.FalseActs) / float64(res.TotalActs)
 	}
-	res.Flips = len(e.dev.Flips())
-	if e.mit != nil {
-		res.TableBytes = e.mit.TableBytesPerBank()
+	if e.mit0 != nil {
+		res.TableBytes = e.mit0.TableBytesPerBank()
 	}
-	res.AvgActsPerInterval = ds.AvgActsPerInterval()
-	res.MaxActsPerInterval = ds.MaxActsInIntv
-	if e.harness != nil {
-		res.InjectedFaults = e.harness.Injected
+	if seenIA > 0 {
+		res.AvgActsPerInterval = float64(sumIA) / float64(seenIA)
 	}
-	res.DroppedCmds = cs.DroppedCmds
-	res.DelayedCmds = cs.DelayedCmds
 	return res
 }
 
@@ -426,30 +605,28 @@ func techniqueName(m mitigation.Mitigator) string {
 }
 
 // stream interleaves the SPEC-like mix with the attacker at the
-// configured share. It exposes the same generated access sequence through
-// two drivers: next (one access per call, the protocol RunIntervals and
-// the trace recorder use) and Fill (memctrl.AccessSource, one batch per
-// call). Generation reads only the stream's own RNG and generators — never
-// device or controller state — which is the property that makes batched
-// and unbatched dispatch produce byte-identical results on any consumed
-// prefix.
+// configured share. Generation reads only the stream's own RNG and
+// generators — never device or lane state — which is the property that
+// makes every dispatch strategy (reference, blocked, sharded) produce
+// byte-identical results: they all consume this one sequence.
 type stream struct {
 	att     *workload.Attacker
-	mix     *workload.Mix
+	mix     *workload.SpecMixGen
 	src     *rng.XorShift64Star
 	shareFP uint64
-	// attackerAccesses counts attacker-issued accesses handed out through
-	// next. The batched path counts at dispatch instead (Access.Tagged →
-	// Stats.TaggedAccesses), so the unserviced tail of a final batch is
-	// excluded exactly.
+	// attackerAccesses counts attacker-issued accesses at generation;
+	// every generated access is serviced (the run length is a fixed
+	// access count), so generation-time counting is exact for every
+	// driver.
 	attackerAccesses uint64
 }
 
-func newStream(cfg Config) (*stream, error) {
-	st := &stream{mix: workload.SPECMix(cfg.Params.Banks, cfg.Params.RowsPerBank, cfg.Seed)}
+func newStream(cfg Config, api int) (*stream, error) {
+	st := &stream{mix: workload.NewSpecMixGen(cfg.Params.Banks, cfg.Params.RowsPerBank, cfg.Seed)}
 	if len(cfg.AttackBanks) > 0 && cfg.AttackShare > 0 {
-		// Plan the ramp over the expected activation volume.
-		planned := uint64(float64(cfg.Windows*cfg.Params.RefInt) * 200 * cfg.AttackShare)
+		// Plan the ramp over the attacker's exact share of the run's
+		// fixed access count, so the ramp completes as the run ends.
+		planned := uint64(float64(cfg.Windows*cfg.Params.RefInt*api) * cfg.AttackShare)
 		if planned == 0 {
 			planned = 1
 		}
@@ -476,54 +653,44 @@ func newStream(cfg Config) (*stream, error) {
 }
 
 // gen produces the next access of the interleaved sequence and reports
-// whether the attacker issued it. Both drivers funnel through it, so they
-// consume one generation sequence. The attacker-share draw is skipped
-// entirely without an attacker, matching the seed's short-circuit.
+// whether the attacker issued it. All drivers funnel through it (directly
+// or via fill), so they consume one generation sequence. The
+// attacker-share draw is skipped entirely without an attacker.
 func (st *stream) gen() (a workload.Access, attacker bool) {
 	if st.att != nil && st.src.Uint64()&0xffffffff < st.shareFP {
+		st.attackerAccesses++
 		return st.att.Next(), true
 	}
 	return st.mix.Next(), false
 }
 
-// next is the unbatched driver protocol (memctrl.RunIntervals and the
-// trace recorder call it once per access).
-func (st *stream) next() (bank, row int, write bool) {
-	a, attacker := st.gen()
-	if attacker {
-		st.attackerAccesses++
-	}
-	return a.Bank, a.Row, a.Write
-}
-
-// Fill implements memctrl.AccessSource: one generator call per slot,
-// attacker accesses tagged for dispatch-time counting.
-func (st *stream) Fill(buf []memctrl.Access) int {
-	for i := range buf {
-		a, attacker := st.gen()
-		buf[i] = memctrl.Access{
-			Bank: int32(a.Bank), Row: int32(a.Row),
-			Write: a.Write, Tagged: attacker,
+// fill writes the next n accesses into the block's flat arrays. It is
+// gen() unrolled against the arrays directly — same draws, same stream —
+// so the block fill path skips the per-access Access round trip (and its
+// flag reassembly) that Block.Set would cost.
+func (st *stream) fill(blk *workload.Block, n int) {
+	blk.Reset(n)
+	banks, rows, flags := blk.Bank[:n], blk.Row[:n], blk.Flag[:n]
+	att, mix, src, shareFP := st.att, st.mix, st.src, st.shareFP
+	var attacked uint64
+	for i := 0; i < n; i++ {
+		var a workload.Access
+		var f uint8
+		if att != nil && src.Uint64()&0xffffffff < shareFP {
+			attacked++
+			a = att.Next()
+			f = workload.FlagAttacker
+		} else {
+			a = mix.Next()
 		}
+		if a.Write {
+			f |= workload.FlagWrite
+		}
+		banks[i] = int32(a.Bank)
+		rows[i] = int32(a.Row)
+		flags[i] = f
 	}
-	return len(buf)
-}
-
-// tickingSource wraps an AccessSource to record one heartbeat tick per
-// Fill. The batched driver calls Fill once per batch, so the tick rate is
-// the batch rate — frequent enough for a meaningful stall watchdog,
-// cheap enough (two atomic stores per ~512 accesses) to never show up in
-// the hot-path profile. Generation still does not depend on device or
-// controller state: the wrapper only observes the call, never the data.
-type tickingSource struct {
-	inner memctrl.AccessSource
-	hb    *Heartbeat
-}
-
-// Fill implements memctrl.AccessSource.
-func (t *tickingSource) Fill(buf []memctrl.Access) int {
-	t.hb.Tick()
-	return t.inner.Fill(buf)
+	st.attackerAccesses += attacked
 }
 
 func remapPerm(rows, swaps int, seed uint64) []int {

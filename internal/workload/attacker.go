@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"tivapromi/internal/rng"
 )
@@ -13,6 +14,10 @@ import (
 // CLFLUSH, each one reaches DRAM; aggressors are visited round-robin, so
 // consecutive accesses hit different rows and every access is a row
 // activation.
+//
+// The per-access path is division-free: the ramp position and the burst
+// rotation are tracked as countdown state updated in place, so Next costs
+// a handful of compares and increments rather than two 64-bit divisions.
 type Attacker struct {
 	cfg AttackerConfig
 
@@ -22,10 +27,32 @@ type Attacker struct {
 	victims    [][]int
 	conflict   []int // per-bank dummy row forcing row conflicts when k == 1
 
+	// The attacker dwells on one victim's aggressor pair per bank for a
+	// whole burst (tens of thousands of accesses), alternating two rows by
+	// access parity. pairEven/pairOdd cache those two rows per bank index,
+	// refreshed only when the dwell target changes (ramp growth or burst
+	// rotation), so the per-access path is a parity test and one load
+	// instead of re-deriving the rotation window and double-indexing the
+	// aggressor schedule.
+	tb       []int // cfg.TargetBanks, local for the hot path
+	pairEven []int
+	pairOdd  []int
+
 	issued uint64
 	pos    int // round-robin cursor
 	bankAt int // round-robin over targeted banks
+	nBanks int
 	src    *rng.XorShift64Star
+
+	// Ramp and burst state, kept incrementally so the hot path never
+	// divides. curK == MinAggressors + span*issued/PlannedAccesses (capped)
+	// at every access, and vi == (pos/BurstAccesses) % nv.
+	curK      int
+	nextRamp  uint64 // issued count at which curK next grows
+	nv        int    // victims covered by curK aggressor rows
+	vi        int    // victim index currently being hammered
+	burstIdx  uint64 // pos / BurstAccesses
+	burstLeft uint64 // accesses until burstIdx advances
 }
 
 // AttackerConfig describes the attack campaign.
@@ -94,6 +121,7 @@ func NewAttacker(cfg AttackerConfig) (*Attacker, error) {
 		aggressors: make([][]int, len(cfg.TargetBanks)),
 		victims:    make([][]int, len(cfg.TargetBanks)),
 		conflict:   make([]int, len(cfg.TargetBanks)),
+		nBanks:     len(cfg.TargetBanks),
 		src:        rng.NewXorShift64Star(cfg.Seed ^ 0xa77ac8),
 	}
 	nVictims := (cfg.MaxAggressors + 1) / 2
@@ -109,7 +137,59 @@ func NewAttacker(cfg AttackerConfig) (*Attacker, error) {
 		a.aggressors[b] = a.aggressors[b][:cfg.MaxAggressors]
 		a.conflict[b] = (offset + nVictims*stride + stride/2) % cfg.RowsPerBank
 	}
+	a.curK = cfg.MinAggressors
+	a.nv = (a.curK + 1) / 2
+	a.nextRamp = a.rampAt(1)
+	a.burstLeft = cfg.BurstAccesses
+	a.tb = append([]int(nil), cfg.TargetBanks...)
+	a.pairEven = make([]int, a.nBanks)
+	a.pairOdd = make([]int, a.nBanks)
+	a.refreshPairs()
 	return a, nil
+}
+
+// rampAt returns the issued count at which the ramp reaches
+// MinAggressors+j: the smallest issued with span*issued/Planned >= j.
+func (a *Attacker) rampAt(j int) uint64 {
+	span := uint64(a.cfg.MaxAggressors - a.cfg.MinAggressors + 1)
+	return (uint64(j)*a.cfg.PlannedAccesses + span - 1) / span
+}
+
+// advanceRamp catches curK up with the analytic ramp position.
+func (a *Attacker) advanceRamp() {
+	for a.issued >= a.nextRamp && a.curK < a.cfg.MaxAggressors {
+		a.curK++
+		a.nv = (a.curK + 1) / 2
+		a.vi = int(a.burstIdx % uint64(a.nv))
+		a.nextRamp = a.rampAt(a.curK - a.cfg.MinAggressors + 1)
+	}
+	a.refreshPairs()
+}
+
+// refreshPairs recomputes the cached per-bank (even, odd) dwell rows from
+// the current ramp position and rotation index. Called only when those
+// change — once per ramp step and once per burst.
+func (a *Attacker) refreshPairs() {
+	k := a.curK
+	for b := range a.tb {
+		var even, odd int
+		if k == 1 {
+			// Alternate the single aggressor and a conflict row.
+			even, odd = a.aggressors[b][0], a.conflict[b]
+		} else {
+			lo := 2 * a.vi
+			hi := lo + 2
+			if hi > k {
+				hi = k // odd k: the last victim is hammered single-sided
+			}
+			if hi-lo == 1 {
+				even, odd = a.aggressors[b][lo], a.conflict[b]
+			} else {
+				even, odd = a.aggressors[b][lo], a.aggressors[b][lo+1]
+			}
+		}
+		a.pairEven[b], a.pairOdd[b] = even, odd
+	}
 }
 
 // Name implements Generator.
@@ -133,47 +213,34 @@ func (a *Attacker) ActiveAggressors() int {
 // with a conflict row so each hammer still causes an activation under an
 // open-page controller.
 func (a *Attacker) Next() Access {
-	k := a.ActiveAggressors()
+	if a.issued >= a.nextRamp && a.curK < a.cfg.MaxAggressors {
+		a.advanceRamp()
+	}
 	a.issued++
 	b := a.bankAt
-	a.bankAt = (a.bankAt + 1) % len(a.cfg.TargetBanks)
+	a.bankAt++
+	if a.bankAt == a.nBanks {
+		a.bankAt = 0
+	}
 	if b == 0 {
 		a.pos++
-	}
-	return a.accessFor(b, k)
-}
-
-func (a *Attacker) accessFor(b, k int) Access {
-	bank := a.cfg.TargetBanks[b]
-	if k == 1 {
-		// Alternate the single aggressor and a conflict row.
-		if a.pos&1 == 0 {
-			return Access{Bank: bank, Row: a.aggressors[b][0]}
+		a.burstLeft--
+		if a.burstLeft == 0 {
+			a.burstLeft = a.cfg.BurstAccesses
+			a.burstIdx++
+			a.vi = int(a.burstIdx % uint64(a.nv))
+			a.refreshPairs()
 		}
-		return Access{Bank: bank, Row: a.conflict[b]}
 	}
-	// Sequential hammering: burst on one victim's pair, then rotate.
-	nv := (k + 1) / 2 // victims covered by k aggressor rows
-	vi := int(uint64(a.pos) / a.cfg.BurstAccesses % uint64(nv))
-	lo := 2 * vi
-	hi := lo + 2
-	if hi > k {
-		hi = k // odd k: the last victim is hammered single-sided
+	if a.pos&1 == 0 {
+		return Access{Bank: a.tb[b], Row: a.pairEven[b]}
 	}
-	pair := a.aggressors[b][lo:hi]
-	if len(pair) == 1 {
-		if a.pos&1 == 0 {
-			return Access{Bank: bank, Row: pair[0]}
-		}
-		return Access{Bank: bank, Row: a.conflict[b]}
-	}
-	return Access{Bank: bank, Row: pair[a.pos&1]}
+	return Access{Bank: a.tb[b], Row: a.pairOdd[b]}
 }
 
 // EachAggressor calls fn for every (bank, row) the campaign will ever
 // hammer, in deterministic order. The simulation harness uses it to build
-// its dense classification bitset without materializing the map
-// AggressorSet returns.
+// its dense classification bitset without materializing a set.
 func (a *Attacker) EachAggressor(fn func(bank, row int)) {
 	for b, bank := range a.cfg.TargetBanks {
 		for _, r := range a.aggressors[b] {
@@ -182,25 +249,44 @@ func (a *Attacker) EachAggressor(fn func(bank, row int)) {
 	}
 }
 
-// AggressorSet returns every (bank, row) the campaign will ever hammer,
-// the ground truth used for false-positive accounting.
-func (a *Attacker) AggressorSet() map[[2]int]bool {
-	set := make(map[[2]int]bool)
-	for b, bank := range a.cfg.TargetBanks {
-		for _, r := range a.aggressors[b] {
-			set[[2]int{bank, r}] = true
-		}
-	}
-	return set
+// RowAddr identifies one row within one bank.
+type RowAddr struct {
+	Bank int
+	Row  int
 }
 
-// VictimSet returns every victim (bank, row) of the campaign.
-func (a *Attacker) VictimSet() map[[2]int]bool {
-	set := make(map[[2]int]bool)
+// Aggressors returns every (bank, row) the campaign will ever hammer —
+// the ground truth used for false-positive accounting — sorted by bank
+// then row. The slice is freshly allocated; callers may keep it.
+func (a *Attacker) Aggressors() []RowAddr {
+	out := make([]RowAddr, 0, len(a.cfg.TargetBanks)*a.cfg.MaxAggressors)
 	for b, bank := range a.cfg.TargetBanks {
-		for _, v := range a.victims[b] {
-			set[[2]int{bank, v}] = true
+		for _, r := range a.aggressors[b] {
+			out = append(out, RowAddr{Bank: bank, Row: r})
 		}
 	}
-	return set
+	sortRowAddrs(out)
+	return out
+}
+
+// Victims returns every victim (bank, row) of the campaign, sorted by
+// bank then row.
+func (a *Attacker) Victims() []RowAddr {
+	out := make([]RowAddr, 0, len(a.cfg.TargetBanks)*len(a.victims[0]))
+	for b, bank := range a.cfg.TargetBanks {
+		for _, v := range a.victims[b] {
+			out = append(out, RowAddr{Bank: bank, Row: v})
+		}
+	}
+	sortRowAddrs(out)
+	return out
+}
+
+func sortRowAddrs(s []RowAddr) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Bank != s[j].Bank {
+			return s[i].Bank < s[j].Bank
+		}
+		return s[i].Row < s[j].Row
+	})
 }

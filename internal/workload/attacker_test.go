@@ -93,36 +93,80 @@ func TestAttackerHammersAggressorsRoundRobin(t *testing.T) {
 	for i := 0; i < 4000; i++ {
 		counts[a.Next().Row]++
 	}
-	agg := a.AggressorSet()
+	agg := a.Aggressors()
 	if len(agg) != 4 {
 		t.Fatalf("aggressor set size %d, want 4", len(agg))
 	}
 	// Sequential bursts of 500 over two victim pairs: each of the four
 	// aggressor rows gets two 250-access half-bursts in 4000 accesses.
-	for key := range agg {
-		if counts[key[1]] < 600 {
-			t.Fatalf("aggressor row %d hammered only %d times", key[1], counts[key[1]])
+	for _, ra := range agg {
+		if counts[ra.Row] < 600 {
+			t.Fatalf("aggressor row %d hammered only %d times", ra.Row, counts[ra.Row])
 		}
 	}
 }
 
+func victimLookup(a *Attacker) map[RowAddr]bool {
+	set := map[RowAddr]bool{}
+	for _, v := range a.Victims() {
+		set[v] = true
+	}
+	return set
+}
+
 func TestAggressorsAreVictimNeighbors(t *testing.T) {
 	a := testAttacker(t, 1000)
-	victims := a.VictimSet()
-	for key := range a.AggressorSet() {
-		bank, row := key[0], key[1]
-		if !victims[[2]int{bank, row - 1}] && !victims[[2]int{bank, row + 1}] {
-			t.Fatalf("aggressor (b%d, r%d) not adjacent to any victim", bank, row)
+	victims := victimLookup(a)
+	for _, ra := range a.Aggressors() {
+		if !victims[RowAddr{ra.Bank, ra.Row - 1}] && !victims[RowAddr{ra.Bank, ra.Row + 1}] {
+			t.Fatalf("aggressor (b%d, r%d) not adjacent to any victim", ra.Bank, ra.Row)
 		}
 	}
 }
 
 func TestAggressorSetsDisjointFromVictims(t *testing.T) {
 	a := testAttacker(t, 1000)
-	victims := a.VictimSet()
-	for key := range a.AggressorSet() {
-		if victims[key] {
-			t.Fatalf("row %v is both aggressor and victim", key)
+	victims := victimLookup(a)
+	for _, ra := range a.Aggressors() {
+		if victims[ra] {
+			t.Fatalf("row %v is both aggressor and victim", ra)
+		}
+	}
+}
+
+func TestAggressorAccessorsSortedAndDeterministic(t *testing.T) {
+	a := testAttacker(t, 1000)
+	for name, s := range map[string][]RowAddr{"aggressors": a.Aggressors(), "victims": a.Victims()} {
+		if len(s) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i].Bank < s[i-1].Bank ||
+				(s[i].Bank == s[i-1].Bank && s[i].Row <= s[i-1].Row) {
+				t.Fatalf("%s not strictly sorted at %d: %v then %v", name, i, s[i-1], s[i])
+			}
+		}
+	}
+	b := testAttacker(t, 1000)
+	got, want := a.Aggressors(), b.Aggressors()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("aggressor list not deterministic at %d", i)
+		}
+	}
+}
+
+func TestAttackerMatchesEachAggressor(t *testing.T) {
+	a := testAttacker(t, 1000)
+	seen := map[RowAddr]bool{}
+	a.EachAggressor(func(bank, row int) { seen[RowAddr{bank, row}] = true })
+	agg := a.Aggressors()
+	if len(seen) != len(agg) {
+		t.Fatalf("EachAggressor saw %d rows, Aggressors has %d", len(seen), len(agg))
+	}
+	for _, ra := range agg {
+		if !seen[ra] {
+			t.Fatalf("Aggressors has %v, EachAggressor never visited it", ra)
 		}
 	}
 }
@@ -143,9 +187,9 @@ func TestAttackerReachesHammerRate(t *testing.T) {
 	for i := 0; i < n; i++ {
 		perRow[a.Next().Row]++
 	}
-	for key := range a.AggressorSet() {
-		if perRow[key[1]] < n/2-1000 {
-			t.Fatalf("aggressor %d got %d of %d accesses", key[1], perRow[key[1]], n)
+	for _, ra := range a.Aggressors() {
+		if perRow[ra.Row] < n/2-1000 {
+			t.Fatalf("aggressor %d got %d of %d accesses", ra.Row, perRow[ra.Row], n)
 		}
 	}
 }

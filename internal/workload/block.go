@@ -1,0 +1,79 @@
+package workload
+
+// Block is a reusable struct-of-arrays access buffer: the unit of trace
+// generation for the flat simulation pipeline. Generators fill a Block in
+// one pass; the memory-controller lanes then scan its parallel arrays
+// without touching Access structs or interfaces, and shard workers can
+// scan the same Block concurrently because filling and servicing never
+// overlap.
+type Block struct {
+	Bank []int32
+	Row  []int32
+	Flag []uint8
+	// N is the number of valid entries; the slices may have extra
+	// capacity beyond it.
+	N int
+}
+
+// Flag bits for Block.Flag.
+const (
+	// FlagWrite marks a write access.
+	FlagWrite uint8 = 1 << 0
+	// FlagAttacker marks an access issued by the attacker rather than
+	// the benign workload.
+	FlagAttacker uint8 = 1 << 1
+)
+
+// NewBlock returns a block with capacity for n accesses.
+func NewBlock(n int) *Block {
+	b := &Block{}
+	b.Reset(n)
+	return b
+}
+
+// Reset sizes the block for n accesses, growing the arrays if needed.
+// Existing contents are not cleared; every slot [0, n) must be written
+// before it is read.
+func (b *Block) Reset(n int) {
+	if cap(b.Bank) < n {
+		b.Bank = make([]int32, n)
+		b.Row = make([]int32, n)
+		b.Flag = make([]uint8, n)
+	}
+	b.Bank = b.Bank[:n]
+	b.Row = b.Row[:n]
+	b.Flag = b.Flag[:n]
+	b.N = n
+}
+
+// Set stores access a at slot i.
+func (b *Block) Set(i int, a Access, attacker bool) {
+	b.Bank[i] = int32(a.Bank)
+	b.Row[i] = int32(a.Row)
+	var f uint8
+	if a.Write {
+		f = FlagWrite
+	}
+	if attacker {
+		f |= FlagAttacker
+	}
+	b.Flag[i] = f
+}
+
+// At reconstructs the access at slot i (tests and debugging; the hot
+// path reads the arrays directly).
+func (b *Block) At(i int) Access {
+	return Access{
+		Bank:  int(b.Bank[i]),
+		Row:   int(b.Row[i]),
+		Write: b.Flag[i]&FlagWrite != 0,
+	}
+}
+
+// FillBlock fills b with the next n accesses from g.
+func FillBlock(g Generator, b *Block, n int) {
+	b.Reset(n)
+	for i := 0; i < n; i++ {
+		b.Set(i, g.Next(), false)
+	}
+}

@@ -17,6 +17,12 @@ import (
 	"tivapromi/internal/rng"
 )
 
+// carve32 reduces 32 bits of entropy to a uniform value in [0, n) with
+// the same multiply-shift reduction rng.Intn uses, letting a generator
+// split one 64-bit draw into several independent fields instead of
+// drawing once per field.
+func carve32(x uint32, n int) int { return int(uint64(x) * uint64(n) >> 32) }
+
 // Access is one DRAM-level access.
 type Access struct {
 	Bank  int
@@ -48,12 +54,16 @@ func NewUniform(banks, rows int, seed uint64) *Uniform {
 // Name implements Generator.
 func (u *Uniform) Name() string { return "uniform" }
 
-// Next implements Generator.
+// Next implements Generator. One draw per access: the bank is reduced
+// from the high word, the row from the low word, and the write bit from
+// the low bits of the high word — bits the bank reduction (a multiply-
+// shift, dominated by the word's top bits) barely consults.
 func (u *Uniform) Next() Access {
+	x := u.src.Uint64()
 	return Access{
-		Bank:  rng.Intn(u.src, u.banks),
-		Row:   rng.Intn(u.src, u.rows),
-		Write: u.src.Uint64()&7 == 0, // ~12% writes
+		Bank:  carve32(uint32(x>>32), u.banks),
+		Row:   carve32(uint32(x), u.rows),
+		Write: (x>>32)&7 == 0, // ~12% writes
 	}
 }
 
@@ -138,24 +148,32 @@ func NewHotCold(banks, rows, hotSet int, hotFrac float64, seed uint64) *HotCold 
 // Name implements Generator.
 func (h *HotCold) Name() string { return "hotcold" }
 
-// Next implements Generator.
+// Next implements Generator. Two draws per access: the first carries the
+// write bit (low bits) and the hot/cold decision (high word); the second
+// either picks the hot-set index or scatters over the cold space.
 func (h *HotCold) Next() Access {
-	write := h.src.Uint64()&7 < 2 // 25% writes
-	if h.src.Uint64()&0xffffffff < h.hotWeight {
+	x := h.src.Uint64()
+	write := x&7 < 2 // 25% writes
+	if x>>32 < h.hotWeight {
 		// Strong preference for low hot-set indices (minimum of three
-		// draws), giving a few very hot rows — the head of the Zipf-like
-		// popularity curve real traces show.
-		i := rng.Intn(h.src, len(h.hotRows))
-		for k := 0; k < 2; k++ {
-			if j := rng.Intn(h.src, len(h.hotRows)); j < i {
-				i = j
-			}
+		// independent 21-bit lanes of one draw), giving a few very hot
+		// rows — the head of the Zipf-like popularity curve real traces
+		// show.
+		y := h.src.Uint64()
+		n := uint64(len(h.hotRows))
+		i := (y & 0x1fffff) * n >> 21
+		if j := (y >> 21 & 0x1fffff) * n >> 21; j < i {
+			i = j
+		}
+		if j := (y >> 42 & 0x1fffff) * n >> 21; j < i {
+			i = j
 		}
 		return Access{Bank: int(h.hotBanks[i]), Row: int(h.hotRows[i]), Write: write}
 	}
+	y := h.src.Uint64()
 	return Access{
-		Bank:  rng.Intn(h.src, h.banks),
-		Row:   rng.Intn(h.src, h.rows),
+		Bank:  carve32(uint32(y>>32), h.banks),
+		Row:   carve32(uint32(y), h.rows),
 		Write: write,
 	}
 }
@@ -189,11 +207,14 @@ func NewStencil(banks, rows, span int, seed uint64) *Stencil {
 // Name implements Generator.
 func (s *Stencil) Name() string { return "stencil" }
 
-// Next implements Generator.
+// Next implements Generator. One draw per access carries the halo choice
+// and the write bit in disjoint low bits; only the rare band move at the
+// end of a sweep draws again.
 func (s *Stencil) Next() Access {
 	// Visit pos, with occasional touches of pos±1 (the stencil halo).
 	row := s.base + s.pos
-	switch s.src.Uint64() & 7 {
+	x := s.src.Uint64()
+	switch x & 7 {
 	case 0:
 		if row+1 < s.rows {
 			row++
@@ -213,7 +234,7 @@ func (s *Stencil) Next() Access {
 			s.bank = rng.Intn(s.src, s.banks)
 		}
 	}
-	return Access{Bank: s.bank, Row: row, Write: s.src.Uint64()&1 == 0}
+	return Access{Bank: s.bank, Row: row, Write: x>>3&1 == 0}
 }
 
 // Mix interleaves several generators with integer weights, modeling the

@@ -271,6 +271,14 @@ func RunSimulationBatch(ctx context.Context, cfg SimConfig, technique string, ba
 	return sim.RunCtxBatch(ctx, cfg, technique, batch)
 }
 
+// RunSimulationSharded is RunSimulation with the per-bank lane servicing
+// fanned out over `shards` goroutines (clamped to the bank count; <= 1
+// runs serial). Sharding is purely a latency knob: the simulated
+// behavior is byte-identical at any shard count.
+func RunSimulationSharded(ctx context.Context, cfg SimConfig, technique string, shards int) (SimResult, error) {
+	return sim.RunShardedCtx(ctx, cfg, technique, shards)
+}
+
 // RunSeeds executes RunSimulation across seeds in parallel and aggregates
 // mean ± stddev.
 func RunSeeds(cfg SimConfig, technique string, seeds []uint64) (SimSummary, error) {
