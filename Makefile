@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath experiments examples fig4 serve serve-smoke clean
+.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath bench-scale experiments examples fig4 serve serve-smoke clean
 
 all: build vet test
 
@@ -54,6 +54,17 @@ bench:
 BENCH_MIN_SPEEDUP ?= 0
 bench-campaign:
 	$(GO) run ./cmd/experiments -seeds 2 -windows 2 -trials 5 -bench-min-speedup $(BENCH_MIN_SPEEDUP) bench
+
+# Scale-out gate: simulate the full-DIMM geometry (32 banks, 2M rows)
+# with the sparse per-row state and assert the memory bounds (state <=
+# dense/8, live-heap growth <= dense/2), then time a multi-worker seed
+# sweep serial vs parallel with a byte-identity check. Both measurements
+# fold into BENCH_campaign.json under "scale". A single-CPU host cannot
+# substantiate a speedup claim, so the run refuses unless
+# ALLOW_SINGLE_CPU=1 records the timings with speedup_claimed=false.
+ALLOW_SINGLE_CPU ?=
+bench-scale:
+	$(GO) run ./cmd/experiments $(if $(ALLOW_SINGLE_CPU),-allow-single-cpu) -windows 8 -bench-min-speedup $(BENCH_MIN_SPEEDUP) scale
 
 # Hot-path benchmark harness: per-technique activation-path ns/act and
 # allocs/act (with the serial-LFSR "before" reference), plus the full

@@ -30,6 +30,15 @@
 //	                               result-equality checks, written to
 //	                               BENCH_hotpath.json (optionally with
 //	                               pprof CPU/heap profiles)
+//	experiments scale            — scale-out gate: simulate a full-DIMM
+//	                               geometry (sparse state, heap bounded by
+//	                               touched rows, asserted) and time a
+//	                               multi-worker seed sweep serial vs
+//	                               parallel, folding both measurements into
+//	                               BENCH_campaign.json. On a single-CPU
+//	                               host the speedup claim is withheld
+//	                               (speedup_claimed=false) and the command
+//	                               refuses to run without -allow-single-cpu
 //	experiments serve            — long-running multi-tenant campaign server:
 //	                               HTTP/JSON campaign submission, per-tenant
 //	                               fair queuing and admission control over one
@@ -54,6 +63,19 @@
 //	-checkpoint PATH  persist per-seed and per-probe results (and finished
 //	                  sections) to a JSON checkpoint; a killed run re-uses
 //	                  them on restart
+//	-checkpoint-shards N
+//	                  with -checkpoint: use the sharded directory layout —
+//	                  PATH becomes a directory of N per-cell-group shard
+//	                  files and a flush rewrites only the shards that
+//	                  changed (an existing directory's on-disk count wins)
+//	-geometry RxGxBxROWS
+//	                  override the device geometry as
+//	                  ranks x bank-groups x banks x rows-per-bank
+//	                  (e.g. 1x8x4x65536); geometries of >= 2M rows
+//	                  automatically use the sparse per-row state
+//	-allow-single-cpu bench/scale: run on a single-CPU host anyway,
+//	                  recording timings with speedup_claimed=false instead
+//	                  of refusing
 //	-resume           with -checkpoint: also replay fully finished sections
 //	                  from the checkpoint instead of recomputing them
 //	-workers N        bound the campaign's concurrent simulations (default
@@ -133,7 +155,10 @@ var (
 	csvOut    = flag.Bool("csv", false, "print Fig. 4 as CSV too")
 	svgOut    = flag.String("svg", "", "also write Fig. 4 as an SVG file at this path")
 	ckptPath  = flag.String("checkpoint", "", "JSON checkpoint path for resumable campaigns")
+	ckptShard = flag.Int("checkpoint-shards", 0, "with -checkpoint: sharded directory layout with this many shard files (0 = single file)")
 	resume    = flag.Bool("resume", false, "with -checkpoint: replay finished sections from the checkpoint")
+	geomF     = flag.String("geometry", "", "device geometry ranks x groups x banks x rows, e.g. 1x8x4x65536")
+	allow1cpu = flag.Bool("allow-single-cpu", false, "bench/scale: record timings on a single-CPU host with speedup_claimed=false")
 	workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	shardsF   = flag.Int("shards", 0, "bank-sharding goroutines inside each simulation (0/1 = serial; results are identical at any value)")
 	timeout   = flag.Duration("timeout", 0, "per-run deadline for one simulation (0 = none)")
@@ -173,6 +198,9 @@ type app struct {
 	// benchMinSpeedup, when > 0, fails `bench` if the parallel run's
 	// speedup over the serial run is below it on a multi-core host.
 	benchMinSpeedup float64
+	// allowSingleCPU lets bench/scale run on a single-CPU host, recording
+	// timings with the speedup claim withheld instead of refusing.
+	allowSingleCPU bool
 }
 
 // sectionNames returns the registry's section names in paper order.
@@ -361,6 +389,49 @@ type benchReport struct {
 	ParallelSeconds float64 `json:"parallel_seconds"`
 	Speedup         float64 `json:"speedup"`
 	Identical       bool    `json:"identical"`
+	// SpeedupClaimed is false when the timings were taken on a
+	// single-CPU host: the numbers are recorded for completeness but a
+	// parallel-scaling claim cannot be substantiated without cores to
+	// overlap work on. Gating consumers must check this, not Speedup.
+	SpeedupClaimed bool `json:"speedup_claimed"`
+	// Scale is `experiments scale`'s section: full-DIMM sparse-state
+	// footprint plus the multi-worker sweep timings.
+	Scale *scaleSection `json:"scale,omitempty"`
+}
+
+// scaleSection is what `experiments scale` folds into the campaign
+// benchmark report.
+type scaleSection struct {
+	sim.ScaleSmokeReport
+	CPUs            int     `json:"cpus"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	SweepSeeds      int     `json:"sweep_seeds"`
+	WorkersParallel int     `json:"workers_parallel"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	Identical       bool    `json:"identical"`
+	SpeedupClaimed  bool    `json:"speedup_claimed"`
+}
+
+// loadBenchReport reads an existing report at path so bench and scale
+// can each update their own fields without clobbering the other's. A
+// missing or unparseable file starts fresh.
+func loadBenchReport(path string) benchReport {
+	var rep benchReport
+	if raw, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(raw, &rep)
+	}
+	return rep
+}
+
+// writeBenchReport writes the report as indented JSON.
+func writeBenchReport(path string, rep benchReport) error {
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
 // bench runs the whole evaluation twice — serial and parallel — with no
@@ -372,9 +443,16 @@ func (a *app) bench(ctx context.Context, path string) error {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if runtime.NumCPU() == 1 {
+	single := runtime.NumCPU() == 1
+	if single {
+		// A single-CPU host cannot overlap work, so any speedup number it
+		// produces is noise. Refuse to record one silently: the operator
+		// must opt in, and the report then carries speedup_claimed=false.
+		if !a.allowSingleCPU {
+			return fmt.Errorf("bench: single-CPU host cannot substantiate a parallel speedup claim; rerun on >= 2 CPUs or pass -allow-single-cpu to record timings with speedup_claimed=false")
+		}
 		fmt.Fprintln(os.Stderr,
-			"experiments: bench on a single-CPU host: the parallel run cannot overlap work, expect speedup ≈ 1")
+			"experiments: bench on a single-CPU host: the parallel run cannot overlap work; recording speedup_claimed=false")
 	}
 	run := func(workers int) (string, time.Duration, error) {
 		var buf bytes.Buffer
@@ -416,12 +494,10 @@ func (a *app) bench(ctx context.Context, path string) error {
 		ParallelSeconds: parDur.Seconds(),
 		Speedup:         serialDur.Seconds() / parDur.Seconds(),
 		Identical:       serialOut == parOut,
+		SpeedupClaimed:  !single,
+		Scale:           loadBenchReport(path).Scale, // keep `scale`'s section
 	}
-	raw, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+	if err := writeBenchReport(path, rep); err != nil {
 		return err
 	}
 	// The CPU count leads the summary: a speedup number is meaningless
@@ -437,6 +513,123 @@ func (a *app) bench(ctx context.Context, path string) error {
 			rep.Speedup, rep.CPUs, a.benchMinSpeedup)
 	}
 	return nil
+}
+
+// scale is the scale-out gate: simulate a full-DIMM geometry and assert
+// the sparse-state memory bounds, then time a multi-worker seed sweep
+// serial versus parallel with a byte-identity check, and fold both
+// measurements into the campaign benchmark report at path. Like bench,
+// it refuses to produce a speedup number on a single-CPU host unless
+// -allow-single-cpu marks the claim withheld.
+func (a *app) scale(ctx context.Context, path string, p dram.Params) error {
+	single := runtime.NumCPU() == 1
+	if single && !a.allowSingleCPU {
+		return fmt.Errorf("scale: single-CPU host cannot substantiate a parallel speedup claim; rerun on >= 2 CPUs or pass -allow-single-cpu to record timings with speedup_claimed=false")
+	}
+
+	smoke, err := sim.ScaleSmoke(ctx, sim.ScaleSmokeConfig(p), "PARA")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(a.stdout, "scale: geometry %s: %d banks, %d rows, sparse=%v\n",
+		smoke.Geometry, smoke.TotalBanks, smoke.TotalRows, smoke.Sparse)
+	fmt.Fprintf(a.stdout, "scale: touched %d/%d rows, state %d B vs dense %d B (%.1fx smaller), live heap +%d B, %d acts in %.2fs\n",
+		smoke.TouchedRows, smoke.TotalRows, smoke.StateBytes, smoke.DenseBytes,
+		float64(smoke.DenseBytes)/float64(smoke.StateBytes), smoke.HeapGrowth,
+		smoke.TotalActs, smoke.Seconds)
+	if err := smoke.Check(); err != nil {
+		return err
+	}
+	fmt.Fprintln(a.stdout, "scale: memory gate passed (state <= dense/8, heap growth <= dense/2)")
+
+	// Multi-worker sweep: the same seeds through the runner at one worker
+	// and at N, compared for byte-identical summaries. The sweep uses the
+	// evaluation's base config (seed-scale device), not the full DIMM —
+	// the campaign's unit of parallelism is the seed, and the point is
+	// worker-pool scaling, not device size.
+	par := a.workers
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	cfg := a.ev.Base
+	seeds := sim.Seeds(1, 4*par)
+	sweep := func(workers int) ([]byte, time.Duration, error) {
+		r := sim.NewRunner()
+		r.Config = a.runner.Config
+		r.Config.Workers = workers
+		start := time.Now()
+		sum, runErrs, err := r.RunSeeds(ctx, cfg, "PARA", seeds)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(runErrs) != 0 {
+			return nil, 0, fmt.Errorf("scale: sweep at %d worker(s): %d seed(s) failed: %v", workers, len(runErrs), runErrs[0])
+		}
+		dur := time.Since(start)
+		raw, err := json.Marshal(sum)
+		return raw, dur, err
+	}
+	serialSum, serialDur, err := sweep(1)
+	if err != nil {
+		return err
+	}
+	parSum, parDur, err := sweep(par)
+	if err != nil {
+		return err
+	}
+
+	sec := &scaleSection{
+		ScaleSmokeReport: smoke,
+		CPUs:             runtime.NumCPU(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		SweepSeeds:       len(seeds),
+		WorkersParallel:  par,
+		SerialSeconds:    serialDur.Seconds(),
+		ParallelSeconds:  parDur.Seconds(),
+		Speedup:          serialDur.Seconds() / parDur.Seconds(),
+		Identical:        bytes.Equal(serialSum, parSum),
+		SpeedupClaimed:   !single,
+	}
+	rep := loadBenchReport(path)
+	rep.Scale = sec
+	if err := writeBenchReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(a.stdout, "scale: cpus=%d sweep %d seeds, serial %.1fs, parallel(%d) %.1fs, speedup %.2fx (claimed=%v), identical %v — wrote %s\n",
+		sec.CPUs, sec.SweepSeeds, sec.SerialSeconds, par, sec.ParallelSeconds,
+		sec.Speedup, sec.SpeedupClaimed, sec.Identical, path)
+	if !sec.Identical {
+		return fmt.Errorf("scale: serial and parallel sweep summaries differ")
+	}
+	if a.benchMinSpeedup > 0 && sec.SpeedupClaimed && sec.Speedup < a.benchMinSpeedup {
+		return fmt.Errorf("scale: parallel speedup %.2fx on %d CPUs is below the -bench-min-speedup floor %.2f",
+			sec.Speedup, sec.CPUs, a.benchMinSpeedup)
+	}
+	return nil
+}
+
+// parseGeometry parses a ranks x groups x banks x rows spec like
+// "1x8x4x65536" into device parameters based on the full-DIMM defaults,
+// keeping the refresh interval a divisor of the row count.
+func parseGeometry(s string) (dram.Params, error) {
+	p := dram.FullDIMMParams()
+	var ranks, groups, banks, rows int
+	if n, err := fmt.Sscanf(s, "%dx%dx%dx%d", &ranks, &groups, &banks, &rows); n != 4 || err != nil {
+		return p, fmt.Errorf("geometry %q: want RANKSxGROUPSxBANKSxROWS, e.g. 1x8x4x65536", s)
+	}
+	p.Ranks, p.BankGroups, p.Banks, p.RowsPerBank = ranks, groups, banks, rows
+	if p.RefInt > 0 && rows%p.RefInt != 0 {
+		// Keep whole rows-per-interval; an eighth of the rows per window
+		// mirrors the default scale's proportions.
+		p.RefInt = rows / 8
+		if p.RefInt < 1 {
+			p.RefInt = 1
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return p, fmt.Errorf("geometry %q: %w", s, err)
+	}
+	return p, nil
 }
 
 // profile runs the hot-path benchmark harness (internal/hotpath) and
@@ -540,6 +733,13 @@ func main() {
 	if *paper {
 		ev.Base.Params = dram.PaperParams()
 	}
+	if *geomF != "" {
+		p, err := parseGeometry(*geomF)
+		if err != nil {
+			fatal(err)
+		}
+		ev.Base.Params = p
+	}
 	ev.SeedsPerPoint = *seeds
 	ev.Trials = *trials
 
@@ -548,13 +748,22 @@ func main() {
 	runner.Config.Shards = *shardsF
 	runner.Config.PerRunTimeout = *timeout
 	runner.Config.StallTimeout = *stall
-	if *ckptPath != "" {
+	switch {
+	case *ckptPath != "" && *ckptShard > 0:
+		ck, err := sim.LoadShardedCheckpoint(*ckptPath, *ckptShard)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Checkpoint = ck
+	case *ckptPath != "":
 		ck, err := sim.LoadCheckpoint(*ckptPath)
 		if err != nil {
 			fatal(err)
 		}
 		runner.Checkpoint = ck
-	} else if *resume {
+	case *ckptShard > 0:
+		fatal(fmt.Errorf("-checkpoint-shards requires -checkpoint"))
+	case *resume:
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
 	}
 
@@ -569,6 +778,7 @@ func main() {
 		stdout:          os.Stdout,
 		stderr:          os.Stderr,
 		benchMinSpeedup: *benchMin,
+		allowSingleCPU:  *allow1cpu,
 	}
 	if *progress {
 		a.progress = os.Stderr
@@ -586,6 +796,12 @@ func main() {
 		err = a.runSections(ctx, sectionNames())
 	case "bench":
 		err = a.bench(ctx, *benchOut)
+	case "scale":
+		p := dram.FullDIMMParams()
+		if *geomF != "" {
+			p = ev.Base.Params
+		}
+		err = a.scale(ctx, *benchOut, p)
 	case "chaos":
 		cfg := chaostest.Config{
 			Seed:    *chSeed,

@@ -1,0 +1,78 @@
+package addr
+
+import "testing"
+
+// geometries spanning the shapes the simulator cares about: the original
+// test shape, a flattened full-DIMM population (32 banks of 64K rows),
+// and a dual-channel dual-rank server shape.
+func pinGeometries() []Geometry {
+	return []Geometry{
+		{Channels: 1, Ranks: 1, Banks: 8, Rows: 1 << 12, Cols: 1 << 7, BusBytes: 64},
+		{Channels: 1, Ranks: 1, Banks: 32, Rows: 1 << 16, Cols: 1 << 7, BusBytes: 64},
+		{Channels: 2, Ranks: 2, Banks: 16, Rows: 1 << 14, Cols: 1 << 7, BusBytes: 64},
+	}
+}
+
+// TestRowDecompositionAcrossGeometries pins that a physical row address
+// decomposes back to exactly the (flat bank, row) it was built from, for
+// every scheme, across geometries up to full-DIMM scale. This is the
+// contract the sparse full-DIMM simulation leans on: workload generators
+// think in (flat bank, row) and the mapping must be stable whatever the
+// interleave.
+func TestRowDecompositionAcrossGeometries(t *testing.T) {
+	for _, g := range pinGeometries() {
+		for _, s := range []Scheme{RowBankCol, BankInterleaved, PermutedBank} {
+			m, err := NewMapper(g, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb := g.TotalBanks()
+			for _, fb := range []int{0, 1, tb / 2, tb - 1} {
+				for _, row := range []int{0, 1, g.Rows / 3, g.Rows - 1} {
+					pa := m.RowAddress(fb, row)
+					c := m.Decode(pa)
+					if got := c.FlatBank(g); got != fb || c.Row != row || c.Col != 0 {
+						t.Errorf("%v/%v: RowAddress(%d,%d) → bank %d row %d col %d",
+							g, s, fb, row, got, c.Row, c.Col)
+					}
+					if back := m.Encode(c); back != pa {
+						t.Errorf("%v/%v: Encode(Decode(%#x)) = %#x", g, s, pa, back)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodePinnedAddresses pins literal physical addresses for each
+// scheme on a fixed geometry. The bit layout is part of the on-trace
+// format (trace files store physical addresses), so a silent reordering
+// of the decomposition must fail here even if it stays self-consistent.
+func TestDecodePinnedAddresses(t *testing.T) {
+	g := Geometry{Channels: 1, Ranks: 1, Banks: 8, Rows: 1 << 12, Cols: 1 << 7, BusBytes: 64}
+	cases := []struct {
+		scheme Scheme
+		coord  Coord
+		pa     uint64
+	}{
+		// row-bank-col: ((row<<3 | bank)<<7 | col) << 6
+		{RowBankCol, Coord{Bank: 5, Row: 1000, Col: 3}, 65577152},
+		// bank-interleaved: ((bank<<12 | row)<<7 | col) << 6
+		{BankInterleaved, Coord{Bank: 5, Row: 1000, Col: 3}, 175964352},
+		// permuted-bank: bank XORed with low row bits (1001&7 = 1, 5^1 = 4)
+		{PermutedBank, Coord{Bank: 5, Row: 1001, Col: 3}, 65634496},
+	}
+	for _, tc := range cases {
+		m, err := NewMapper(g, tc.scheme)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Encode(tc.coord); got != tc.pa {
+			t.Errorf("%v: Encode(%+v) = %d, want %d", tc.scheme, tc.coord, got, tc.pa)
+		}
+		c := m.Decode(tc.pa)
+		if c.Bank != tc.coord.Bank || c.Row != tc.coord.Row || c.Col != tc.coord.Col {
+			t.Errorf("%v: Decode(%d) = %+v, want %+v", tc.scheme, tc.pa, c, tc.coord)
+		}
+	}
+}

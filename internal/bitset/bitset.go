@@ -64,6 +64,9 @@ func (b *Bitset) Reset() {
 	}
 }
 
+// Words exposes the backing word slice for footprint accounting.
+func (b *Bitset) Words() []uint64 { return b.words }
+
 // Count returns the number of set bits.
 func (b *Bitset) Count() int {
 	n := 0

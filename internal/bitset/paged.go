@@ -1,0 +1,108 @@
+package bitset
+
+import "math/bits"
+
+// pagedBits sizes a Paged page at 32768 bits (4 KB of words): flip
+// bookkeeping is sparse — a page materializes only when an attack
+// actually crosses the threshold somewhere in its row range.
+const (
+	pagedShift = 15
+	pagedBits  = 1 << pagedShift
+	pagedMask  = pagedBits - 1
+)
+
+// Paged is a lazily-paged bit vector with the same semantics as Bitset
+// but heap proportional to the touched bit ranges, not the capacity.
+// Absent pages read as zero; Set allocates the page on first touch;
+// Clear of an untouched page is a no-op. The zero value is unusable;
+// create sized sets with NewPaged.
+type Paged struct {
+	pages [][]uint64
+	n     int
+}
+
+// NewPaged returns a Paged holding n bits, all clear, with no pages
+// allocated. n must be ≥ 0; NewPaged panics otherwise (capacity comes
+// from validated geometry, so a negative size is a programming error).
+func NewPaged(n int) *Paged {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return &Paged{pages: make([][]uint64, (n+pagedMask)>>pagedShift), n: n}
+}
+
+// Len returns the capacity in bits.
+func (p *Paged) Len() int { return p.n }
+
+// Set sets bit i, allocating its page on first touch. Out-of-range
+// indices panic, matching slice semantics.
+func (p *Paged) Set(i int) {
+	if i < 0 || i >= p.n {
+		panic("bitset: index out of range")
+	}
+	pi := i >> pagedShift
+	pg := p.pages[pi]
+	if pg == nil {
+		pg = make([]uint64, pagedBits>>6)
+		p.pages[pi] = pg
+	}
+	j := i & pagedMask
+	pg[j>>6] |= 1 << (uint(j) & 63)
+}
+
+// Clear clears bit i (a no-op on untouched pages). Out-of-range indices
+// panic.
+func (p *Paged) Clear(i int) {
+	if i < 0 || i >= p.n {
+		panic("bitset: index out of range")
+	}
+	pg := p.pages[i>>pagedShift]
+	if pg == nil {
+		return
+	}
+	j := i & pagedMask
+	pg[j>>6] &^= 1 << (uint(j) & 63)
+}
+
+// Get reports bit i. Out-of-range indices (including negative) report
+// false rather than panicking, matching Bitset's probe semantics.
+func (p *Paged) Get(i int) bool {
+	if i < 0 || i >= p.n {
+		return false
+	}
+	pg := p.pages[i>>pagedShift]
+	if pg == nil {
+		return false
+	}
+	j := i & pagedMask
+	return pg[j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (p *Paged) Count() int {
+	n := 0
+	for _, pg := range p.pages {
+		for _, w := range pg {
+			n += bits.OnesCount64(w)
+		}
+	}
+	return n
+}
+
+// TouchedPages counts allocated pages (heap accounting for the scale
+// gate).
+func (p *Paged) TouchedPages() int {
+	n := 0
+	for _, pg := range p.pages {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Bytes returns the approximate heap footprint of the allocated pages
+// plus the page table.
+func (p *Paged) Bytes() int {
+	return len(p.pages)*8 + p.TouchedPages()*(pagedBits>>3)
+}

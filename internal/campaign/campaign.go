@@ -150,6 +150,12 @@ func DefaultEval() Eval {
 // probeSig is the part of a probe cell key that pins the probe device
 // scale: results cached at one scale must never serve another.
 func probeSig(p dram.Params) string {
-	return fmt.Sprintf("banks=%d,rows=%d,refint=%d,th=%d,rate=%d",
+	s := fmt.Sprintf("banks=%d,rows=%d,refint=%d,th=%d,rate=%d",
 		p.Banks, p.RowsPerBank, p.RefInt, p.FlipThreshold, p.MaxActsPerRI)
+	// Geometry extends the key only when set, so every pre-geometry cell
+	// key — and the checkpoints carrying them — stays byte-identical.
+	if p.Ranks > 1 || p.BankGroups > 1 {
+		s += fmt.Sprintf(",ranks=%d,bg=%d", p.Ranks, p.BankGroups)
+	}
+	return s
 }

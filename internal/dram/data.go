@@ -15,15 +15,18 @@ import (
 // exploitable (Flip Feng Shui [15]).
 
 // dataStore is the sparse content store, attached lazily to a Device.
-// Storage is a flat arena: index maps each physical (bank, row) position to
-// a row number inside arena, or -1 when the row was never written. The seed
-// kept a map[rowKey][]byte here; the arena removes per-row allocations and
-// the hash lookup from the write/read/corrupt paths, and keeps all stored
-// rows contiguous.
+// Storage is a flat arena: the index maps each physical (bank, row)
+// position to a row number inside arena, or -1 when the row was never
+// written. The seed kept a map[rowKey][]byte here; the arena removes
+// per-row allocations and the hash lookup from the write/read/corrupt
+// paths, and keeps all stored rows contiguous. The index itself is the
+// one structure still sized by the population, so on sparse devices it
+// uses the lazily-paged pagedI32 (fill -1) instead of the flat slice.
 type dataStore struct {
-	index       []int32 // bank*rowsPerBank+prow -> arena row number, -1 absent
-	arena       []byte  // stored rows, rowBytes each, in allocation order
-	zeroRow     []byte  // reusable zero block for arena growth
+	index       []int32  // dense: bank*rowsPerBank+prow -> arena row, -1 absent
+	pindex      pagedI32 // sparse equivalent; used when index is nil
+	arena       []byte   // stored rows, rowBytes each, in allocation order
+	zeroRow     []byte   // reusable zero block for arena growth
 	rowBytes    int
 	rowsPerBank int
 	seed        uint64
@@ -36,23 +39,44 @@ type dataStore struct {
 func (d *Device) EnableDataStore(seed uint64) {
 	if d.data == nil {
 		ds := &dataStore{
-			index:       make([]int32, d.p.Banks*d.p.RowsPerBank),
 			zeroRow:     make([]byte, d.p.RowBytes),
 			rowBytes:    d.p.RowBytes,
 			rowsPerBank: d.p.RowsPerBank,
 			seed:        seed,
 		}
-		for i := range ds.index {
-			ds.index[i] = -1
+		if d.p.Sparse() {
+			ds.pindex = newPagedI32(d.banks*d.p.RowsPerBank, -1)
+		} else {
+			ds.index = make([]int32, d.banks*d.p.RowsPerBank)
+			for i := range ds.index {
+				ds.index[i] = -1
+			}
 		}
 		d.data = ds
 	}
 }
 
+// lookup returns the arena row number for a position, or -1.
+func (ds *dataStore) lookup(pos int) int32 {
+	if ds.index != nil {
+		return ds.index[pos]
+	}
+	return ds.pindex.get(pos)
+}
+
+// store records the arena row number for a position.
+func (ds *dataStore) store(pos int, i int32) {
+	if ds.index != nil {
+		ds.index[pos] = i
+		return
+	}
+	ds.pindex.set(pos, i)
+}
+
 // row returns the stored bytes of a physical (bank, prow), or nil when the
 // row was never written.
 func (ds *dataStore) row(bank, prow int) []byte {
-	i := ds.index[bank*ds.rowsPerBank+prow]
+	i := ds.lookup(bank*ds.rowsPerBank + prow)
 	if i < 0 {
 		return nil
 	}
@@ -64,15 +88,27 @@ func (ds *dataStore) row(bank, prow int) []byte {
 // a zeroed arena row on first touch.
 func (ds *dataStore) ensureRow(bank, prow int) []byte {
 	pos := bank*ds.rowsPerBank + prow
-	if i := ds.index[pos]; i >= 0 {
+	if i := ds.lookup(pos); i >= 0 {
 		off := int(i) * ds.rowBytes
 		return ds.arena[off : off+ds.rowBytes]
 	}
 	i := int32(len(ds.arena) / ds.rowBytes)
-	ds.index[pos] = i
+	ds.store(pos, i)
 	ds.arena = append(ds.arena, ds.zeroRow...)
 	off := int(i) * ds.rowBytes
 	return ds.arena[off : off+ds.rowBytes]
+}
+
+// stateBytes approximates the store's heap footprint: the index (allocated
+// pages only when paged) plus the arena.
+func (ds *dataStore) stateBytes() int {
+	n := len(ds.arena) + len(ds.zeroRow)
+	if ds.index != nil {
+		n += len(ds.index) * 4
+	} else {
+		n += len(ds.pindex.pages)*24 + ds.pindex.touchedPages()*pageRows*4
+	}
+	return n
 }
 
 // WriteData stores bytes at an offset within a row. The device must have
@@ -87,7 +123,7 @@ func (d *Device) WriteData(bank, row, offset int, data []byte) {
 		panic(fmt.Sprintf("dram: write [%d, %d) outside row of %d bytes",
 			offset, offset+len(data), d.data.rowBytes))
 	}
-	buf := d.data.ensureRow(bank, int(d.l2p[row]))
+	buf := d.data.ensureRow(bank, d.physical(row))
 	copy(buf[offset:], data)
 }
 
@@ -99,7 +135,7 @@ func (d *Device) ReadData(bank, row, offset, n int) []byte {
 		panic("dram: data store not enabled")
 	}
 	out := make([]byte, n)
-	if buf := d.data.row(bank, int(d.l2p[row])); buf != nil {
+	if buf := d.data.row(bank, d.physical(row)); buf != nil {
 		copy(out, buf[offset:offset+n])
 	}
 	return out

@@ -15,6 +15,16 @@ type FlipEvent struct {
 	Interval int // global refresh-interval index at the time of the flip
 }
 
+// defaultFlipEventCap bounds how many FlipEvents a device retains. The
+// flip *count* (Stats.Flips, FlipCount) is always exact; the event list
+// is a prefix sample for reports and replay checks. An unmitigated
+// billion-activation run on a full DIMM produces millions of crossings —
+// retaining one struct per crossing is exactly the per-sample
+// accumulation the streaming-state refactor removes. 65536 events is far
+// above what any committed experiment produces, so their event lists are
+// complete and byte-identical.
+const defaultFlipEventCap = 1 << 16
+
 // Stats aggregates device activity.
 type Stats struct {
 	Activates        uint64 // normal row activations (workload + attacker)
@@ -39,30 +49,48 @@ func (s Stats) AvgActsPerInterval() float64 {
 
 // Device is the simulated DRAM. It is not safe for concurrent use; the
 // experiment harness runs one Device per goroutine.
+//
+// Per-row state lives in one of two representations, chosen by
+// Params.State (StateAuto: by population size): dense flat arrays — the
+// original layout, fastest for small geometries — or lazily-paged sparse
+// stores whose heap is O(touched rows), which is what makes full-DIMM
+// populations (Ranks × BankGroups × Banks × 64K rows) simulable. Both
+// representations produce bit-identical behavior; the sparse/dense
+// property test in internal/sim pins it.
 type Device struct {
-	p      Params
+	p     Params
+	banks int // cached p.TotalBanks()
+
 	policy RefreshPolicy
 
 	// disturb[b][r] counts neighbor activations of physical row r in bank
-	// b since r was last restored (refreshed or activated).
+	// b since r was last restored (refreshed or activated). Dense
+	// representation; nil when sparse is selected.
 	disturb [][]uint32
+	// sp[b] is the paged equivalent of disturb[b]; nil when dense.
+	sp []pagedU32
+
 	// l2p maps logical row addresses (as seen by the controller and the
-	// mitigations) to physical rows. Identity unless SetRowRemap is used.
+	// mitigations) to physical rows. nil means identity — the overwhelming
+	// default — so unremapped devices pay no O(rows) allocation; it is
+	// materialized by SetRowRemap.
 	l2p []int32
 	// intervalActs counts activations per bank within the current
 	// refresh interval, for trace statistics.
 	intervalActs []uint32
 
 	interval int // global interval counter
-	flips    []FlipEvent
+	// flips retains up to flipCap FlipEvents (stats.Flips counts all).
+	flips   []FlipEvent
+	flipCap int
 	// flipped marks rows already reported this window so a sustained
 	// attack yields one event per victim per window, as one data-corrupting
-	// flip would. It is a dense bitset over bank*RowsPerBank+prow (the seed
-	// used a map here, which put hashing and allocation on the disturbance
-	// path); flippedDirty lists the set positions so the per-window clear is
-	// O(flips), not O(rows).
+	// flip would. Dense bitset over bank*RowsPerBank+prow for small
+	// geometries, lazily-paged for large ones; flippedDirty lists the set
+	// positions so the per-window clear is O(flips), not O(rows).
 	flipped      *bitset.Bitset
-	flippedDirty []int32
+	flippedP     *bitset.Paged
+	flippedDirty []int64
 
 	stats Stats
 
@@ -82,19 +110,26 @@ func New(p Params, policy RefreshPolicy) (*Device, error) {
 	if policy == nil {
 		policy = NewNeighborPolicy(p)
 	}
+	banks := p.TotalBanks()
 	d := &Device{
 		p:            p,
+		banks:        banks,
 		policy:       policy,
-		disturb:      make([][]uint32, p.Banks),
-		l2p:          make([]int32, p.RowsPerBank),
-		intervalActs: make([]uint32, p.Banks),
-		flipped:      bitset.New(p.Banks * p.RowsPerBank),
+		intervalActs: make([]uint32, banks),
+		flipCap:      defaultFlipEventCap,
 	}
-	for b := range d.disturb {
-		d.disturb[b] = make([]uint32, p.RowsPerBank)
-	}
-	for r := range d.l2p {
-		d.l2p[r] = int32(r)
+	if p.Sparse() {
+		d.sp = make([]pagedU32, banks)
+		for b := range d.sp {
+			d.sp[b] = newPagedU32(p.RowsPerBank)
+		}
+		d.flippedP = bitset.NewPaged(banks * p.RowsPerBank)
+	} else {
+		d.disturb = make([][]uint32, banks)
+		for b := range d.disturb {
+			d.disturb[b] = make([]uint32, p.RowsPerBank)
+		}
+		d.flipped = bitset.New(banks * p.RowsPerBank)
 	}
 	return d, nil
 }
@@ -102,12 +137,16 @@ func New(p Params, policy RefreshPolicy) (*Device, error) {
 // Params returns the device parameters.
 func (d *Device) Params() Params { return d.p }
 
+// Banks returns the total bank population (Ranks × BankGroups × Banks).
+func (d *Device) Banks() int { return d.banks }
+
 // Policy returns the refresh policy in use.
 func (d *Device) Policy() RefreshPolicy { return d.policy }
 
 // SetRowRemap installs a logical-to-physical row permutation, modeling
 // spare-row replacement of defective rows. The slice must be a permutation
-// of [0, RowsPerBank); it is validated and copied.
+// of [0, RowsPerBank); it is validated and copied. Identity mapping is the
+// implicit default and costs no memory.
 func (d *Device) SetRowRemap(perm []int) error {
 	if len(perm) != d.p.RowsPerBank {
 		return fmt.Errorf("dram: remap length %d, want %d", len(perm), d.p.RowsPerBank)
@@ -119,14 +158,26 @@ func (d *Device) SetRowRemap(perm []int) error {
 		}
 		seen[v] = true
 	}
+	if d.l2p == nil {
+		d.l2p = make([]int32, d.p.RowsPerBank)
+	}
 	for i, v := range perm {
 		d.l2p[i] = int32(v)
 	}
 	return nil
 }
 
+// physical resolves a logical row through the remap (identity when no
+// remap was installed).
+func (d *Device) physical(row int) int {
+	if d.l2p == nil {
+		return row
+	}
+	return int(d.l2p[row])
+}
+
 // Physical returns the physical row behind a logical row address.
-func (d *Device) Physical(row int) int { return int(d.l2p[row]) }
+func (d *Device) Physical(row int) int { return d.physical(row) }
 
 // Interval returns the global refresh-interval counter.
 func (d *Device) Interval() int { return d.interval }
@@ -137,26 +188,78 @@ func (d *Device) IntervalInWindow() int { return d.interval % d.p.RefInt }
 // Window returns the current refresh-window index.
 func (d *Device) Window() int { return d.interval / d.p.RefInt }
 
-// Flips returns the recorded bit-flip events.
+// Flips returns the recorded bit-flip events — the complete list up to
+// the retention cap (SetFlipEventCap), a prefix sample beyond it. Use
+// FlipCount for the exact total.
 func (d *Device) Flips() []FlipEvent { return d.flips }
+
+// FlipCount returns the exact number of threshold crossings recorded
+// (one per victim per window), independent of event retention.
+func (d *Device) FlipCount() uint64 { return d.stats.Flips }
+
+// SetFlipEventCap bounds FlipEvent retention (n <= 0 restores the
+// default). Counting is unaffected; only the event list is truncated.
+func (d *Device) SetFlipEventCap(n int) {
+	if n <= 0 {
+		n = defaultFlipEventCap
+	}
+	d.flipCap = n
+}
 
 // Stats returns a copy of the activity counters.
 func (d *Device) Stats() Stats { return d.stats }
 
 // restore resets the disturbance of a physical row (its charge is
-// restored by an activation or refresh).
+// restored by an activation or refresh). Restoring a row on an untouched
+// sparse page is a no-op — it already reads as zero.
 func (d *Device) restore(bank, prow int) {
-	d.disturb[bank][prow] = 0
+	if d.disturb != nil {
+		d.disturb[bank][prow] = 0
+		return
+	}
+	d.sp[bank].set(prow, 0)
 }
 
 // disturbNeighbor bumps the disturbance counter of a physical row and
 // records a flip when the threshold is crossed.
 func (d *Device) disturbNeighbor(bank, prow int) {
-	c := d.disturb[bank][prow] + 1
-	d.disturb[bank][prow] = c
+	var c uint32
+	if d.disturb != nil {
+		c = d.disturb[bank][prow] + 1
+		d.disturb[bank][prow] = c
+	} else {
+		pg := d.sp[bank].page(prow)
+		c = pg[prow&pageMask] + 1
+		pg[prow&pageMask] = c
+	}
 	if c >= d.p.FlipThreshold {
 		d.recordFlip(bank, prow)
 	}
+}
+
+// flipGet / flipSet / flipClear probe the per-window flip bookkeeping in
+// whichever representation is live.
+func (d *Device) flipGet(pos int) bool {
+	if d.flipped != nil {
+		return d.flipped.Get(pos)
+	}
+	return d.flippedP.Get(pos)
+}
+
+func (d *Device) flipSet(pos int) {
+	if d.flipped != nil {
+		d.flipped.Set(pos)
+		return
+	}
+	d.flippedP.Set(pos)
+}
+
+func (d *Device) flipClear(pos int) {
+	if d.flipped != nil {
+		d.flipped.Clear(pos)
+		return
+	}
+	d.flippedP.Clear(pos)
 }
 
 // recordFlip handles a threshold crossing: one FlipEvent per victim per
@@ -165,14 +268,16 @@ func (d *Device) disturbNeighbor(bank, prow int) {
 // threshold, but this is only reached once the attack has succeeded.
 func (d *Device) recordFlip(bank, prow int) {
 	pos := bank*d.p.RowsPerBank + prow
-	if !d.flipped.Get(pos) {
-		d.flipped.Set(pos)
-		d.flippedDirty = append(d.flippedDirty, int32(pos))
+	if !d.flipGet(pos) {
+		d.flipSet(pos)
+		d.flippedDirty = append(d.flippedDirty, int64(pos))
 		d.stats.Flips++
-		d.flips = append(d.flips, FlipEvent{
-			Bank: bank, Row: prow,
-			Window: d.Window(), Interval: d.interval,
-		})
+		if len(d.flips) < d.flipCap {
+			d.flips = append(d.flips, FlipEvent{
+				Bank: bank, Row: prow,
+				Window: d.Window(), Interval: d.interval,
+			})
+		}
 		if d.data != nil {
 			d.data.corrupt(bank, prow, d.Window())
 		}
@@ -181,24 +286,47 @@ func (d *Device) recordFlip(bank, prow int) {
 
 // activatePhysical performs the electrical work of an activation of a
 // physical row: restore the row itself, disturb both physical neighbors.
-// The counter updates are written out inline with the bank's column and
-// the threshold hoisted into locals — this runs once per activation, and
-// re-deriving the two-level slice index per neighbor showed up in the
-// pipeline profile.
+// The dense branch keeps the seed's layout — counter updates written out
+// inline with the bank's column and the threshold hoisted into locals,
+// because this runs once per activation and re-deriving the two-level
+// slice index per neighbor showed up in the pipeline profile. The sparse
+// branch pays one page probe per touched row; the self-restore of a row
+// on an untouched page allocates nothing.
 func (d *Device) activatePhysical(bank, prow int) {
-	col := d.disturb[bank]
 	thr := d.p.FlipThreshold
-	col[prow] = 0
+	if col := d.disturb; col != nil {
+		c0 := col[bank]
+		c0[prow] = 0
+		if prow > 0 {
+			c := c0[prow-1] + 1
+			c0[prow-1] = c
+			if c >= thr {
+				d.recordFlip(bank, prow-1)
+			}
+		}
+		if prow < len(c0)-1 {
+			c := c0[prow+1] + 1
+			c0[prow+1] = c
+			if c >= thr {
+				d.recordFlip(bank, prow+1)
+			}
+		}
+		return
+	}
+	s := &d.sp[bank]
+	s.set(prow, 0)
 	if prow > 0 {
-		c := col[prow-1] + 1
-		col[prow-1] = c
+		pg := s.page(prow - 1)
+		c := pg[(prow-1)&pageMask] + 1
+		pg[(prow-1)&pageMask] = c
 		if c >= thr {
 			d.recordFlip(bank, prow-1)
 		}
 	}
-	if prow < len(col)-1 {
-		c := col[prow+1] + 1
-		col[prow+1] = c
+	if prow < d.p.RowsPerBank-1 {
+		pg := s.page(prow + 1)
+		c := pg[(prow+1)&pageMask] + 1
+		pg[(prow+1)&pageMask] = c
 		if c >= thr {
 			d.recordFlip(bank, prow+1)
 		}
@@ -223,7 +351,7 @@ func (d *Device) Activate(bank, row int) {
 	if d.onAct != nil {
 		d.onAct(bank, row)
 	}
-	d.activatePhysical(bank, int(d.l2p[row]))
+	d.activatePhysical(bank, d.physical(row))
 }
 
 // ActivateNeighbors executes the act_n maintenance command: the device
@@ -232,7 +360,7 @@ func (d *Device) Activate(bank, row int) {
 // passed directly, because they depend on the internal mapping").
 func (d *Device) ActivateNeighbors(bank, row int) {
 	d.checkAddr(bank, row)
-	prow := int(d.l2p[row])
+	prow := d.physical(row)
 	if prow > 0 {
 		d.stats.NeighborActs++
 		d.activatePhysical(bank, prow-1)
@@ -252,7 +380,7 @@ func (d *Device) ActivateNeighbor(bank, row, side int) {
 	if side != -1 && side != 1 {
 		panic(fmt.Sprintf("dram: ActivateNeighbor side must be ±1, got %d", side))
 	}
-	prow := int(d.l2p[row]) + side
+	prow := d.physical(row) + side
 	if prow < 0 || prow >= d.p.RowsPerBank {
 		return // edge row: no neighbor on that side
 	}
@@ -269,7 +397,7 @@ func (d *Device) ActivateNeighbor(bank, row, side int) {
 func (d *Device) RefreshRow(bank, row int) {
 	d.checkAddr(bank, row)
 	d.stats.DirectRefreshes++
-	d.activatePhysical(bank, int(d.l2p[row]))
+	d.activatePhysical(bank, d.physical(row))
 }
 
 // AdvanceInterval performs the auto-refresh work of the current refresh
@@ -281,7 +409,7 @@ func (d *Device) AdvanceInterval() []int {
 	}
 	win, iv := d.Window(), d.IntervalInWindow()
 	rows := d.policy.RowsFor(win, iv)
-	for b := 0; b < d.p.Banks; b++ {
+	for b := 0; b < d.banks; b++ {
 		for _, r := range rows {
 			d.restore(b, r)
 		}
@@ -294,14 +422,14 @@ func (d *Device) AdvanceInterval() []int {
 		d.stats.IntervalActsSeen++
 		d.intervalActs[b] = 0
 	}
-	d.stats.AutoRefreshes += uint64(len(rows) * d.p.Banks)
+	d.stats.AutoRefreshes += uint64(len(rows) * d.banks)
 	d.stats.Intervals++
 	d.interval++
 	if d.interval%d.p.RefInt == 0 {
 		// New window: victims refreshed, flip bookkeeping restarts. Only
 		// the positions actually set are cleared.
 		for _, pos := range d.flippedDirty {
-			d.flipped.Clear(int(pos))
+			d.flipClear(int(pos))
 		}
 		d.flippedDirty = d.flippedDirty[:0]
 	}
@@ -310,7 +438,12 @@ func (d *Device) AdvanceInterval() []int {
 
 // Disturbance returns the current disturbance count of a physical row,
 // for tests and white-box experiments.
-func (d *Device) Disturbance(bank, prow int) uint32 { return d.disturb[bank][prow] }
+func (d *Device) Disturbance(bank, prow int) uint32 {
+	if d.disturb != nil {
+		return d.disturb[bank][prow]
+	}
+	return d.sp[bank].get(prow)
+}
 
 // InjectDisturbance adds n disturbance counts to a physical row without
 // an activation, modeling retention-weakened cells (a weak cell reaches
@@ -319,19 +452,72 @@ func (d *Device) Disturbance(bank, prow int) uint32 { return d.disturb[bank][pro
 // mitigation provisioned for the nominal threshold is measurably stressed.
 // It is a fault-injection entry point; normal simulation never calls it.
 func (d *Device) InjectDisturbance(bank, prow int, n uint32) {
-	if bank < 0 || bank >= d.p.Banks || prow < 0 || prow >= d.p.RowsPerBank || n == 0 {
+	if bank < 0 || bank >= d.banks || prow < 0 || prow >= d.p.RowsPerBank || n == 0 {
 		return
 	}
 	// Apply in one step but reuse the flip bookkeeping of a single
 	// disturbance for the threshold crossing.
-	if c := d.disturb[bank][prow]; n > 1 && c+n-1 > c { // guard overflow
-		d.disturb[bank][prow] = c + n - 1
+	if c := d.Disturbance(bank, prow); n > 1 && c+n-1 > c { // guard overflow
+		if d.disturb != nil {
+			d.disturb[bank][prow] = c + n - 1
+		} else {
+			d.sp[bank].set(prow, c+n-1)
+		}
 	}
 	d.disturbNeighbor(bank, prow)
 }
 
+// TouchedRows returns the row population currently backed by allocated
+// state: the whole population for a dense device, the rows of touched
+// pages for a sparse one. The scale gate asserts heap against this.
+func (d *Device) TouchedRows() int {
+	if d.disturb != nil {
+		return d.banks * d.p.RowsPerBank
+	}
+	pages := 0
+	for b := range d.sp {
+		pages += d.sp[b].touchedPages()
+	}
+	return pages * pageRows
+}
+
+// StateBytes returns the approximate heap footprint of the device's
+// per-row state: disturbance counters, flip bookkeeping, the row remap
+// and the data-store index. It counts allocated pages only, so for a
+// sparse device it is O(touched rows).
+func (d *Device) StateBytes() int {
+	n := len(d.intervalActs) * 4
+	if d.disturb != nil {
+		n += d.banks * d.p.RowsPerBank * 4
+		n += len(d.flipped.Words()) * 8
+	} else {
+		for b := range d.sp {
+			n += len(d.sp[b].pages) * 24 // page table (slice headers)
+			n += d.sp[b].touchedPages() * pageRows * 4
+		}
+		n += d.flippedP.Bytes()
+	}
+	if d.l2p != nil {
+		n += len(d.l2p) * 4
+	}
+	n += len(d.flippedDirty) * 8
+	n += len(d.flips) * 32
+	if d.data != nil {
+		n += d.data.stateBytes()
+	}
+	return n
+}
+
+// DenseStateBytes returns what the dense per-row layout would allocate
+// for the given parameters (disturbance counters + flip bitset), the
+// baseline the scale gate compares sparse heap against.
+func DenseStateBytes(p Params) int {
+	rows := p.TotalRows()
+	return rows*4 + rows/8
+}
+
 func (d *Device) checkAddr(bank, row int) {
-	if bank < 0 || bank >= d.p.Banks || row < 0 || row >= d.p.RowsPerBank {
+	if bank < 0 || bank >= d.banks || row < 0 || row >= d.p.RowsPerBank {
 		panic(fmt.Sprintf("dram: address out of range: bank %d row %d", bank, row))
 	}
 }

@@ -1,0 +1,157 @@
+package dram
+
+import "testing"
+
+// TestValidateGeometry is the table-driven gate for the Ranks/BankGroups
+// extension: every malformed geometry must be rejected with the field
+// named, and every shipped preset must pass.
+func TestValidateGeometry(t *testing.T) {
+	mut := func(f func(*Params)) Params {
+		p := FullDIMMParams()
+		f(&p)
+		return p
+	}
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"paper", PaperParams(), true},
+		{"scaled", ScaledParams(), true},
+		{"full-dimm", FullDIMMParams(), true},
+		{"zero-ranks-means-one", mut(func(p *Params) { p.Ranks = 0 }), true},
+		{"zero-groups-means-one", mut(func(p *Params) { p.BankGroups = 0 }), true},
+		{"dual-rank", mut(func(p *Params) { p.Ranks = 2 }), true},
+		{"negative-ranks", mut(func(p *Params) { p.Ranks = -1 }), false},
+		{"negative-groups", mut(func(p *Params) { p.BankGroups = -2 }), false},
+		{"zero-banks", mut(func(p *Params) { p.Banks = 0 }), false},
+		{"bank-cap", mut(func(p *Params) { p.Ranks = 4096; p.BankGroups = 1024 }), false},
+		{"at-bank-cap", mut(func(p *Params) {
+			p.Ranks = 512
+			p.BankGroups = 32
+			// 512 × 32 × 4 = 65536 = the cap, still legal.
+		}), true},
+		{"bad-state-mode", mut(func(p *Params) { p.State = StateMode(7) }), false},
+		{"negative-state-mode", mut(func(p *Params) { p.State = StateMode(-1) }), false},
+		{"rows-not-multiple-of-refint", mut(func(p *Params) { p.RowsPerBank = 65537 }), false},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: invalid geometry accepted", tc.name)
+		}
+	}
+}
+
+// TestTotalBanksAndRows pins the population arithmetic, including the
+// legacy reading where zero geometry fields mean a flat device.
+func TestTotalBanksAndRows(t *testing.T) {
+	cases := []struct {
+		name              string
+		ranks, groups     int
+		banks, rows       int
+		wantBanks, wantRk int
+	}{
+		{"legacy-flat", 0, 0, 16, 1024, 16, 16 * 1024},
+		{"explicit-ones", 1, 1, 16, 1024, 16, 16 * 1024},
+		{"full-dimm", 1, 8, 4, 65536, 32, 32 * 65536},
+		{"dual-rank", 2, 8, 4, 65536, 64, 64 * 65536},
+	}
+	for _, tc := range cases {
+		p := Params{Ranks: tc.ranks, BankGroups: tc.groups, Banks: tc.banks, RowsPerBank: tc.rows}
+		if got := p.TotalBanks(); got != tc.wantBanks {
+			t.Errorf("%s: TotalBanks = %d, want %d", tc.name, got, tc.wantBanks)
+		}
+		if got := p.TotalRows(); got != tc.wantRk {
+			t.Errorf("%s: TotalRows = %d, want %d", tc.name, got, tc.wantRk)
+		}
+	}
+}
+
+// TestBankCoordFlatBankRoundTrip pins the rank-major flat-bank layout:
+// FlatBank∘BankCoord must be the identity over the whole population for
+// every geometry shape, and coordinates must stay in range.
+func TestBankCoordFlatBankRoundTrip(t *testing.T) {
+	geoms := []Params{
+		{Banks: 16, RowsPerBank: 2},                         // legacy flat
+		{Ranks: 1, BankGroups: 8, Banks: 4, RowsPerBank: 2}, // full DIMM
+		{Ranks: 2, BankGroups: 4, Banks: 4, RowsPerBank: 2}, // dual rank
+		{Ranks: 3, BankGroups: 1, Banks: 5, RowsPerBank: 2}, // non-power-of-two
+		{Ranks: 2, BankGroups: 0, Banks: 8, RowsPerBank: 2}, // zero groups
+	}
+	for _, p := range geoms {
+		ranks, groups := p.Ranks, p.BankGroups
+		if ranks < 1 {
+			ranks = 1
+		}
+		if groups < 1 {
+			groups = 1
+		}
+		seen := make(map[int]bool)
+		for flat := 0; flat < p.TotalBanks(); flat++ {
+			rank, group, bank := p.BankCoord(flat)
+			if rank < 0 || rank >= ranks || group < 0 || group >= groups || bank < 0 || bank >= p.Banks {
+				t.Fatalf("%+v: BankCoord(%d) = (%d,%d,%d) out of range", p, flat, rank, group, bank)
+			}
+			back := p.FlatBank(rank, group, bank)
+			if back != flat {
+				t.Fatalf("%+v: FlatBank(BankCoord(%d)) = %d", p, flat, back)
+			}
+			if seen[back] {
+				t.Fatalf("%+v: flat index %d produced twice", p, back)
+			}
+			seen[back] = true
+		}
+	}
+}
+
+// TestBankCoordPinned pins literal coordinates of the full-DIMM layout so
+// a reordering of the decomposition (bank-major vs rank-major) cannot
+// slip through the round-trip test.
+func TestBankCoordPinned(t *testing.T) {
+	p := FullDIMMParams() // 1 rank × 8 groups × 4 banks
+	cases := []struct {
+		flat              int
+		rank, group, bank int
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{4, 0, 1, 0},
+		{17, 0, 4, 1},
+		{31, 0, 7, 3},
+	}
+	for _, tc := range cases {
+		rank, group, bank := p.BankCoord(tc.flat)
+		if rank != tc.rank || group != tc.group || bank != tc.bank {
+			t.Errorf("BankCoord(%d) = (%d,%d,%d), want (%d,%d,%d)",
+				tc.flat, rank, group, bank, tc.rank, tc.group, tc.bank)
+		}
+	}
+}
+
+// TestSparseResolution pins which configurations the StateAuto threshold
+// sends to the sparse representation, and that explicit modes override it.
+func TestSparseResolution(t *testing.T) {
+	if ScaledParams().Sparse() {
+		t.Error("ScaledParams must stay dense under Auto")
+	}
+	if !FullDIMMParams().Sparse() {
+		t.Error("FullDIMMParams must be sparse under Auto")
+	}
+	if !PaperParams().Sparse() {
+		t.Error("PaperParams (2^21 rows) must be sparse under Auto")
+	}
+	p := ScaledParams()
+	p.State = StateSparse
+	if !p.Sparse() {
+		t.Error("StateSparse override ignored")
+	}
+	p = FullDIMMParams()
+	p.State = StateDense
+	if p.Sparse() {
+		t.Error("StateDense override ignored")
+	}
+}

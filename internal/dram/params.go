@@ -13,13 +13,26 @@ package dram
 import "fmt"
 
 // Params describes the simulated device. The zero value is not usable;
-// start from PaperParams or ScaledParams and adjust.
+// start from PaperParams, ScaledParams or FullDIMMParams and adjust.
 type Params struct {
-	// Banks is the number of independently attackable banks (across all
-	// channels and ranks).
+	// Banks is the number of independently attackable banks. When Ranks
+	// or BankGroups are set, Banks is the bank count per bank group and
+	// the total population is Ranks × BankGroups × Banks (TotalBanks);
+	// when both are zero — every pre-geometry configuration — Banks is
+	// the total, exactly as before.
 	Banks int
+	// Ranks is the number of ranks on the DIMM (0 means 1: a flat
+	// single-rank device, the legacy interpretation of Banks).
+	Ranks int `json:",omitempty"`
+	// BankGroups is the number of bank groups per rank (0 means 1).
+	// DDR4 organizes banks into groups of four; the full-DIMM geometry
+	// is 1 rank × 8 groups × 4 banks.
+	BankGroups int `json:",omitempty"`
 	// RowsPerBank is the number of rows in each bank.
 	RowsPerBank int
+	// State selects the per-row state representation (StateAuto picks
+	// dense for small populations, lazily-paged sparse for large ones).
+	State StateMode `json:",omitempty"`
 	// RefInt is the number of refresh intervals in one refresh window
 	// (tREFW / tREFI; 64 ms / 7.8 µs = 8192 for DDR4).
 	RefInt int
@@ -34,6 +47,72 @@ type Params struct {
 	IOFreqGHz    float64 // DDR4 interface frequency (1.2 GHz)
 	RowBytes     int     // bytes per row (8 KB)
 	MaxActsPerRI int     // max activations per bank per refresh interval (165)
+}
+
+// StateMode selects the device's per-row state representation: the dense
+// preallocated arrays of the original simulator, or lazily-paged sparse
+// stores whose heap is O(touched rows) instead of O(population).
+type StateMode int8
+
+const (
+	// StateAuto picks dense below sparseAutoRows total rows and sparse at
+	// or above it — small devices keep the flat fast path, full-DIMM
+	// populations pay only for the rows they touch.
+	StateAuto StateMode = iota
+	// StateDense forces the flat preallocated arrays.
+	StateDense
+	// StateSparse forces the lazily-paged stores.
+	StateSparse
+)
+
+// sparseAutoRows is the StateAuto threshold: a device whose total row
+// population (TotalBanks × RowsPerBank) reaches it uses sparse state.
+// 2^21 rows keeps the scaled test geometry (65536 rows) dense and makes
+// every full-DIMM geometry (≥ 2M rows) sparse.
+const sparseAutoRows = 1 << 21
+
+// String implements fmt.Stringer.
+func (m StateMode) String() string {
+	switch m {
+	case StateAuto:
+		return "auto"
+	case StateDense:
+		return "dense"
+	case StateSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("StateMode(%d)", int(m))
+	}
+}
+
+// TotalBanks returns the independently attackable bank population:
+// Ranks × BankGroups × Banks, with zero geometry fields reading as 1 so
+// legacy configurations (Banks alone) keep their meaning.
+func (p Params) TotalBanks() int {
+	n := p.Banks
+	if p.Ranks > 1 {
+		n *= p.Ranks
+	}
+	if p.BankGroups > 1 {
+		n *= p.BankGroups
+	}
+	return n
+}
+
+// TotalRows returns the device's whole row population across banks.
+func (p Params) TotalRows() int { return p.TotalBanks() * p.RowsPerBank }
+
+// Sparse reports whether the parameters select the lazily-paged state
+// representation (explicitly, or via the StateAuto population threshold).
+func (p Params) Sparse() bool {
+	switch p.State {
+	case StateDense:
+		return false
+	case StateSparse:
+		return true
+	default:
+		return p.TotalRows() >= sparseAutoRows
+	}
 }
 
 // PaperParams returns the full Table I configuration: 1 GB banks of 8 KB
@@ -75,11 +154,41 @@ func ScaledParams() Params {
 	return p
 }
 
+// FullDIMMParams returns a realistic whole-DIMM population: 1 rank of 8
+// DDR4 bank groups × 4 banks, each bank 64K rows — 32 banks and 2M rows,
+// the scale BlockHammer/Graphene-class evaluations size their trackers
+// against. The refresh structure and thresholds match ScaledParams (the
+// scale-invariant calibration), so per-rate results remain comparable;
+// only the population grows. StateAuto resolves to the sparse
+// representation at this scale, so heap stays O(touched rows).
+func FullDIMMParams() Params {
+	p := ScaledParams()
+	p.Ranks = 1
+	p.BankGroups = 8
+	p.Banks = 4
+	p.RowsPerBank = 65536
+	p.RefInt = 8192 // 8 rows per interval
+	return p
+}
+
+// maxTotalBanks bounds the bank population a single simulation will
+// instantiate (one lane, device and mitigation instance per bank).
+const maxTotalBanks = 1 << 16
+
 // Validate reports structural problems with the parameters.
 func (p Params) Validate() error {
 	switch {
 	case p.Banks <= 0:
 		return fmt.Errorf("dram: Banks = %d, must be positive", p.Banks)
+	case p.Ranks < 0:
+		return fmt.Errorf("dram: Ranks = %d, must be non-negative (0 means 1)", p.Ranks)
+	case p.BankGroups < 0:
+		return fmt.Errorf("dram: BankGroups = %d, must be non-negative (0 means 1)", p.BankGroups)
+	case p.TotalBanks() > maxTotalBanks:
+		return fmt.Errorf("dram: %d total banks (ranks %d × bank groups %d × banks %d) exceeds the %d-bank cap",
+			p.TotalBanks(), p.Ranks, p.BankGroups, p.Banks, maxTotalBanks)
+	case p.State < StateAuto || p.State > StateSparse:
+		return fmt.Errorf("dram: unknown state mode %d", int(p.State))
 	case p.RowsPerBank <= 1:
 		return fmt.Errorf("dram: RowsPerBank = %d, must be at least 2", p.RowsPerBank)
 	case p.RefInt <= 0:
@@ -91,6 +200,32 @@ func (p Params) Validate() error {
 		return fmt.Errorf("dram: FlipThreshold must be positive")
 	}
 	return nil
+}
+
+// BankCoord decomposes a flat bank index in [0, TotalBanks) into its
+// (rank, bank group, bank) coordinate, rank-major — the inverse of
+// FlatBank. Mitigation state and lanes are instantiated per flat bank;
+// the coordinate view exists for reports and address-mapping checks.
+func (p Params) BankCoord(flat int) (rank, group, bank int) {
+	bg := p.BankGroups
+	if bg < 1 {
+		bg = 1
+	}
+	bank = flat % p.Banks
+	flat /= p.Banks
+	group = flat % bg
+	rank = flat / bg
+	return rank, group, bank
+}
+
+// FlatBank composes a (rank, bank group, bank) coordinate into the flat
+// bank index lanes and mitigation tables are keyed by.
+func (p Params) FlatBank(rank, group, bank int) int {
+	bg := p.BankGroups
+	if bg < 1 {
+		bg = 1
+	}
+	return (rank*bg+group)*p.Banks + bank
 }
 
 // RowsPerInterval returns how many rows each refresh interval refreshes

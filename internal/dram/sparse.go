@@ -1,0 +1,133 @@
+package dram
+
+// Lazily-paged per-row state. A full-DIMM population (32 banks × 64K
+// rows) makes the seed's dense per-row arrays — disturbance counters,
+// flip bookkeeping, the data-store index — the dominant heap cost even
+// when a run touches a few thousand rows. The paged stores below
+// allocate a fixed-size page of a bank's rows on first touch and treat
+// absent pages as zero, so heap scales with the touched-row footprint,
+// not the population. Reads of untouched rows and zeroing writes
+// (refresh restores) never allocate.
+//
+// The dense representation remains the small-geometry fast path (see
+// Device): a page probe is one shift, one bounds-checked load and a
+// predictable nil test, but the flat array is still cheaper, and every
+// pre-geometry configuration keeps its exact memory layout.
+
+const (
+	// pageShift sizes a page at 4096 rows: 16 KB of uint32 counters,
+	// small enough that a localized attack on a 64K-row bank allocates a
+	// couple of pages, large enough that the page table itself (16
+	// entries per 64K-row bank) is noise.
+	pageShift = 12
+	pageRows  = 1 << pageShift
+	pageMask  = pageRows - 1
+)
+
+// pagedU32 is a lazily-paged []uint32 indexed by row. The zero value is
+// an all-zero store; pages materialize on the first non-zero write.
+type pagedU32 struct {
+	pages [][]uint32
+}
+
+func newPagedU32(rows int) pagedU32 {
+	return pagedU32{pages: make([][]uint32, (rows+pageMask)>>pageShift)}
+}
+
+// get returns the value at row (0 for rows on untouched pages).
+func (p *pagedU32) get(row int) uint32 {
+	pg := p.pages[row>>pageShift]
+	if pg == nil {
+		return 0
+	}
+	return pg[row&pageMask]
+}
+
+// page returns the page holding row, allocating it on first touch.
+func (p *pagedU32) page(row int) []uint32 {
+	i := row >> pageShift
+	pg := p.pages[i]
+	if pg == nil {
+		pg = make([]uint32, pageRows)
+		p.pages[i] = pg
+	}
+	return pg
+}
+
+// set stores v at row. Storing zero into an untouched page is a no-op —
+// absent pages already read as zero — so refresh restores of quiet rows
+// never allocate.
+func (p *pagedU32) set(row int, v uint32) {
+	i := row >> pageShift
+	pg := p.pages[i]
+	if pg == nil {
+		if v == 0 {
+			return
+		}
+		pg = make([]uint32, pageRows)
+		p.pages[i] = pg
+	}
+	pg[row&pageMask] = v
+}
+
+// touchedPages counts allocated pages.
+func (p *pagedU32) touchedPages() int {
+	n := 0
+	for _, pg := range p.pages {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// pagedI32 is a lazily-paged []int32 with a non-zero "absent" fill
+// value, used by the data-store index (-1 = row never written).
+type pagedI32 struct {
+	pages [][]int32
+	fill  int32
+}
+
+func newPagedI32(rows int, fill int32) pagedI32 {
+	return pagedI32{pages: make([][]int32, (rows+pageMask)>>pageShift), fill: fill}
+}
+
+// get returns the value at row (the fill value on untouched pages).
+func (p *pagedI32) get(row int) int32 {
+	pg := p.pages[row>>pageShift]
+	if pg == nil {
+		return p.fill
+	}
+	return pg[row&pageMask]
+}
+
+// set stores v at row, allocating (and fill-initializing) the page on
+// first touch.
+func (p *pagedI32) set(row int, v int32) {
+	i := row >> pageShift
+	pg := p.pages[i]
+	if pg == nil {
+		if v == p.fill {
+			return
+		}
+		pg = make([]int32, pageRows)
+		if p.fill != 0 {
+			for j := range pg {
+				pg[j] = p.fill
+			}
+		}
+		p.pages[i] = pg
+	}
+	pg[row&pageMask] = v
+}
+
+// touchedPages counts allocated pages.
+func (p *pagedI32) touchedPages() int {
+	n := 0
+	for _, pg := range p.pages {
+		if pg != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -300,7 +300,7 @@ func WeakCellInjector(plan Plan, dev *dram.Device) func() {
 	}
 	return func() {
 		if gate.Uint64()&0xffffffff < r {
-			dev.InjectDisturbance(rng.Intn(pick, p.Banks), rng.Intn(pick, p.RowsPerBank), bump)
+			dev.InjectDisturbance(rng.Intn(pick, p.TotalBanks()), rng.Intn(pick, p.RowsPerBank), bump)
 		}
 	}
 }

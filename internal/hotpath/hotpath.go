@@ -62,7 +62,7 @@ func Specs() []Spec {
 func BenchTarget() mitigation.Target {
 	p := dram.ScaledParams()
 	return mitigation.Target{
-		Banks:         p.Banks,
+		Banks:         p.TotalBanks(),
 		RowsPerBank:   p.RowsPerBank,
 		RefInt:        p.RefInt,
 		FlipThreshold: p.FlipThreshold,

@@ -164,6 +164,11 @@ func (c *Chaos) Rename(oldpath, newpath string) error {
 // Remove implements FS.
 func (c *Chaos) Remove(path string) error { return c.inner.Remove(path) }
 
+// MkdirAll implements FS (passed through unfaulted: directory creation
+// happens once per checkpoint, before any durability boundary worth
+// attacking — the interesting faults live in the write/rename path).
+func (c *Chaos) MkdirAll(path string) error { return c.inner.MkdirAll(path) }
+
 // chaosFile buffers all writes in memory, applying write-time faults,
 // and materializes the (possibly torn, truncated, or corrupted) final
 // content into the real temp file at Close.

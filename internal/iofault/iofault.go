@@ -47,6 +47,9 @@ type FS interface {
 	Rename(oldpath, newpath string) error
 	// Remove deletes path.
 	Remove(path string) error
+	// MkdirAll creates a directory (and parents) — the sharded checkpoint
+	// lays its shard files out in a directory per checkpoint.
+	MkdirAll(path string) error
 }
 
 // OS is the passthrough implementation: every call maps 1:1 onto the
@@ -70,3 +73,6 @@ func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newp
 
 // Remove implements FS.
 func (OS) Remove(path string) error { return os.Remove(path) }
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }

@@ -68,7 +68,7 @@ func NewLane(cfg Config, dev *dram.Device, mit mitigation.Mitigator) (*Lane, err
 	if cfg.RowHitNs == 0 || cfg.RowMissNs == 0 || cfg.PendingCap <= 0 {
 		return nil, fmt.Errorf("memctrl: invalid config %+v", cfg)
 	}
-	if b := dev.Params().Banks; b != 1 {
+	if b := dev.Params().TotalBanks(); b != 1 {
 		return nil, fmt.Errorf("memctrl: lane device has %d banks, want 1", b)
 	}
 	return &Lane{cfg: cfg, dev: dev, mit: mit, openRow: -1,

@@ -120,7 +120,7 @@ func New(cfg Config, dev *dram.Device, mit mitigation.Mitigator) (*Controller, e
 		cfg:      cfg,
 		dev:      dev,
 		mit:      mit,
-		openRows: make([]int32, p.Banks),
+		openRows: make([]int32, p.TotalBanks()),
 		refStep:  uint64(p.TRefIntNs),
 		trfc:     uint64(p.TRFCNs),
 	}

@@ -149,7 +149,7 @@ func NewScheduler(t Timing, dev *dram.Device, mit mitigation.Mitigator, queueCap
 		timing:   t,
 		dev:      dev,
 		mit:      mit,
-		banks:    make([]bankState, dev.Params().Banks),
+		banks:    make([]bankState, dev.Params().TotalBanks()),
 		queueCap: queueCap,
 		nextRef:  int64(t.TREF),
 		lastAct:  -1 << 40,

@@ -73,7 +73,7 @@ func Section(name string) (SectionDef, bool) {
 func paperTarget() mitigation.Target {
 	p := dram.PaperParams()
 	return mitigation.Target{
-		Banks: p.Banks, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
+		Banks: p.TotalBanks(), RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
 		FlipThreshold: p.FlipThreshold,
 	}
 }

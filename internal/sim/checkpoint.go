@@ -139,6 +139,8 @@ const (
 type ckptLine struct {
 	Format  string          `json:"format,omitempty"`
 	Version int             `json:"version,omitempty"`
+	Shard   int             `json:"shard,omitempty"`  // sharded header: shard index
+	Shards  int             `json:"shards,omitempty"` // sharded header: directory shard count
 	K       string          `json:"k,omitempty"`
 	FP      string          `json:"fp,omitempty"`   // sweep, probe
 	Seed    string          `json:"seed,omitempty"` // sweep
@@ -196,6 +198,11 @@ type Checkpoint struct {
 	report LoadReport
 	// dirty counts results accepted since the last flush.
 	dirty int
+	// shardN > 0 selects the sharded directory layout (see
+	// checkpoint_shard.go); dirtyShards flags the shards a flush must
+	// rewrite.
+	shardN      int
+	dirtyShards []bool
 	// stats counts cache traffic (see CacheStats).
 	stats CacheStats
 	// FlushEvery bounds how many new results accumulate in memory before
@@ -488,6 +495,7 @@ func (c *Checkpoint) record(fp string, seed uint64, res Result) error {
 		c.data.Sweeps[fp] = sw
 	}
 	sw.Done[seedKey(seed)] = res
+	c.markDirty(fp)
 	c.dirty++
 	every := c.FlushEvery
 	if every <= 0 {
@@ -520,6 +528,7 @@ func (c *Checkpoint) PutOutput(name, text string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.data.Outputs[name] = checkpointOutput{Text: text}
+	c.markDirty(name)
 	return c.flushLocked()
 }
 
@@ -557,6 +566,7 @@ func (c *Checkpoint) PutProbe(fp string, v any) error {
 		c.data.Probes = make(map[string]json.RawMessage)
 	}
 	c.data.Probes[fp] = raw
+	c.markDirty(fp)
 	c.dirty++
 	every := c.FlushEvery
 	if every <= 0 {
@@ -581,7 +591,16 @@ func (c *Checkpoint) Flush() error {
 // marshalLocked renders the v2 byte image of the current state: header
 // line, entries in sorted-key order (so identical state always produces
 // identical bytes), digest trailer. Requires c.mu held.
-func (c *Checkpoint) marshalLocked() ([]byte, error) {
+func (c *Checkpoint) marshalLocked() ([]byte, error) { return c.marshalShard(-1) }
+
+// marshalShardLocked renders shard i's byte image: the same v2 format,
+// restricted to entries whose cell-group key hashes to i, with the
+// sharded header. Requires c.mu held.
+func (c *Checkpoint) marshalShardLocked(i int) ([]byte, error) { return c.marshalShard(i) }
+
+// marshalShard is the shared renderer; shard -1 means "everything,
+// single-file header".
+func (c *Checkpoint) marshalShard(shard int) ([]byte, error) {
 	var buf bytes.Buffer
 	writeLine := func(l ckptLine) error {
 		raw, err := json.Marshal(l)
@@ -592,10 +611,21 @@ func (c *Checkpoint) marshalLocked() ([]byte, error) {
 		buf.WriteByte('\n')
 		return nil
 	}
-	if err := writeLine(ckptLine{Format: checkpointFormat, Version: checkpointVersion}); err != nil {
+	keep := func(key string) bool {
+		return shard < 0 || shardOf(key, c.shardN) == shard
+	}
+	hdr := ckptLine{Format: checkpointFormat, Version: checkpointVersion}
+	if shard >= 0 {
+		hdr.Shard = shard
+		hdr.Shards = c.shardN
+	}
+	if err := writeLine(hdr); err != nil {
 		return nil, err
 	}
 	for _, fp := range sortedKeys(c.data.Sweeps) {
+		if !keep(fp) {
+			continue
+		}
 		sw := c.data.Sweeps[fp]
 		for _, seed := range sortedKeys(sw.Done) {
 			data, err := json.Marshal(sw.Done[seed])
@@ -609,6 +639,9 @@ func (c *Checkpoint) marshalLocked() ([]byte, error) {
 		}
 	}
 	for _, fp := range sortedKeys(c.data.Probes) {
+		if !keep(fp) {
+			continue
+		}
 		data := c.data.Probes[fp]
 		if err := writeLine(ckptLine{K: lineProbe, FP: fp,
 			Sum: entrySum(lineProbe, fp, "", data), Data: data}); err != nil {
@@ -616,6 +649,9 @@ func (c *Checkpoint) marshalLocked() ([]byte, error) {
 		}
 	}
 	for _, name := range sortedKeys(c.data.Outputs) {
+		if !keep(name) {
+			continue
+		}
 		data, err := json.Marshal(c.data.Outputs[name].Text)
 		if err != nil {
 			return nil, err
@@ -632,10 +668,13 @@ func (c *Checkpoint) marshalLocked() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// flushLocked writes the checkpoint atomically through the FS seam:
-// marshal, write a temp file in the same directory, fsync, rename over
-// the target. Requires c.mu held.
+// flushLocked writes pending state to disk atomically through the FS
+// seam: the whole file in single-file mode, only the dirty shards in
+// sharded mode. Requires c.mu held.
 func (c *Checkpoint) flushLocked() error {
+	if c.shardN > 0 {
+		return c.flushShardsLocked()
+	}
 	raw, err := c.marshalLocked()
 	if err != nil {
 		return fmt.Errorf("sim: marshal checkpoint: %w", err)
@@ -644,7 +683,17 @@ func (c *Checkpoint) flushLocked() error {
 	if fs == nil {
 		fs = iofault.OS{}
 	}
-	dir := filepath.Dir(c.path)
+	if err := atomicWrite(fs, filepath.Dir(c.path), c.path, raw); err != nil {
+		return err
+	}
+	c.dirty = 0
+	return nil
+}
+
+// atomicWrite writes raw to path with the crash-consistent dance: temp
+// file in dir, write, fsync, close, rename over the target. Any failure
+// removes the temp file and leaves the previous target untouched.
+func atomicWrite(fs iofault.FS, dir, path string, raw []byte) error {
 	tmp, err := fs.CreateTemp(dir, ".checkpoint-*.tmp")
 	if err != nil {
 		return fmt.Errorf("sim: checkpoint temp: %w", err)
@@ -664,11 +713,10 @@ func (c *Checkpoint) flushLocked() error {
 		fs.Remove(tmpName)
 		return fmt.Errorf("sim: close checkpoint: %w", err)
 	}
-	if err := fs.Rename(tmpName, c.path); err != nil {
+	if err := fs.Rename(tmpName, path); err != nil {
 		fs.Remove(tmpName)
 		return fmt.Errorf("sim: rename checkpoint: %w", err)
 	}
-	c.dirty = 0
 	return nil
 }
 

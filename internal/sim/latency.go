@@ -42,7 +42,7 @@ func LatencyProbeCtx(ctx context.Context, cfg Config, technique string) (Latency
 			return LatencyResult{}, permanent(err)
 		}
 		mit = f(mitigation.Target{
-			Banks: p.Banks, RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
+			Banks: p.TotalBanks(), RowsPerBank: p.RowsPerBank, RefInt: p.RefInt,
 			FlipThreshold: p.FlipThreshold,
 		}, 1)
 		label = technique
@@ -75,7 +75,7 @@ func LatencyProbeCtx(ctx context.Context, cfg Config, technique string) (Latency
 func newLatencyStream(cfg Config) (func() (int, int, bool), error) {
 	c := cfg
 	c.Windows = 1
-	mix := workload.SPECMix(c.Params.Banks, c.Params.RowsPerBank, c.Seed)
+	mix := workload.SPECMix(c.Params.TotalBanks(), c.Params.RowsPerBank, c.Seed)
 	att, err := workload.NewAttacker(workload.DefaultAttackerConfig(
 		c.AttackBanks, c.Params.RowsPerBank,
 		uint64(c.Params.RefInt)*200, c.Seed))

@@ -86,7 +86,7 @@ func ReplayTrace(r *trace.Reader, technique string, flipThreshold uint32) (Resul
 	if res.TotalActs > 0 {
 		res.OverheadPct = 100 * float64(res.ExtraActs) / float64(res.TotalActs)
 	}
-	res.Flips = len(dev.Flips())
+	res.Flips = int(dev.FlipCount())
 	if mit != nil {
 		res.TableBytes = mit.TableBytesPerBank()
 	}

@@ -128,7 +128,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: unknown policy %v", c.Policy)
 	}
 	for _, b := range c.AttackBanks {
-		if b < 0 || b >= c.Params.Banks {
+		if b < 0 || b >= c.Params.TotalBanks() {
 			return fmt.Errorf("sim: attack bank %d out of range", b)
 		}
 	}
@@ -141,7 +141,7 @@ func (c Config) Validate() error {
 // Target returns the mitigation.Target for this configuration.
 func (c Config) Target() mitigation.Target {
 	return mitigation.Target{
-		Banks:         c.Params.Banks,
+		Banks:         c.Params.TotalBanks(),
 		RowsPerBank:   c.Params.RowsPerBank,
 		RefInt:        c.Params.RefInt,
 		FlipThreshold: c.Params.FlipThreshold,
@@ -376,10 +376,21 @@ func prepareRun(cfg Config, technique string) (*runEnv, error) {
 		return nil, err
 	}
 
-	banks := cfg.Params.Banks
+	banks := cfg.Params.TotalBanks()
 	rpb := cfg.Params.RowsPerBank
 	laneParams := cfg.Params
+	// Each lane models one flat bank: collapse the geometry and pin the
+	// state representation to the whole-config decision, so a full-DIMM
+	// run's lanes stay sparse (heap O(touched rows)) instead of Auto
+	// re-deciding per single-bank population.
 	laneParams.Banks = 1
+	laneParams.Ranks = 0
+	laneParams.BankGroups = 0
+	if cfg.Params.Sparse() {
+		laneParams.State = dram.StateSparse
+	} else {
+		laneParams.State = dram.StateDense
+	}
 	laneTarget := mitigation.Target{
 		Banks:         1,
 		RowsPerBank:   rpb,
@@ -570,7 +581,7 @@ func (e *runEnv) collect() Result {
 		cs := l.Stats()
 		res.TotalActs += ds.Activates
 		res.ExtraActs += cs.ActN + cs.ActNOne + cs.RefreshRow
-		res.Flips += len(l.Device().Flips())
+		res.Flips += int(l.Device().FlipCount())
 		if ds.MaxActsInIntv > res.MaxActsPerInterval {
 			res.MaxActsPerInterval = ds.MaxActsInIntv
 		}
@@ -622,7 +633,7 @@ type stream struct {
 }
 
 func newStream(cfg Config, api int) (*stream, error) {
-	st := &stream{mix: workload.NewSpecMixGen(cfg.Params.Banks, cfg.Params.RowsPerBank, cfg.Seed)}
+	st := &stream{mix: workload.NewSpecMixGen(cfg.Params.TotalBanks(), cfg.Params.RowsPerBank, cfg.Seed)}
 	if len(cfg.AttackBanks) > 0 && cfg.AttackShare > 0 {
 		// Plan the ramp over the attacker's exact share of the run's
 		// fixed access count, so the ramp completes as the run ends.

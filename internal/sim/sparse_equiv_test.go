@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"tivapromi/internal/dram"
+	"tivapromi/internal/faults"
+)
+
+// TestSparseMatchesDenseResults is the representation-equivalence
+// contract: forcing the lazily-paged sparse state must produce the
+// identical Result to the dense arrays for the same configuration, across
+// techniques, refresh policies, row remapping, and fault plans. The
+// sparse store is an encoding of the same counters, not a model change,
+// so any divergence is a bug in the paging.
+func TestSparseMatchesDenseResults(t *testing.T) {
+	cases := []struct {
+		name      string
+		technique string
+		mutate    func(*Config)
+	}{
+		{name: "unprotected", technique: ""},
+		{name: "PARA", technique: "PARA"},
+		{name: "TWiCe", technique: "TWiCe"},
+		{name: "LiPRoMi", technique: "LiPRoMi"},
+		{name: "CaPRoMi-random-policy", technique: "CaPRoMi",
+			mutate: func(c *Config) { c.Policy = PolicyRandom }},
+		{name: "LoPRoMi-remapped", technique: "LoPRoMi",
+			mutate: func(c *Config) { c.RemapSwaps = 8 }},
+		{name: "PARA-weak-cells", technique: "PARA",
+			mutate: func(c *Config) {
+				c.Fault = faults.Plan{Model: faults.WeakCells, Rate: 0.001, Seed: 7}
+			}},
+		{name: "TWiCe-state-seu", technique: "TWiCe",
+			mutate: func(c *Config) {
+				c.Fault = faults.Plan{Model: faults.StateSEU, Rate: 0.0005, Seed: 11}
+			}},
+	}
+	ctx := context.Background()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := shrunkenConfig()
+			if tc.mutate != nil {
+				tc.mutate(&cfg)
+			}
+			dense := cfg
+			dense.Params.State = dram.StateDense
+			sparse := cfg
+			sparse.Params.State = dram.StateSparse
+
+			want, err := RunCtx(ctx, dense, tc.technique)
+			if err != nil {
+				t.Fatalf("dense: %v", err)
+			}
+			got, err := RunCtx(ctx, sparse, tc.technique)
+			if err != nil {
+				t.Fatalf("sparse: %v", err)
+			}
+			if got != want {
+				t.Errorf("sparse result diverged from dense\n got: %+v\nwant: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestSparseMatchesDenseAcrossSeeds widens the property over seeds and
+// the two stock seed-scale geometries with the default attacker mix, the
+// configuration space campaigns actually sweep.
+func TestSparseMatchesDenseAcrossSeeds(t *testing.T) {
+	ctx := context.Background()
+	for _, base := range []Config{shrunkenConfig(), DefaultConfig()} {
+		base.Windows = 1
+		for _, seed := range []uint64{1, 2, 0xdeadbeef} {
+			cfg := base
+			cfg.Seed = seed
+			dense := cfg
+			dense.Params.State = dram.StateDense
+			sparse := cfg
+			sparse.Params.State = dram.StateSparse
+			want, err := RunCtx(ctx, dense, "PARA")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunCtx(ctx, sparse, "PARA")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("seed %#x: sparse diverged\n got: %+v\nwant: %+v", seed, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file holds the fully-streaming accumulators: single-pass,
+// constant-memory summaries for runs whose sample counts (per-activation
+// latencies, per-interval loads over a billion-activation campaign) make
+// sample retention the dominant heap cost. Welford/Ratio/Histogram were
+// already streaming; Moments adds higher central moments and P2Quantile
+// replaces "append to a slice, sort at the end" with the P² sketch —
+// five markers per tracked quantile, whatever the stream length.
+
+// Moments accumulates count, mean and the second to fourth central
+// moments in one pass (Pébay's update), exposing variance, skewness and
+// excess kurtosis in O(1) memory. The zero value is ready to use, and
+// accumulators merge exactly — the property the sharded campaign driver
+// needs to combine per-worker summaries into one as if a single pass had
+// seen every sample.
+type Moments struct {
+	n          uint64
+	mean       float64
+	m2, m3, m4 float64
+	min, max   float64
+	haveFirst  bool
+}
+
+// Add incorporates one sample.
+func (m *Moments) Add(x float64) {
+	if !m.haveFirst || x < m.min {
+		m.min = x
+	}
+	if !m.haveFirst || x > m.max {
+		m.max = x
+	}
+	m.haveFirst = true
+	n1 := float64(m.n)
+	m.n++
+	n := float64(m.n)
+	delta := x - m.mean
+	dn := delta / n
+	dn2 := dn * dn
+	t1 := delta * dn * n1
+	m.mean += dn
+	m.m4 += t1*dn2*(n*n-3*n+3) + 6*dn2*m.m2 - 4*dn*m.m3
+	m.m3 += t1*dn*(n-2) - 3*dn*m.m2
+	m.m2 += t1
+}
+
+// Merge combines another accumulator into m (Pébay's pairwise formulas),
+// exactly as if m had seen the other's samples.
+func (m *Moments) Merge(o *Moments) {
+	if o.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *o
+		return
+	}
+	na, nb := float64(m.n), float64(o.n)
+	n := na + nb
+	delta := o.mean - m.mean
+	d2 := delta * delta
+	mean := m.mean + delta*nb/n
+	m2 := m.m2 + o.m2 + d2*na*nb/n
+	m3 := m.m3 + o.m3 +
+		delta*d2*na*nb*(na-nb)/(n*n) +
+		3*delta*(na*o.m2-nb*m.m2)/n
+	m4 := m.m4 + o.m4 +
+		d2*d2*na*nb*(na*na-na*nb+nb*nb)/(n*n*n) +
+		6*d2*(na*na*o.m2+nb*nb*m.m2)/(n*n) +
+		4*delta*(na*o.m3-nb*m.m3)/n
+	if o.min < m.min {
+		m.min = o.min
+	}
+	if o.max > m.max {
+		m.max = o.max
+	}
+	m.n += o.n
+	m.mean, m.m2, m.m3, m.m4 = mean, m2, m3, m4
+}
+
+// N returns the number of samples seen.
+func (m *Moments) N() uint64 { return m.n }
+
+// Mean returns the sample mean (0 when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Min returns the smallest sample seen (0 when empty).
+func (m *Moments) Min() float64 { return m.min }
+
+// Max returns the largest sample seen (0 when empty).
+func (m *Moments) Max() float64 { return m.max }
+
+// Variance returns the unbiased sample variance (0 below two samples).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (m *Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
+
+// Skewness returns the sample skewness (0 when undefined).
+func (m *Moments) Skewness() float64 {
+	if m.n < 2 || m.m2 == 0 {
+		return 0
+	}
+	n := float64(m.n)
+	return math.Sqrt(n) * m.m3 / math.Pow(m.m2, 1.5)
+}
+
+// Kurtosis returns the excess kurtosis (0 when undefined).
+func (m *Moments) Kurtosis() float64 {
+	if m.n < 2 || m.m2 == 0 {
+		return 0
+	}
+	n := float64(m.n)
+	return n*m.m4/(m.m2*m.m2) - 3
+}
+
+// String formats as "mean ± stddev [min, max] (n)".
+func (m *Moments) String() string {
+	return fmt.Sprintf("%.6g ± %.3g [%.6g, %.6g] (n=%d)",
+		m.Mean(), m.StdDev(), m.Min(), m.Max(), m.n)
+}
+
+// P2Quantile estimates one quantile of a stream with the P² algorithm
+// (Jain & Chlamtac, CACM 1985): five markers whose heights approach the
+// q-quantile via piecewise-parabolic interpolation. Memory is constant
+// and per-sample cost is O(1); the estimate is exact until the sixth
+// sample and converges quickly for the smooth latency/load distributions
+// the simulator produces. Create with NewP2Quantile.
+type P2Quantile struct {
+	q float64
+	n uint64
+	// Initialization buffer: the first five samples, sorted on promotion.
+	init [5]float64
+	// Marker state after initialization.
+	heights [5]float64
+	pos     [5]float64 // actual marker positions (1-based)
+	want    [5]float64 // desired positions
+	inc     [5]float64 // desired-position increments per sample
+}
+
+// NewP2Quantile creates an estimator for the q-quantile, q in (0, 1). It
+// panics outside that range: the tracked quantile is a static experiment
+// parameter, not data.
+func NewP2Quantile(q float64) *P2Quantile {
+	if !(q > 0 && q < 1) {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	p := &P2Quantile{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Q returns the tracked quantile parameter.
+func (p *P2Quantile) Q() float64 { return p.q }
+
+// N returns the number of samples seen.
+func (p *P2Quantile) N() uint64 { return p.n }
+
+// Add incorporates one sample.
+func (p *P2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.init[p.n] = x
+		p.n++
+		if p.n == 5 {
+			s := p.init[:]
+			sort.Float64s(s)
+			copy(p.heights[:], s)
+			p.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	p.n++
+
+	// Find the cell k the sample falls into, updating extremes.
+	var k int
+	switch {
+	case x < p.heights[0]:
+		p.heights[0] = x
+		k = 0
+	case x >= p.heights[4]:
+		p.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+
+	// Adjust the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			h := p.parabolic(i, s)
+			if p.heights[i-1] < h && h < p.heights[i+1] {
+				p.heights[i] = h
+			} else {
+				p.heights[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for marker i
+// moved by s (±1).
+func (p *P2Quantile) parabolic(i int, s float64) float64 {
+	return p.heights[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.heights[i+1]-p.heights[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.heights[i]-p.heights[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback linear prediction when the parabola overshoots a
+// neighboring marker.
+func (p *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.heights[i] + s*(p.heights[j]-p.heights[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. Below five samples it is
+// the exact quantile of the buffered samples (nearest-rank), so small
+// streams degrade gracefully instead of returning garbage.
+func (p *P2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		s := append([]float64(nil), p.init[:p.n]...)
+		sort.Float64s(s)
+		rank := int(math.Ceil(p.q * float64(len(s))))
+		if rank < 1 {
+			rank = 1
+		}
+		return s[rank-1]
+	}
+	return p.heights[2]
+}
+
+// StreamSummary bundles the constant-memory per-stream summary the scale
+// harness reports: full moments plus the median and tail quantiles. The
+// zero value is not usable; create with NewStreamSummary.
+type StreamSummary struct {
+	Moments Moments
+	p50     *P2Quantile
+	p99     *P2Quantile
+}
+
+// NewStreamSummary returns an empty summary tracking p50 and p99.
+func NewStreamSummary() *StreamSummary {
+	return &StreamSummary{p50: NewP2Quantile(0.5), p99: NewP2Quantile(0.99)}
+}
+
+// Add incorporates one sample into every tracked statistic.
+func (s *StreamSummary) Add(x float64) {
+	s.Moments.Add(x)
+	s.p50.Add(x)
+	s.p99.Add(x)
+}
+
+// P50 returns the running median estimate.
+func (s *StreamSummary) P50() float64 { return s.p50.Value() }
+
+// P99 returns the running 99th-percentile estimate.
+func (s *StreamSummary) P99() float64 { return s.p99.Value() }

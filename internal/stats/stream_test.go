@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"tivapromi/internal/rng"
+)
+
+// refMoments computes the batch statistics a streaming accumulator must
+// reproduce.
+func refMoments(samples []float64) (mean, variance, skew, kurt float64) {
+	n := float64(len(samples))
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= n
+	var m2, m3, m4 float64
+	for _, x := range samples {
+		d := x - mean
+		m2 += d * d
+		m3 += d * d * d
+		m4 += d * d * d * d
+	}
+	variance = m2 / (n - 1)
+	skew = math.Sqrt(n) * m3 / math.Pow(m2, 1.5)
+	kurt = n*m4/(m2*m2) - 3
+	return
+}
+
+func sampleStream(seed uint64, n int) []float64 {
+	src := rng.NewXorShift64Star(seed)
+	out := make([]float64, n)
+	for i := range out {
+		// Skewed positive stream, latency-shaped: mostly small with a tail.
+		u := float64(src.Uint64()%1000000) / 1000000
+		out[i] = 10 + 100*u*u*u
+	}
+	return out
+}
+
+func TestMomentsMatchesBatch(t *testing.T) {
+	samples := sampleStream(42, 10000)
+	var m Moments
+	for _, x := range samples {
+		m.Add(x)
+	}
+	mean, variance, skew, kurt := refMoments(samples)
+	if m.N() != uint64(len(samples)) {
+		t.Fatalf("n = %d", m.N())
+	}
+	close := func(name string, got, want, tol float64) {
+		t.Helper()
+		if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	close("mean", m.Mean(), mean, 1e-9)
+	close("variance", m.Variance(), variance, 1e-9)
+	close("skewness", m.Skewness(), skew, 1e-6)
+	close("kurtosis", m.Kurtosis(), kurt, 1e-6)
+}
+
+func TestMomentsMergeIsExact(t *testing.T) {
+	samples := sampleStream(7, 5000)
+	var whole Moments
+	for _, x := range samples {
+		whole.Add(x)
+	}
+	// Split unevenly across three workers, merge back.
+	var a, b, c Moments
+	for i, x := range samples {
+		switch {
+		case i < 123:
+			a.Add(x)
+		case i < 2000:
+			b.Add(x)
+		default:
+			c.Add(x)
+		}
+	}
+	var merged Moments
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&c)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged n = %d, want %d", merged.N(), whole.N())
+	}
+	close := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	close("mean", merged.Mean(), whole.Mean())
+	close("variance", merged.Variance(), whole.Variance())
+	close("skewness", merged.Skewness(), whole.Skewness())
+	close("kurtosis", merged.Kurtosis(), whole.Kurtosis())
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Errorf("min/max = %v/%v, want %v/%v",
+			merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestMomentsMergeEmptySides(t *testing.T) {
+	var empty, m Moments
+	m.Add(3)
+	m.Add(5)
+	m.Merge(&empty) // no-op
+	if m.N() != 2 || m.Mean() != 4 {
+		t.Fatalf("merge with empty changed state: n=%d mean=%v", m.N(), m.Mean())
+	}
+	var dst Moments
+	dst.Merge(&m) // adopt
+	if dst.N() != 2 || dst.Mean() != 4 {
+		t.Fatalf("empty.Merge(m): n=%d mean=%v", dst.N(), dst.Mean())
+	}
+}
+
+func TestP2QuantileConverges(t *testing.T) {
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		samples := sampleStream(uint64(1000*q), 20000)
+		est := NewP2Quantile(q)
+		for _, x := range samples {
+			est.Add(x)
+		}
+		exact := Percentile(samples, 100*q)
+		// P² is an approximation; for these smooth streams it lands within
+		// a few percent of the exact quantile.
+		spread := samples[0]
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range samples {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		spread = hi - lo
+		if math.Abs(est.Value()-exact) > 0.05*spread {
+			t.Errorf("q=%v: estimate %v, exact %v (spread %v)", q, est.Value(), exact, spread)
+		}
+	}
+}
+
+func TestP2QuantileSmallStreamsExact(t *testing.T) {
+	est := NewP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimate = %v", est.Value())
+	}
+	est.Add(9)
+	est.Add(1)
+	est.Add(5)
+	// Nearest-rank median of {1,5,9} is 5 (exact below five samples).
+	if est.Value() != 5 {
+		t.Fatalf("3-sample median = %v, want 5", est.Value())
+	}
+}
+
+func TestP2QuantilePanicsOutOfRange(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2Quantile(%v) did not panic", q)
+				}
+			}()
+			NewP2Quantile(q)
+		}()
+	}
+}
+
+func TestStreamSummary(t *testing.T) {
+	s := NewStreamSummary()
+	samples := sampleStream(3, 8000)
+	for _, x := range samples {
+		s.Add(x)
+	}
+	if s.Moments.N() != uint64(len(samples)) {
+		t.Fatalf("n = %d", s.Moments.N())
+	}
+	if !(s.P50() < s.P99()) {
+		t.Fatalf("p50 %v not below p99 %v", s.P50(), s.P99())
+	}
+	if s.P99() > s.Moments.Max() || s.P50() < s.Moments.Min() {
+		t.Fatalf("quantiles outside [min, max]: p50=%v p99=%v min=%v max=%v",
+			s.P50(), s.P99(), s.Moments.Min(), s.Moments.Max())
+	}
+}

@@ -43,6 +43,7 @@ import (
 	_ "tivapromi/internal/mitigation/all" // register every technique
 	"tivapromi/internal/serve"
 	"tivapromi/internal/sim"
+	"tivapromi/internal/stats"
 	"tivapromi/internal/workload"
 )
 
@@ -196,6 +197,23 @@ func PaperParams() Params { return dram.PaperParams() }
 // by default in tests and examples.
 func ScaledParams() Params { return dram.ScaledParams() }
 
+// FullDIMMParams returns the whole-DIMM population preset: 1 rank × 8
+// DDR4 bank groups × 4 banks × 64 K rows (32 banks, 2 M rows). At this
+// scale StateAuto selects the lazily-paged sparse per-row state, so
+// heap stays proportional to the rows the workload touches.
+func FullDIMMParams() Params { return dram.FullDIMMParams() }
+
+// Per-row state representations (Params.State): auto resolves dense for
+// small populations and sparse for full-DIMM-scale ones.
+const (
+	StateAuto   = dram.StateAuto
+	StateDense  = dram.StateDense
+	StateSparse = dram.StateSparse
+)
+
+// StateMode selects the device's per-row state representation.
+type StateMode = dram.StateMode
+
 // DefaultSimConfig returns the standard mixed-load-plus-attacker setup.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 
@@ -308,6 +326,57 @@ func LoadCheckpoint(path string) (*Checkpoint, error) { return sim.LoadCheckpoin
 func LoadCheckpointFS(path string, fsys FS) (*Checkpoint, error) {
 	return sim.LoadCheckpointFS(path, fsys)
 }
+
+// LoadShardedCheckpoint opens or creates a sharded checkpoint: dir holds
+// one v2 checkpoint file per cell-group shard, and a flush rewrites only
+// the shards that changed — the layout for campaigns whose state is too
+// large to re-serialize monolithically. An existing directory's on-disk
+// shard count wins over the argument. Kill/resume semantics (atomic
+// writes, salvage, quarantine, byte-identical convergence) match the
+// single-file format shard by shard.
+func LoadShardedCheckpoint(dir string, shards int) (*Checkpoint, error) {
+	return sim.LoadShardedCheckpoint(dir, shards)
+}
+
+// LoadShardedCheckpointFS is LoadShardedCheckpoint through an explicit
+// filesystem seam (nil = the real filesystem).
+func LoadShardedCheckpointFS(dir string, shards int, fsys FS) (*Checkpoint, error) {
+	return sim.LoadShardedCheckpointFS(dir, shards, fsys)
+}
+
+// ScaleSmokeReport carries the measurements of one full-geometry scale
+// smoke run: touched rows, sparse-state and dense-baseline bytes, and
+// the live-heap growth across the run.
+type ScaleSmokeReport = sim.ScaleSmokeReport
+
+// ScaleSmoke runs cfg once and measures the memory the simulation
+// retained; Check on the report asserts the population-scale bounds
+// (sparse state ≤ dense/8, heap growth ≤ dense/2).
+func ScaleSmoke(ctx context.Context, cfg SimConfig, technique string) (ScaleSmokeReport, error) {
+	return sim.ScaleSmoke(ctx, cfg, technique)
+}
+
+// ScaleSmokeConfig returns the attacker-dominated workload the scale
+// smoke uses on params p.
+func ScaleSmokeConfig(p Params) SimConfig { return sim.ScaleSmokeConfig(p) }
+
+// Streaming statistics: single-pass, constant-memory accumulators for
+// population-scale sweeps (see internal/stats).
+type (
+	// StreamMoments accumulates mean/variance/skewness/kurtosis in one
+	// pass with exact pairwise merging.
+	StreamMoments = stats.Moments
+	// StreamQuantile is the P² single-pass quantile sketch.
+	StreamQuantile = stats.P2Quantile
+	// StreamSummary composes moments with p50/p99 sketches.
+	StreamSummary = stats.StreamSummary
+)
+
+// NewStreamQuantile returns a P² sketch tracking quantile q ∈ (0, 1).
+func NewStreamQuantile(q float64) *StreamQuantile { return stats.NewP2Quantile(q) }
+
+// NewStreamSummary returns a constant-memory moments + p50/p99 summary.
+func NewStreamSummary() *StreamSummary { return stats.NewStreamSummary() }
 
 // NewRunner returns a hardened sweep runner with default pool sizing and
 // no checkpoint.
