@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath bench-scale experiments examples fig4 serve serve-smoke clean
+.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath bench-scale experiments examples fig4 serve serve-smoke obs-smoke clean
 
 all: build vet test
 
@@ -29,7 +29,7 @@ test-debugasserts:
 # and its serving torture harness, and the hot-path structures the
 # parallel campaign touches.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/... ./internal/iofault/... ./internal/chaostest/... ./internal/serve/... ./internal/servetest/... ./internal/hotpath/... ./internal/bitset/...
+	$(GO) test -race ./internal/sim/... ./internal/faults/... ./internal/campaign/... ./internal/iofault/... ./internal/chaostest/... ./internal/serve/... ./internal/servetest/... ./internal/hotpath/... ./internal/bitset/... ./internal/obs/...
 
 # The full pre-merge gate: build, vet, tests (both assertion modes), race
 # tests.
@@ -98,9 +98,23 @@ serve:
 
 # Serving-layer smoke: race-built server, two tenants with overlapping
 # campaigns, dedup hits asserted, clean drain on SIGTERM within a
-# deadline.
+# deadline — plus a /metrics scrape (admitted jobs and dedup hits
+# nonzero, gauges back to zero after the queue drains).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# Observability smoke: run a small real campaign with the flight
+# recorder armed (-metrics-out, -trace-out), then validate both
+# artifacts with scripts/obscheck — the metrics dump must be well-formed
+# Prometheus text exposition carrying the act-path and campaign
+# families, and the trace must be Chrome trace-event JSON (Perfetto-
+# loadable) containing cell and run-attempt spans.
+obs-smoke:
+	$(GO) run ./cmd/experiments -seeds 1 -windows 1 -trials 2 \
+	  -metrics-out obs-metrics.txt -trace-out obs-trace.json flooding >/dev/null
+	$(GO) run ./scripts/obscheck -metrics obs-metrics.txt -trace obs-trace.json \
+	  -require-metrics tivapromi_accesses_total,tivapromi_acts_total,tivapromi_cells_completed_total,tivapromi_run_attempts_total,tivapromi_dedup_hits_total \
+	  -require-spans cell,run-attempt
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -112,4 +126,4 @@ examples:
 
 clean:
 	$(GO) clean ./...
-	rm -f fig4.svg
+	rm -f fig4.svg obs-metrics.txt obs-trace.json

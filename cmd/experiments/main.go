@@ -120,6 +120,21 @@
 //	-cpuprofile PATH  profile: also capture a pprof CPU profile of the
 //	                  pipeline measurements
 //	-memprofile PATH  profile: also capture a pprof heap profile at exit
+//	-metrics-out PATH write the process-wide metric registry (Prometheus
+//	                  text exposition) to PATH at exit, on every exit
+//	                  path — a failed run is exactly when the flight
+//	                  recorder matters
+//	-trace-out PATH   record spans (campaign cells, run attempts,
+//	                  checkpoint flushes, shard workers, serve jobs) and
+//	                  write them as Chrome trace-event JSON to PATH at
+//	                  exit; load it in Perfetto (ui.perfetto.dev) or
+//	                  chrome://tracing
+//	-pprof-addr HOST:PORT
+//	                  serve net/http/pprof on a side listener for live
+//	                  CPU/heap/goroutine profiles of any long run
+//	-no-metrics       disable the sampled metric flushes (the act path's
+//	                  two atomic adds per interval); mainly for A/B-ing
+//	                  obs overhead and the determinism property test
 package main
 
 import (
@@ -130,10 +145,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof-addr
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -142,6 +161,7 @@ import (
 	"tivapromi/internal/dram"
 	"tivapromi/internal/hotpath"
 	"tivapromi/internal/memctrl"
+	"tivapromi/internal/obs"
 	"tivapromi/internal/report"
 	"tivapromi/internal/serve"
 	"tivapromi/internal/sim"
@@ -179,6 +199,10 @@ var (
 	queueDep  = flag.Int("queue-depth", 8, "serve: per-tenant pending-job bound before 429s")
 	maxTen    = flag.Int("max-tenants", 64, "serve: distinct-tenant bound")
 	drainTO   = flag.Duration("drain-timeout", 30*time.Second, "serve: in-flight grace on shutdown before force-cancel")
+	metricsF  = flag.String("metrics-out", "", "write the metric registry (Prometheus text) here at exit")
+	traceF    = flag.String("trace-out", "", "record spans and write Chrome trace-event JSON here at exit")
+	pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (e.g. localhost:6060)")
+	noMetrics = flag.Bool("no-metrics", false, "disable the sampled metric flushes (obs A/B runs)")
 )
 
 // app binds one evaluation's knobs to its outputs. Tests construct it
@@ -276,6 +300,11 @@ func (a *app) runSections(ctx context.Context, names []string) error {
 	if skippedCells := rs.Skipped(); len(skippedCells) > 0 || len(degraded) > 0 {
 		// Degraded mode: everything that completed has been rendered; the
 		// banner and the non-zero exit report what is missing.
+		obs.Emit("degraded-run",
+			"skipped_cells", strconv.Itoa(len(skippedCells)),
+			"incomplete_sections", strconv.Itoa(len(degraded)))
+		obs.Instant("degraded-run", "campaign",
+			"skipped_cells", strconv.Itoa(len(skippedCells)))
 		if a.stderr != nil {
 			fmt.Fprintf(a.stderr, "experiments: DEGRADED RUN: %d cell(s) skipped, %d section(s) incomplete\n",
 				len(skippedCells), len(degraded))
@@ -673,6 +702,9 @@ func (a *app) profile(ctx context.Context, path, basePath, cpuPath, memPath stri
 		if m.RefNsPerAct > 0 {
 			line += fmt.Sprintf("  (serial-LFSR ref %.1f ns/act, %.1fx)", m.RefNsPerAct, m.Speedup)
 		}
+		if m.ObsNsPerAct > 0 {
+			line += fmt.Sprintf("  (obs on: %.1f ns/act, %+.1f%%)", m.ObsNsPerAct, m.ObsOverheadPct)
+		}
 		fmt.Fprintln(a.stdout, line)
 	}
 	for _, p := range rep.Pipeline {
@@ -782,6 +814,24 @@ func main() {
 	}
 	if *progress {
 		a.progress = os.Stderr
+		// Structured obs events (retry/breaker/DEGRADED/quarantine
+		// transitions) ride the same side channel as progress: stderr,
+		// never stdout, so rendered tables stay byte-identical.
+		obs.SetEventSink(os.Stderr)
+	}
+	if *noMetrics {
+		obs.SetMetricsEnabled(false)
+	}
+	if *traceF != "" {
+		obs.SetTracer(obs.NewTracer())
+	}
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof-addr: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "experiments: pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+		go http.Serve(ln, nil) // DefaultServeMux carries net/http/pprof
 	}
 
 	// Ctrl-C or a supervisor's SIGTERM cancels the campaign (or, for
@@ -837,9 +887,53 @@ func main() {
 		}
 		err = a.runSections(ctx, []string{cmd})
 	}
+	// Artifacts are written on every exit path — a DEGRADED or failed run
+	// is exactly when the operator wants the flight recorder.
+	if oerr := writeObsArtifacts(*metricsF, *traceF); oerr != nil && err == nil {
+		err = oerr
+	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// writeObsArtifacts dumps the metric registry and the span trace to
+// their -metrics-out / -trace-out paths (empty = skip).
+func writeObsArtifacts(metricsPath, tracePath string) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		werr := obs.Default.WritePrometheus(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("metrics-out: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote metrics to %s\n", metricsPath)
+	}
+	if tracePath != "" {
+		t := obs.CurrentTracer()
+		if t == nil {
+			return nil
+		}
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		werr := t.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("trace-out: %w", werr)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: wrote %d trace event(s) to %s (%d dropped) — load in ui.perfetto.dev\n",
+			t.Len(), tracePath, t.Dropped())
+	}
+	return nil
 }
 
 func fatal(err error) {

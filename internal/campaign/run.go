@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tivapromi/internal/obs"
 	"tivapromi/internal/sim"
 )
 
@@ -307,12 +309,33 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 		go func(c Cell, cr *CellResult) {
 			defer wg.Done()
 			cellStart := time.Now()
+			span := obs.StartSpan("cell", "campaign",
+				"campaign", spec.Name, "cell", c.Key, "tenant", opts.Tenant)
 			runCell(ctx, &runner, c, cr, cellPolicy{
-				budget:  budget,
-				breaker: breaker,
+				budget:   budget,
+				breaker:  breaker,
+				campaign: spec.Name,
 				jitter: sim.NewRetryJitter(backoff, 0,
 					opts.RetrySeed^cellSeed(spec.Name, c.Key)),
 			})
+			obs.CellSeconds.Observe(time.Since(cellStart).Seconds())
+			if cr.Attempts > 1 {
+				obs.CellRetries.Add(uint64(cr.Attempts - 1))
+			}
+			outcome := "ok"
+			switch {
+			case cr.Skipped:
+				outcome = "skipped"
+				obs.CellsSkipped.Inc()
+			case cr.Err != nil:
+				outcome = "err"
+			default:
+				obs.CellsCompleted.Inc()
+				if cr.Cached {
+					obs.CellsCached.Inc()
+				}
+			}
+			span.End("outcome", outcome, "attempts", strconv.Itoa(cr.Attempts))
 			finish(cr, cellStart)
 		}(c, cr)
 	}
@@ -326,9 +349,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*ResultSet, error) {
 // cellPolicy carries the scheduler's cell-level retry machinery into one
 // cell's attempt loop.
 type cellPolicy struct {
-	budget  *atomic.Int64
-	breaker int
-	jitter  *sim.RetryJitter
+	budget   *atomic.Int64
+	breaker  int
+	campaign string // for event-log attribution only
+	jitter   *sim.RetryJitter
 }
 
 // cellSeed derives a stable per-cell jitter seed from the campaign and
@@ -363,10 +387,26 @@ func runCell(ctx context.Context, r *sim.Runner, c Cell, cr *CellResult, pol cel
 			return
 		}
 		if cr.Attempts >= pol.breaker || !takeToken(pol.budget) {
+			reason := "budget-dry"
+			if cr.Attempts >= pol.breaker {
+				reason = "breaker"
+				obs.BreakerTrips.Inc()
+			}
 			cr.Skipped = true
 			cr.Err = fmt.Errorf("%w after %d attempt(s): %w", ErrCellSkipped, cr.Attempts, cellFailure(cr))
+			obs.Emit("cell-skipped",
+				"campaign", pol.campaign, "cell", c.Key,
+				"reason", reason,
+				"attempts", strconv.Itoa(cr.Attempts),
+				"err", cellFailure(cr).Error())
+			obs.Instant("cell-skipped", "campaign",
+				"cell", c.Key, "reason", reason)
 			return
 		}
+		obs.Emit("cell-retry",
+			"campaign", pol.campaign, "cell", c.Key,
+			"attempt", strconv.Itoa(cr.Attempts),
+			"err", cellFailure(cr).Error())
 		if !sleepOrDone(ctx, pol.jitter.Next()) {
 			return
 		}

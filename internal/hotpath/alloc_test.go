@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tivapromi/internal/mitigation"
+	"tivapromi/internal/obs"
 )
 
 // TestActPathAllocFree is the alloc-regression gate: after warm-up, the
@@ -11,26 +12,43 @@ import (
 // regression here (a map reintroduced on a hot lookup, a command buffer
 // grown per call) silently costs an order of magnitude in campaign
 // throughput, so it fails the build rather than a benchmark review.
+//
+// The gate runs twice per technique: once with the obs metrics flush
+// enabled (the deployed configuration — the 0 allocs/act guarantee must
+// cover instrumentation) and once with it disabled (isolating any
+// regression to the technique itself rather than the obs layer).
 func TestActPathAllocFree(t *testing.T) {
-	for _, s := range Specs() {
-		s := s
-		t.Run(s.Name, func(t *testing.T) {
-			tgt := BenchTarget()
-			factory, err := mitigation.Lookup(s.Name)
-			if err != nil {
-				t.Fatalf("lookup: %v", err)
-			}
-			m := factory(tgt, 1)
-			// Warm-up: grow the scratch buffer and fill the technique's
-			// tables to steady state.
-			_, scratch := DriveActPath(m, tgt, 8*actsPerInterval*tgt.Banks, nil)
-			const actsPerRun = 2 * actsPerInterval // spans an interval tick
-			allocs := testing.AllocsPerRun(50, func() {
-				_, scratch = DriveActPath(m, tgt, actsPerRun, scratch)
-			})
-			if allocs != 0 {
-				t.Errorf("%s act path allocates %.2f objects per %d activations, want 0",
-					s.Name, allocs, actsPerRun)
+	wasOn := obs.MetricsEnabled()
+	defer obs.SetMetricsEnabled(wasOn)
+	for _, metricsOn := range []bool{true, false} {
+		metricsOn := metricsOn
+		label := "metrics-on"
+		if !metricsOn {
+			label = "metrics-off"
+		}
+		t.Run(label, func(t *testing.T) {
+			obs.SetMetricsEnabled(metricsOn)
+			for _, s := range Specs() {
+				s := s
+				t.Run(s.Name, func(t *testing.T) {
+					tgt := BenchTarget()
+					factory, err := mitigation.Lookup(s.Name)
+					if err != nil {
+						t.Fatalf("lookup: %v", err)
+					}
+					m := factory(tgt, 1)
+					// Warm-up: grow the scratch buffer and fill the technique's
+					// tables to steady state.
+					_, scratch := DriveActPath(m, tgt, 8*actsPerInterval*tgt.Banks, nil)
+					const actsPerRun = 2 * actsPerInterval // spans an interval tick
+					allocs := testing.AllocsPerRun(50, func() {
+						_, scratch = DriveActPath(m, tgt, actsPerRun, scratch)
+					})
+					if allocs != 0 {
+						t.Errorf("%s act path (%s) allocates %.2f objects per %d activations, want 0",
+							s.Name, label, allocs, actsPerRun)
+					}
+				})
 			}
 		})
 	}

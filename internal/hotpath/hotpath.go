@@ -29,6 +29,7 @@ import (
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register all techniques
+	"tivapromi/internal/obs"
 	"tivapromi/internal/rng"
 	"tivapromi/internal/sim"
 )
@@ -107,6 +108,14 @@ func DriveActPath(m mitigation.Mitigator, t mitigation.Target, n int, scratch []
 				interval = 0
 				m.OnNewWindow()
 			}
+			// Mirror the production lane's sampled metrics flush (see
+			// memctrl.Lane.FlushMetrics): two atomic adds per interval,
+			// nothing per act. Benchmarking it here means NsPerAct and the
+			// alloc gate measure the act path as deployed, obs included.
+			if obs.MetricsEnabled() {
+				obs.Accesses.Add(uint64(perTick))
+				obs.Acts.Add(uint64(perTick))
+			}
 		}
 	}
 	return emitted, scratch
@@ -123,6 +132,13 @@ type Measurement struct {
 	// no RNG on the act path); Speedup is RefNsPerAct / NsPerAct.
 	RefNsPerAct float64 `json:"ref_ns_per_act,omitempty"`
 	Speedup     float64 `json:"speedup,omitempty"`
+	// ObsNsPerAct is the act path with the obs metrics flush enabled
+	// (NsPerAct is measured with it disabled, preserving comparability
+	// with committed baselines); ObsOverheadPct is the relative cost of
+	// observability on the hot path, expected ≈0 since the flush is two
+	// atomic adds per refresh interval.
+	ObsNsPerAct    float64 `json:"obs_ns_per_act"`
+	ObsOverheadPct float64 `json:"obs_overhead_pct"`
 }
 
 // benchActPath drives b.N activations through a fresh instance of the
@@ -151,8 +167,15 @@ func benchActPath(b *testing.B, name string, serial bool) {
 }
 
 // MeasureActPath benchmarks one technique's act path, including the
-// serial-LFSR reference for RNG-backed techniques.
+// serial-LFSR reference for RNG-backed techniques and the obs-overhead
+// leg (metrics flush on vs off).
 func MeasureActPath(s Spec) Measurement {
+	wasOn := obs.MetricsEnabled()
+	defer obs.SetMetricsEnabled(wasOn)
+
+	// NsPerAct with the metrics flush off: the historical measurement,
+	// directly comparable with baselines committed before obs existed.
+	obs.SetMetricsEnabled(false)
 	r := testing.Benchmark(func(b *testing.B) { benchActPath(b, s.Name, false) })
 	ns := float64(r.NsPerOp())
 	if ns <= 0 {
@@ -175,6 +198,18 @@ func MeasureActPath(s Spec) Measurement {
 		if m.NsPerAct > 0 {
 			m.Speedup = m.RefNsPerAct / m.NsPerAct
 		}
+	}
+
+	// The same path with the sampled metrics flush on — the deployed
+	// configuration. The delta is the observable cost of observability.
+	obs.SetMetricsEnabled(true)
+	or := testing.Benchmark(func(b *testing.B) { benchActPath(b, s.Name, false) })
+	m.ObsNsPerAct = float64(or.NsPerOp())
+	if m.ObsNsPerAct <= 0 {
+		m.ObsNsPerAct = float64(or.T.Nanoseconds()) / float64(or.N)
+	}
+	if m.NsPerAct > 0 {
+		m.ObsOverheadPct = 100 * (m.ObsNsPerAct - m.NsPerAct) / m.NsPerAct
 	}
 	return m
 }

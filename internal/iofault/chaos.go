@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tivapromi/internal/obs"
 	"tivapromi/internal/rng"
 )
 
@@ -142,6 +143,7 @@ func (c *Chaos) Rename(oldpath, newpath string) error {
 	fail := c.roll(c.cfg.RenameFail)
 	if fail {
 		c.stats.RenameFails++
+		obs.ChaosInjection("rename_fail")
 	}
 	c.mu.Unlock()
 	if fail {
@@ -193,22 +195,26 @@ func (f *chaosFile) Write(p []byte) (int, error) {
 	switch {
 	case c.roll(c.cfg.WriteErr):
 		c.stats.WriteErrs++
+		obs.ChaosInjection("write_err")
 		c.mu.Unlock()
 		return 0, fmt.Errorf("iofault: write %s: %w", f.inner.Name(), ErrInjectedIO)
 	case c.roll(c.cfg.NoSpace):
 		c.stats.NoSpaceErrs++
+		obs.ChaosInjection("no_space")
 		c.mu.Unlock()
 		return 0, fmt.Errorf("iofault: write %s: %w", f.inner.Name(), ErrInjectedNoSpace)
 	case c.roll(c.cfg.TornWrite):
 		// Persist a strict prefix but report complete success: the
 		// caller proceeds to rename a torn file into place.
 		c.stats.TornWrites++
+		obs.ChaosInjection("torn_write")
 		keep := c.intn(len(p))
 		c.mu.Unlock()
 		f.buf = append(f.buf, p[:keep]...)
 		return len(p), nil
 	case c.roll(c.cfg.ShortWrite):
 		c.stats.ShortWrites++
+		obs.ChaosInjection("short_write")
 		keep := c.intn(len(p))
 		c.mu.Unlock()
 		f.buf = append(f.buf, p[:keep]...)
@@ -227,6 +233,7 @@ func (f *chaosFile) Sync() error {
 	lost := c.roll(c.cfg.FsyncLoss)
 	if lost {
 		c.stats.FsyncLosses++
+		obs.ChaosInjection("fsync_loss")
 	}
 	c.mu.Unlock()
 	if lost {
@@ -252,6 +259,7 @@ func (f *chaosFile) Close() error {
 	c.mu.Lock()
 	if len(out) > 0 && c.roll(c.cfg.BitFlip) {
 		c.stats.BitFlips++
+		obs.ChaosInjection("bit_flip")
 		pos := c.intn(len(out))
 		flip := byte(1) << uint(c.intn(8))
 		c.mu.Unlock()

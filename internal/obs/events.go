@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Structured event logging: one line per state transition worth a
+// human's attention (retry, stall, breaker trip, quarantine,
+// DEGRADED), in key=value form greppable by machines. Disabled until
+// a sink is installed; the fast path is one atomic load.
+
+type eventSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+var sink atomic.Pointer[eventSink]
+
+// SetEventSink routes Emit lines to w; nil disables event logging.
+func SetEventSink(w io.Writer) {
+	if w == nil {
+		sink.Store(nil)
+		return
+	}
+	sink.Store(&eventSink{w: w})
+}
+
+// Emit writes one `ts=<RFC3339Nano> event=<name> k=v ...` line to the
+// installed sink. Values containing spaces, quotes, or '=' are
+// quoted. No-op (and allocation-free) when no sink is installed.
+func Emit(event string, kv ...string) {
+	s := sink.Load()
+	if s == nil {
+		return
+	}
+	var b strings.Builder
+	b.Grow(64 + 16*len(kv))
+	b.WriteString("ts=")
+	b.WriteString(time.Now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" event=")
+	b.WriteString(quoteIfNeeded(event))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(kv[i+1]))
+	}
+	b.WriteByte('\n')
+	s.mu.Lock()
+	io.WriteString(s.w, b.String())
+	s.mu.Unlock()
+}
+
+func quoteIfNeeded(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax = %d, want 9", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "help")
+	b := r.Counter("test_total", "other help ignored")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	l1 := r.Counter("test_labeled_total", "h", "kind", "x")
+	l2 := r.Counter("test_labeled_total", "h", "kind", "y")
+	l1b := r.Counter("test_labeled_total", "h", "kind", "x")
+	if l1 == l2 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	if l1 != l1b {
+		t.Fatal("same labels returned distinct counters")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_x_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("test_x_total", "h")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "h")
+		}()
+	}
+}
+
+func TestHistogramBucketsAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP test_seconds latency",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		"test_seconds_sum 56.05",
+		"test_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_inj_total", "by kind", "kind", "torn_write").Add(3)
+	r.Counter("test_inj_total", "by kind", "kind", "bit_flip").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "# TYPE test_inj_total counter") != 1 {
+		t.Fatalf("want exactly one TYPE line for the family:\n%s", out)
+	}
+	for _, want := range []string{
+		`test_inj_total{kind="torn_write"} 3`,
+		`test_inj_total{kind="bit_flip"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Series must be sorted by label block for stable scrapes.
+	if strings.Index(out, `kind="bit_flip"`) > strings.Index(out, `kind="torn_write"`) {
+		t.Errorf("series not sorted by label:\n%s", out)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "h", "kind", `a"b\c`+"\nd").Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `test_esc_total{kind="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "h")
+	h := r.Histogram("test_conc_seconds", "h", []float64{1, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-12000) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want 12000", h.Sum())
+	}
+}
+
+func TestDefaultCatalogRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"tivapromi_jobs_admitted_total",
+		"tivapromi_dedup_hits_total",
+		"tivapromi_queue_depth",
+		"tivapromi_cell_retries_total",
+		"tivapromi_breaker_trips_total",
+		"tivapromi_run_stalls_total",
+		"tivapromi_checkpoint_flushes_total",
+		"tivapromi_checkpoint_salvages_total",
+		"tivapromi_chaos_injections_total",
+		"tivapromi_sparse_state_bytes",
+		"tivapromi_job_seconds_bucket",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("default catalog missing %q", fam)
+		}
+	}
+}

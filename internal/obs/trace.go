@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// The tracer records spans (named intervals with key=value args) and
+// instant markers, and renders them as Chrome trace-event JSON —
+// the format chrome://tracing and Perfetto (ui.perfetto.dev) open
+// directly. Tracing is process-global and off by default: when no
+// tracer is installed, StartSpan returns a zero Span whose End is a
+// no-op and the call costs two atomic loads, so instrumentation can
+// stay in place permanently.
+
+// maxTraceEvents bounds the in-memory event buffer. A long soak
+// cannot OOM the process through tracing; overflow is counted and
+// reported in the trace metadata instead.
+const maxTraceEvents = 1 << 18
+
+// A Tracer accumulates trace events in memory until WriteJSON renders
+// them. All methods are safe for concurrent use.
+type Tracer struct {
+	start time.Time // wall-clock origin; ts fields are offsets from it
+
+	mu      sync.Mutex
+	events  []traceEvent
+	dropped uint64
+
+	// tid allocation: spans borrow the lowest free track id for their
+	// duration so concurrent spans render as compact swimlanes in
+	// Perfetto rather than one row per goroutine.
+	tidMu   sync.Mutex
+	tidFree []int64
+	tidNext int64
+}
+
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte // 'X' complete, 'i' instant
+	ts   int64
+	dur  int64
+	tid  int64
+	args []string // key/value pairs
+}
+
+// NewTracer returns a tracer whose timestamps are offsets from now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), tidNext: 1}
+}
+
+// global holds the installed *Tracer (or nil). atomic.Pointer keeps
+// CurrentTracer cheap enough to call from instrumentation sites
+// unconditionally.
+var global atomic.Pointer[Tracer]
+
+// SetTracer installs t as the process-global tracer; nil uninstalls.
+func SetTracer(t *Tracer) {
+	if t == nil {
+		global.Store(nil)
+		return
+	}
+	global.Store(t)
+}
+
+// CurrentTracer returns the installed tracer, or nil when tracing is
+// off.
+func CurrentTracer() *Tracer { return global.Load() }
+
+// A Span is an in-flight interval. The zero Span (returned when
+// tracing is off) is valid and End on it is a no-op.
+type Span struct {
+	t    *Tracer
+	name string
+	cat  string
+	ts   int64
+	tid  int64
+	args []string
+}
+
+// StartSpan opens a span on the global tracer. kv is an even-length
+// list of key/value argument strings copied into the trace. When no
+// tracer is installed the call allocates nothing (the variadic slice
+// stays on the caller's stack).
+func StartSpan(name, cat string, kv ...string) Span {
+	t := global.Load()
+	if t == nil {
+		return Span{}
+	}
+	return t.startSpan(name, cat, kv)
+}
+
+func (t *Tracer) startSpan(name, cat string, kv []string) Span {
+	return Span{
+		t:    t,
+		name: name,
+		cat:  cat,
+		ts:   time.Since(t.start).Microseconds(),
+		tid:  t.acquireTid(),
+		args: append([]string(nil), kv...),
+	}
+}
+
+// End closes the span, appending a complete ('X') event. Extra kv
+// pairs recorded at close time (e.g. an outcome) are merged after the
+// open-time args.
+func (s Span) End(kv ...string) {
+	if s.t == nil {
+		return
+	}
+	end := time.Since(s.t.start).Microseconds()
+	dur := end - s.ts
+	if dur < 1 {
+		dur = 1 // zero-duration slices are invisible in Perfetto
+	}
+	args := s.args
+	if len(kv) > 0 {
+		args = append(args, kv...)
+	}
+	s.t.push(traceEvent{name: s.name, cat: s.cat, ph: 'X', ts: s.ts, dur: dur, tid: s.tid, args: args})
+	s.t.releaseTid(s.tid)
+}
+
+// SpanBetween records a retroactive complete event for an interval
+// already over — e.g. a job's queue wait, reconstructed from its
+// created/started timestamps after the fact.
+func SpanBetween(name, cat string, start, end time.Time, kv ...string) {
+	t := global.Load()
+	if t == nil {
+		return
+	}
+	ts := start.Sub(t.start).Microseconds()
+	if ts < 0 {
+		ts = 0
+	}
+	dur := end.Sub(start).Microseconds()
+	if dur < 1 {
+		dur = 1
+	}
+	tid := t.acquireTid()
+	t.push(traceEvent{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, tid: tid, args: append([]string(nil), kv...)})
+	t.releaseTid(tid)
+}
+
+// Instant records a zero-duration marker (retry fired, breaker
+// tripped, checkpoint quarantined).
+func Instant(name, cat string, kv ...string) {
+	t := global.Load()
+	if t == nil {
+		return
+	}
+	tid := t.acquireTid()
+	t.push(traceEvent{name: name, cat: cat, ph: 'i', ts: time.Since(t.start).Microseconds(), tid: tid, args: append([]string(nil), kv...)})
+	t.releaseTid(tid)
+}
+
+func (t *Tracer) push(ev traceEvent) {
+	t.mu.Lock()
+	if len(t.events) >= maxTraceEvents {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) acquireTid() int64 {
+	t.tidMu.Lock()
+	defer t.tidMu.Unlock()
+	if n := len(t.tidFree); n > 0 {
+		// Lowest free id keeps lanes dense; the free list is kept
+		// sorted descending so the minimum pops off the end.
+		id := t.tidFree[n-1]
+		t.tidFree = t.tidFree[:n-1]
+		return id
+	}
+	id := t.tidNext
+	t.tidNext++
+	return id
+}
+
+func (t *Tracer) releaseTid(id int64) {
+	t.tidMu.Lock()
+	t.tidFree = append(t.tidFree, id)
+	sort.Slice(t.tidFree, func(i, j int) bool { return t.tidFree[i] > t.tidFree[j] })
+	t.tidMu.Unlock()
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded at the buffer cap.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`+"\n\t\r") && !hasControl(s) {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+func hasControl(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteJSON renders the buffered events as a Chrome trace-event JSON
+// object. Events are sorted by timestamp so the file is stable for a
+// given set of spans regardless of goroutine interleaving of End
+// calls at equal instants.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	dropped := t.dropped
+	t.mu.Unlock()
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		return events[i].tid < events[j].tid
+	})
+	var b strings.Builder
+	b.WriteString(`{"displayTimeUnit":"ms","otherData":{"generator":"tivapromi","droppedEvents":`)
+	fmt.Fprintf(&b, "%d", dropped)
+	b.WriteString(`},"traceEvents":[`)
+	for i, ev := range events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"name":"%s","cat":"%s","ph":"%c","ts":%d`,
+			jsonEscape(ev.name), jsonEscape(ev.cat), ev.ph, ev.ts)
+		if ev.ph == 'X' {
+			fmt.Fprintf(&b, `,"dur":%d`, ev.dur)
+		}
+		if ev.ph == 'i' {
+			b.WriteString(`,"s":"t"`)
+		}
+		fmt.Fprintf(&b, `,"pid":1,"tid":%d`, ev.tid)
+		if len(ev.args) >= 2 {
+			b.WriteString(`,"args":{`)
+			for j := 0; j+1 < len(ev.args); j += 2 {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, `"%s":"%s"`, jsonEscape(ev.args[j]), jsonEscape(ev.args[j+1]))
+			}
+			b.WriteByte('}')
+		}
+		b.WriteByte('}')
+		if b.Len() >= 1<<16 {
+			if _, err := io.WriteString(w, b.String()); err != nil {
+				return err
+			}
+			b.Reset()
+		}
+	}
+	b.WriteString("]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// compile-time guard that Span stays small enough to pass by value
+// cheaply; instrumentation creates one per cell/attempt/job.
+var _ = func() bool {
+	if unsafe.Sizeof(Span{}) > 96 {
+		panic("obs: Span grew past a cacheline pair")
+	}
+	return true
+}()

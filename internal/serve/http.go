@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"tivapromi/internal/obs"
 	"tivapromi/internal/sim"
 )
 
@@ -24,6 +25,7 @@ import (
 //	GET  /v1/campaigns/{id}/report  rendered sections (text/plain; 409 until done)
 //	GET  /v1/campaigns/{id}/figure.svg  fig4 SVG (404 unless the job computed it)
 //	GET  /v1/stats                  server + cache census
+//	GET  /metrics                   Prometheus text exposition (obs.Default)
 //	GET  /healthz                   liveness (503 while draining)
 //
 // Job endpoints are tenant-scoped: the X-Tenant header must match the
@@ -37,6 +39,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /v1/campaigns/{id}/figure.svg", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s.recoverMiddleware(mux)
 }
@@ -49,6 +52,7 @@ func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.counters.Panics.Add(1)
+				obs.HandlerPanics.Inc()
 				s.logf("serve: PANIC in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 				// Best-effort 500; ignored if headers are already out.
 				writeJSONError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
@@ -251,6 +255,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, rep)
 }
 
+// handleMetrics serves the process-wide metric registry in Prometheus
+// text exposition format. It is deliberately tenant-blind — operators
+// scrape it, tenants use /v1/stats — and stays servable while
+// draining, which is exactly when an operator wants to watch the
+// queue gauge reach zero.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		writeJSONError(w, http.StatusServiceUnavailable, "draining")
@@ -267,11 +281,43 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-// writeJSONError writes a {"error": ...} body with the given status.
+// ErrorEnvelope is the one shape every handler error takes: a human
+// message plus a stable machine code derived from the HTTP status, so
+// clients branch on "code" without parsing prose.
+type ErrorEnvelope struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// errorCode maps an HTTP status to its envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusTooManyRequests:
+		return "too_many_requests"
+	case http.StatusNotImplemented:
+		return "not_implemented"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
+// writeJSONError writes the unified {"error": ..., "code": ...}
+// envelope with the given status. Headers set before the call (e.g.
+// Retry-After on 429) survive, since WriteHeader flushes them.
 func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: msg, Code: errorCode(status)})
 }
 
 // writeSSE writes one SSE event; it reports false when the client is

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"tivapromi/internal/campaign"
+	"tivapromi/internal/obs"
 )
 
 // JobState is a job's lifecycle position.
@@ -111,6 +112,7 @@ func (j *job) publish(ev Event) {
 		select {
 		case ch <- ev:
 		default:
+			obs.SSEEventsDropped.Inc()
 		}
 	}
 }

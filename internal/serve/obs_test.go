@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"tivapromi/internal/campaign"
+	"tivapromi/internal/obs"
+)
+
+// TestMetricsEndpoint: /metrics serves the Prometheus text exposition,
+// the serve counters move when a job runs, and the endpoint needs no
+// tenant header (operators scrape it, tenants use /v1/stats).
+func TestMetricsEndpoint(t *testing.T) {
+	admittedBefore := obs.JobsAdmitted.Value()
+	completedBefore := obs.JobsCompleted.Value()
+	_, hs := newTestServer(t, Config{Workers: 1})
+	id := jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+	waitState(t, hs.URL, "alpha", id, StateDone)
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"# TYPE tivapromi_jobs_admitted_total counter",
+		"# TYPE tivapromi_dedup_hits_total counter",
+		"# TYPE tivapromi_queue_depth gauge",
+		"# TYPE tivapromi_job_seconds histogram",
+		"tivapromi_job_seconds_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if obs.JobsAdmitted.Value() <= admittedBefore {
+		t.Error("jobs_admitted counter did not move for an admitted job")
+	}
+	if obs.JobsCompleted.Value() <= completedBefore {
+		t.Error("jobs_completed counter did not move for a completed job")
+	}
+	// Every non-comment line must be "name{labels} value" — a malformed
+	// line would poison a real scraper's whole scrape.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestErrorEnvelope pins the unified error shape: every handler error
+// answers {"error": ..., "code": ...} with a stable machine code, and
+// the 429 keeps its Retry-After header.
+func TestErrorEnvelope(t *testing.T) {
+	release := make(chan struct{})
+	s, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	s.SetRunCampaignForTest(func(ctx context.Context, spec campaign.Spec, opts campaign.Options) (*campaign.ResultSet, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return emptyRun(ctx, spec, opts)
+	})
+	defer close(release)
+
+	// Fill alpha's queue: one running, one queued; the next submission 429s.
+	running := jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+	waitState(t, hs.URL, "alpha", running, StateRunning)
+	jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+
+	oversized := bytes.Repeat([]byte{'x'}, int(DefaultLimits().MaxBodyBytes)+2)
+
+	cases := []struct {
+		name       string
+		do         func() *http.Response
+		status     int
+		code       string
+		retryAfter bool
+	}{
+		{
+			name: "404 unknown job",
+			do: func() *http.Response {
+				req, _ := http.NewRequest("GET", hs.URL+"/v1/campaigns/nonesuch", nil)
+				req.Header.Set("X-Tenant", "alpha")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+			status: http.StatusNotFound, code: "not_found",
+		},
+		{
+			name: "409 report before done",
+			do: func() *http.Response {
+				req, _ := http.NewRequest("GET", hs.URL+"/v1/campaigns/"+running+"/report", nil)
+				req.Header.Set("X-Tenant", "alpha")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+			status: http.StatusConflict, code: "conflict",
+		},
+		{
+			name:       "429 queue overflow",
+			do:         func() *http.Response { return doSubmit(t, hs.URL, "alpha", submitBody("table2")) },
+			status:     http.StatusTooManyRequests,
+			code:       "too_many_requests",
+			retryAfter: true,
+		},
+		{
+			name:   "413 oversized body",
+			do:     func() *http.Response { return doSubmit(t, hs.URL, "alpha", oversized) },
+			status: http.StatusRequestEntityTooLarge, code: "payload_too_large",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do()
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("content type %q, want application/json", ct)
+			}
+			if tc.retryAfter && resp.Header.Get("Retry-After") == "" {
+				t.Error("response carries no Retry-After header")
+			}
+			var env ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("body is not an error envelope: %v", err)
+			}
+			if env.Code != tc.code {
+				t.Errorf("code %q, want %q", env.Code, tc.code)
+			}
+			if env.Error == "" {
+				t.Error("envelope carries no error message")
+			}
+		})
+	}
+}
+
+// TestSSESlowClientDoesNotBlockJob is the SSE robustness property: a
+// subscriber that never reads must not wedge the job's progress
+// callback or leak the events handler after the client disconnects.
+// The publish path drops events for a full subscriber channel instead
+// of blocking, so the job finishes on schedule no matter how stalled
+// the stream is.
+func TestSSESlowClientDoesNotBlockJob(t *testing.T) {
+	droppedBefore := obs.SSEEventsDropped.Value()
+	subscribed := make(chan struct{})
+	s, hs := newTestServer(t, Config{Workers: 1})
+	s.SetRunCampaignForTest(func(ctx context.Context, spec campaign.Spec, opts campaign.Options) (*campaign.ResultSet, error) {
+		<-subscribed
+		// Far more events than eventBuffer + subBuffer: a stalled
+		// subscriber cannot absorb these, so publish must drop, not block.
+		for i := 0; i < 4*(eventBuffer+subBuffer); i++ {
+			opts.OnProgress(campaign.Progress{
+				Campaign: spec.Name, Tenant: opts.Tenant,
+				Cell: fmt.Sprintf("c%d", i), Done: i + 1, Total: 4 * (eventBuffer + subBuffer),
+			})
+		}
+		return emptyRun(ctx, spec, opts)
+	})
+
+	id := jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+
+	// A subscriber that connects and then never reads a byte.
+	req, _ := http.NewRequest("GET", hs.URL+"/v1/campaigns/"+id+"/events", nil)
+	req.Header.Set("X-Tenant", "alpha")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(subscribed)
+
+	// The job must complete promptly despite the stalled stream.
+	start := time.Now()
+	waitState(t, hs.URL, "alpha", id, StateDone)
+	if d := time.Since(start); d > 30*time.Second {
+		t.Fatalf("job took %s with a stalled subscriber attached", d)
+	}
+	if obs.SSEEventsDropped.Value() <= droppedBefore {
+		t.Error("no events were dropped for the stalled subscriber; publish must have blocked or buffered unboundedly")
+	}
+
+	// Disconnect; the handler goroutine must exit, leaking nothing.
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for eventsHandlerGoroutines() != 0 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("events handler leaked after client disconnect:\n%s", buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitNoServeGoroutines(t)
+}
+
+// eventsHandlerGoroutines counts goroutines inside handleEvents.
+func eventsHandlerGoroutines() int {
+	buf := make([]byte, 1<<20)
+	stacks := string(buf[:runtime.Stack(buf, true)])
+	n := 0
+	for _, g := range strings.Split(stacks, "\n\n") {
+		if strings.Contains(g, "serve.(*Server).handleEvents") {
+			n++
+		}
+	}
+	return n
+}

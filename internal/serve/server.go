@@ -32,6 +32,7 @@ import (
 
 	"tivapromi/internal/campaign"
 	"tivapromi/internal/iofault"
+	"tivapromi/internal/obs"
 	"tivapromi/internal/report"
 	"tivapromi/internal/sim"
 )
@@ -238,32 +239,28 @@ func (s *Server) submit(tenantName string, req Request) (*job, *rejection) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		s.counters.Rejected.Add(1)
-		return nil, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()}
+		return nil, s.rejectLocked(tenantName, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()})
 	}
 	t := s.tenants[tenantName]
 	if t == nil {
 		if len(s.tenants) >= s.cfg.MaxTenants {
-			s.counters.Rejected.Add(1)
-			return nil, &rejection{status: 429, retryAfter: 30, reason: "serve: tenant table full"}
+			return nil, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 30, reason: "serve: tenant table full"})
 		}
 		t = &tenant{name: tenantName}
 		t.budget.Store(int64(s.cfg.RetryBudget))
 		s.tenants[tenantName] = t
 	}
 	if until := t.openUntil; time.Now().Before(until) {
-		s.counters.Rejected.Add(1)
-		return nil, &rejection{
+		return nil, s.rejectLocked(tenantName, &rejection{
 			status:     429,
 			retryAfter: int(time.Until(until)/time.Second) + 1,
 			reason:     fmt.Sprintf("serve: tenant %q circuit breaker open after %d consecutive failed jobs", tenantName, t.fails),
-		}
+		})
 	}
 	if len(t.queue) >= s.cfg.QueueDepth {
-		s.counters.Rejected.Add(1)
 		// Retry-After scales with the backlog: a deeper queue means a
 		// longer wait before a slot frees up.
-		return nil, &rejection{status: 429, retryAfter: 2 * len(t.queue), reason: "serve: tenant queue full"}
+		return nil, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 2 * len(t.queue), reason: "serve: tenant queue full"})
 	}
 
 	s.nextID++
@@ -272,8 +269,22 @@ func (s *Server) submit(tenantName string, req Request) (*job, *rejection) {
 	s.jobs[id] = j
 	t.queue = append(t.queue, j)
 	s.counters.Admitted.Add(1)
+	obs.JobsAdmitted.Inc()
+	obs.QueueDepth.Add(1)
 	s.dispatchLocked(t)
 	return j, nil
+}
+
+// rejectLocked books one shed submission in both accounting planes and
+// hands the rejection back. Requires s.mu held.
+func (s *Server) rejectLocked(tenantName string, r *rejection) *rejection {
+	s.counters.Rejected.Add(1)
+	obs.JobsRejected.Inc()
+	obs.Emit("job-rejected",
+		"tenant", tenantName,
+		"status", fmt.Sprint(r.status),
+		"reason", r.reason)
+	return r
 }
 
 // statusForSpecErr maps decode/build failures to HTTP statuses.
@@ -296,6 +307,8 @@ func (s *Server) dispatchLocked(t *tenant) {
 	j := t.queue[0]
 	t.queue = t.queue[1:]
 	t.active = j
+	obs.QueueDepth.Add(-1)
+	obs.ActiveJobs.Add(1)
 	s.wg.Add(1)
 	go s.runJob(t, j)
 }
@@ -308,26 +321,52 @@ func (s *Server) dispatchLocked(t *tenant) {
 // epilogue is defer-protected.
 func (s *Server) runJob(t *tenant, j *job) {
 	defer s.wg.Done()
+	span := obs.StartSpan("job-run", "serve", "job", j.ID, "tenant", t.name)
 	state, rep, svg, jobErr := s.executeJob(t, j)
 	j.finish(state, rep, svg, jobErr)
+	span.End("state", string(state))
 	s.logf("serve: %s: job %s %s", t.name, j.ID, state)
+
+	// Reconstruct the queue-wait leg of the lifecycle retroactively —
+	// queued→started is only known once the job actually started — and
+	// book the admission-to-settle latency.
+	j.mu.Lock()
+	created, started, finished := j.created, j.started, j.finished
+	j.mu.Unlock()
+	if !started.IsZero() && started.After(created) {
+		obs.SpanBetween("job-queue-wait", "serve", created, started,
+			"job", j.ID, "tenant", t.name)
+	}
+	if !finished.IsZero() {
+		obs.JobSeconds.Observe(finished.Sub(created).Seconds())
+	}
 
 	// The epilogue runs whatever happened above — a panicking job must
 	// never leave its tenant marked active, or the queue wedges.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t.active = nil
+	obs.ActiveJobs.Add(-1)
 	switch state {
 	case StateDone:
 		s.counters.Completed.Add(1)
+		obs.JobsCompleted.Inc()
 		t.fails = 0
 	case StateCanceled:
 		s.counters.Canceled.Add(1)
+		obs.JobsCanceled.Inc()
 	default:
 		s.counters.Failed.Add(1)
+		obs.JobsFailed.Inc()
 		t.fails++
 		if t.fails >= s.cfg.TenantBreakAfter {
 			t.openUntil = time.Now().Add(s.cfg.TenantCooldown)
+			obs.TenantBreakerTrips.Inc()
+			obs.Emit("tenant-breaker-open",
+				"tenant", t.name,
+				"fails", fmt.Sprint(t.fails),
+				"cooldown", s.cfg.TenantCooldown.String())
+			obs.Instant("tenant-breaker-open", "serve", "tenant", t.name)
 			s.logf("serve: %s: circuit breaker OPEN for %s after %d consecutive failures",
 				t.name, s.cfg.TenantCooldown, t.fails)
 		}
@@ -341,6 +380,8 @@ func (s *Server) executeJob(t *tenant, j *job) (state JobState, rep, svg []byte,
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.counters.Panics.Add(1)
+			obs.HandlerPanics.Inc()
+			obs.Emit("job-panic", "tenant", t.name, "job", j.ID, "value", fmt.Sprint(rec))
 			s.logf("serve: %s: job %s PANIC: %v", t.name, j.ID, rec)
 			state, rep, svg, jobErr = StateFailed, nil, nil, fmt.Errorf("serve: job panicked: %v", rec)
 		}
@@ -460,9 +501,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	s.mu.Unlock()
+	span := obs.StartSpan("drain", "serve", "dropped", fmt.Sprint(len(dropped)))
+	defer span.End()
+	obs.QueueDepth.Add(-int64(len(dropped)))
+	obs.Emit("drain-start", "dropped", fmt.Sprint(len(dropped)))
 	for _, j := range dropped {
 		j.finish(StateCanceled, nil, nil, ErrDraining)
 		s.counters.Canceled.Add(1)
+		obs.JobsCanceled.Inc()
 	}
 	s.logf("serve: draining: %d queued job(s) cancelled, waiting up to %s for in-flight work", len(dropped), s.cfg.DrainTimeout)
 
@@ -500,6 +546,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if err := s.ck.Flush(); err != nil {
 		return fmt.Errorf("serve: drain flush: %w", err)
 	}
+	obs.Emit("drained")
 	s.logf("serve: drained")
 	return nil
 }
@@ -516,9 +563,11 @@ func (s *Server) Close() error {
 		t.queue = nil
 	}
 	s.mu.Unlock()
+	obs.QueueDepth.Add(-int64(len(dropped)))
 	for _, j := range dropped {
 		j.finish(StateCanceled, nil, nil, ErrDraining)
 		s.counters.Canceled.Add(1)
+		obs.JobsCanceled.Inc()
 	}
 	s.stop()
 	s.wg.Wait()

@@ -11,10 +11,12 @@ import (
 	"io/fs"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"tivapromi/internal/iofault"
+	"tivapromi/internal/obs"
 )
 
 // checkpointVersion guards the on-disk format. Version 2 is the
@@ -280,7 +282,19 @@ func LoadCheckpointFS(path string, fs iofault.FS) (*Checkpoint, error) {
 		q := fmt.Sprintf("%s.corrupt-%d", path, time.Now().UnixNano())
 		if renameErr := fs.Rename(path, q); renameErr == nil {
 			rep.Quarantined = q
+			obs.CheckpointQuarantines.Inc()
 		}
+		if rep.Entries > 0 {
+			obs.CheckpointSalvages.Inc()
+		}
+		obs.Emit("checkpoint-quarantine",
+			"path", path,
+			"quarantined", rep.Quarantined,
+			"salvaged", strconv.Itoa(rep.Entries),
+			"dropped", strconv.Itoa(rep.Dropped),
+			"err", rep.Err.Error())
+		obs.Instant("checkpoint-quarantine", "checkpoint",
+			"path", path, "salvaged", strconv.Itoa(rep.Entries))
 	}
 	c.report = rep
 	if (rep.Err != nil && rep.Entries > 0) || rep.Migrated {
@@ -474,6 +488,7 @@ func (c *Checkpoint) lookup(fp string, seed uint64) (Result, bool) {
 	r, ok := sw.Done[seedKey(seed)]
 	if ok {
 		c.stats.SweepHits++
+		obs.DedupHits.Inc()
 	} else {
 		c.stats.SweepMisses++
 	}
@@ -543,6 +558,7 @@ func (c *Checkpoint) Probe(fp string) (json.RawMessage, bool) {
 	raw, ok := c.data.Probes[fp]
 	if ok {
 		c.stats.ProbeHits++
+		obs.DedupHits.Inc()
 	} else {
 		c.stats.ProbeMisses++
 	}
@@ -683,9 +699,13 @@ func (c *Checkpoint) flushLocked() error {
 	if fs == nil {
 		fs = iofault.OS{}
 	}
+	span := obs.StartSpan("checkpoint-flush", "checkpoint", "path", c.path)
 	if err := atomicWrite(fs, filepath.Dir(c.path), c.path, raw); err != nil {
+		span.End("outcome", "err")
 		return err
 	}
+	span.End("outcome", "ok")
+	obs.CheckpointFlushes.Inc()
 	c.dirty = 0
 	return nil
 }

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"tivapromi/internal/iofault"
+	"tivapromi/internal/obs"
 )
 
 // Sharded checkpoints. A campaign at population scale carries far more
@@ -101,7 +103,16 @@ func LoadShardedCheckpointFS(dir string, shards int, fsys iofault.FS) (*Checkpoi
 			q := fmt.Sprintf("%s.corrupt-%d", p, time.Now().UnixNano())
 			if renameErr := fsys.Rename(p, q); renameErr == nil {
 				quarantined = append(quarantined, q)
+				obs.CheckpointQuarantines.Inc()
 			}
+			obs.CheckpointSalvages.Inc()
+			obs.Emit("checkpoint-quarantine",
+				"path", p,
+				"shard", strconv.Itoa(i),
+				"dropped", strconv.Itoa(srep.Dropped),
+				"err", srep.Err.Error())
+			obs.Instant("checkpoint-quarantine", "checkpoint",
+				"path", p, "shard", strconv.Itoa(i))
 			// Rewrite the salvaged remainder of this shard immediately so a
 			// crash before the next organic flush cannot lose it again.
 			c.dirtyShards[i] = true
@@ -186,9 +197,14 @@ func (c *Checkpoint) flushShardsLocked() error {
 		if err != nil {
 			return fmt.Errorf("sim: marshal checkpoint shard %d: %w", i, err)
 		}
+		span := obs.StartSpan("checkpoint-shard-flush", "checkpoint",
+			"shard", strconv.Itoa(i))
 		if err := atomicWrite(fsys, c.path, filepath.Join(c.path, shardFile(i)), raw); err != nil {
+			span.End("outcome", "err")
 			return err
 		}
+		span.End("outcome", "ok")
+		obs.CheckpointFlushes.Inc()
 		c.dirtyShards[i] = false
 	}
 	c.dirty = 0

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tivapromi/internal/obs"
 )
 
 // ErrPermanent marks failures that retrying cannot fix: invalid
@@ -254,6 +257,15 @@ func runWithRetry(ctx context.Context, rc RunnerConfig, run func(context.Context
 		if attempt >= rc.Retries || !retriable(ctx, err) {
 			return Result{}, attempts, err
 		}
+		obs.RunRetries.Inc()
+		obs.Instant("run-retry", "runner",
+			"seed", "0x"+strconv.FormatUint(cfg.Seed, 16),
+			"attempt", strconv.Itoa(attempts),
+			"err", err.Error())
+		obs.Emit("run-retry",
+			"seed", "0x"+strconv.FormatUint(cfg.Seed, 16),
+			"attempt", strconv.Itoa(attempts),
+			"err", err.Error())
 		if jit == nil {
 			jit = rc.jitter(cfg.Seed)
 		}
@@ -267,6 +279,23 @@ func runWithRetry(ctx context.Context, rc RunnerConfig, run func(context.Context
 // enforcing the per-run deadline, and — when StallTimeout is armed —
 // running the heartbeat watchdog beside the workload.
 func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Config, string) (Result, error), cfg Config, technique string) (res Result, err error) {
+	obs.RunAttempts.Inc()
+	span := obs.StartSpan("run-attempt", "runner",
+		"technique", technique,
+		"seed", "0x"+strconv.FormatUint(cfg.Seed, 16))
+	defer func() {
+		outcome := "ok"
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrStalled):
+			outcome = "stalled"
+		case errors.As(err, new(*PanicError)):
+			outcome = "panic"
+		default:
+			outcome = "err"
+		}
+		span.End("outcome", outcome)
+	}()
 	runCtx := ctx
 	if rc.PerRunTimeout > 0 {
 		var cancel context.CancelFunc
@@ -287,6 +316,11 @@ func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Con
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+			obs.RunPanics.Inc()
+			obs.Emit("run-panic",
+				"seed", "0x"+strconv.FormatUint(cfg.Seed, 16),
+				"technique", technique,
+				"value", fmt.Sprint(r))
 		}
 	}()
 	res, err = run(runCtx, cfg, technique)
@@ -297,6 +331,11 @@ func runOnce(ctx context.Context, rc RunnerConfig, run func(context.Context, Con
 		// retry policy (and the campaign scheduler's failure accounting)
 		// can treat a wedge as transient.
 		err = fmt.Errorf("%w (no heartbeat within %s): %w", ErrStalled, rc.StallTimeout, err)
+		obs.RunStalls.Inc()
+		obs.Emit("run-stall",
+			"seed", "0x"+strconv.FormatUint(cfg.Seed, 16),
+			"technique", technique,
+			"stall_timeout", rc.StallTimeout.String())
 	case err != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 		// The per-run deadline fired, not the sweep's context: the run is
 		// deterministic, so a retry would overrun again.

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"context"
+	"strconv"
 	"sync"
 
+	"tivapromi/internal/obs"
 	"tivapromi/internal/workload"
 )
 
@@ -51,6 +53,13 @@ func (e *runEnv) runSharded(ctx context.Context, shards int) error {
 	for w := 0; w < shards; w++ {
 		go func(self int, ch <-chan shardMsg) {
 			defer join.Done()
+			// One span covers the worker's whole life: spans and metrics
+			// are taps on the side, never inputs — block handoff and lane
+			// state are identical with tracing on or off.
+			span := obs.StartSpan("lane-shard-worker", "sim",
+				"worker", strconv.Itoa(self),
+				"shards", strconv.Itoa(shards))
+			defer span.End()
 			// Worker-local catch-up gate (see runBlocks); local so workers
 			// never share a cache line of cursors.
 			laneIv := make([]int32, len(e.lanes))

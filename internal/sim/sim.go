@@ -15,6 +15,7 @@ import (
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register all techniques
+	"tivapromi/internal/obs"
 	"tivapromi/internal/rng"
 	"tivapromi/internal/stats"
 	"tivapromi/internal/workload"
@@ -604,6 +605,23 @@ func (e *runEnv) collect() Result {
 	}
 	if seenIA > 0 {
 		res.AvgActsPerInterval = float64(sumIA) / float64(seenIA)
+	}
+	if obs.MetricsEnabled() {
+		// Per-run flush of the scale metrics: one pass over the lanes a
+		// run already makes, so no per-access cost anywhere. Acts come
+		// from the device counters; sparse-state and touched-row gauges
+		// are high-water marks across every device this process ran.
+		var acts uint64
+		var stateBytes, touched int
+		for _, l := range e.lanes {
+			l.FlushMetrics()
+			acts += l.Device().Stats().Activates
+			stateBytes += l.Device().StateBytes()
+			touched += l.Device().TouchedRows()
+		}
+		obs.Acts.Add(acts)
+		obs.SparseStateBytes.SetMax(int64(stateBytes))
+		obs.TouchedRows.SetMax(int64(touched))
 	}
 	return res
 }

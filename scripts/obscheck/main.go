@@ -1,0 +1,185 @@
+// Command obscheck validates the observability artifacts a run writes:
+//
+//	obscheck -metrics PATH [-require-metrics fam1,fam2,...]
+//	obscheck -trace PATH   [-require-spans name1,name2,...]
+//
+// The metrics file must be well-formed Prometheus text exposition —
+// every data line a NAME{labels} VALUE pair under a # TYPE header —
+// and the trace file valid Chrome trace-event JSON (the format
+// Perfetto and chrome://tracing load): a traceEvents array whose
+// entries carry name/ph/ts, complete events with a non-negative dur.
+// Required metric families and span names, when given, must appear.
+//
+// It is the machine half of the obs-smoke gate: `make obs-smoke` runs
+// a small campaign with -metrics-out/-trace-out and then this
+// validator, so a malformed exposition line or a trace Perfetto would
+// reject fails CI, not an operator's debugging session.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricsPath = flag.String("metrics", "", "Prometheus text exposition file to validate")
+	tracePath   = flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	reqMetrics  = flag.String("require-metrics", "", "comma-separated metric families that must be present")
+	reqSpans    = flag.String("require-spans", "", "comma-separated span names that must appear in the trace")
+)
+
+func main() {
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check; pass -metrics and/or -trace")
+		os.Exit(2)
+	}
+	ok := true
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath, splitList(*reqMetrics)); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: metrics: %v\n", err)
+			ok = false
+		} else {
+			fmt.Printf("obscheck: metrics %s OK\n", *metricsPath)
+		}
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath, splitList(*reqSpans)); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: trace: %v\n", err)
+			ok = false
+		} else {
+			fmt.Printf("obscheck: trace %s OK\n", *tracePath)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// checkMetrics validates the exposition line by line: # TYPE headers
+// declare families, every data line is NAME{labels} VALUE with a
+// parseable value, and every required family was declared.
+func checkMetrics(path string, required []string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	families := map[string]bool{}
+	samples := 0
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 3 && (f[1] == "TYPE" || f[1] == "HELP") {
+				families[f[2]] = true
+				continue
+			}
+			return fmt.Errorf("%s:%d: malformed comment %q", path, i+1, line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 1 {
+			return fmt.Errorf("%s:%d: not a NAME VALUE pair: %q", path, i+1, line)
+		}
+		name, val := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(val, 64); err != nil && val != "+Inf" && val != "-Inf" && val != "NaN" {
+			return fmt.Errorf("%s:%d: unparseable sample value %q", path, i+1, val)
+		}
+		base := name
+		if b := strings.IndexByte(base, '{'); b >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				return fmt.Errorf("%s:%d: unterminated label block in %q", path, i+1, name)
+			}
+			base = base[:b]
+		}
+		// Histogram series hang off their family name with a suffix.
+		trimmed := base
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if cut, ok := strings.CutSuffix(base, suf); ok {
+				trimmed = cut
+				break
+			}
+		}
+		if !families[base] && !families[trimmed] {
+			return fmt.Errorf("%s:%d: sample %q has no # TYPE header", path, i+1, base)
+		}
+		samples++
+	}
+	if samples == 0 {
+		return fmt.Errorf("%s: no samples at all", path)
+	}
+	for _, fam := range required {
+		if !families[fam] {
+			return fmt.Errorf("%s: required family %q missing", path, fam)
+		}
+	}
+	return nil
+}
+
+// chromeTrace is the subset of the trace-event format the validator
+// inspects.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Pid  int64   `json:"pid"`
+		Tid  int64   `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+// checkTrace validates the trace JSON structurally — parseable, every
+// event named and phased, complete events with non-negative durations —
+// and requires the named spans to appear.
+func checkTrace(path string, required []string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("%s: traceEvents is empty", path)
+	}
+	seen := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if ev.Ph == "" {
+			return fmt.Errorf("%s: event %d (%s) has no phase", path, i, ev.Name)
+		}
+		if ev.Ts < 0 {
+			return fmt.Errorf("%s: event %d (%s) has negative ts", path, i, ev.Name)
+		}
+		if ev.Ph == "X" && ev.Dur <= 0 {
+			return fmt.Errorf("%s: complete event %d (%s) has non-positive dur", path, i, ev.Name)
+		}
+		seen[ev.Name] = true
+	}
+	for _, name := range required {
+		if !seen[name] {
+			return fmt.Errorf("%s: required span %q missing (%d events present)", path, name, len(doc.TraceEvents))
+		}
+	}
+	fmt.Printf("obscheck: %d trace event(s), %d distinct name(s)\n", len(doc.TraceEvents), len(seen))
+	return nil
+}

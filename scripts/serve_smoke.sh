@@ -91,6 +91,32 @@ HITS=$(jfield "$ST_B" dedup_hits)
 echo "serve-smoke: beta job $ID_B done, dedup_hits=$HITS"
 [ "${HITS:-0}" -gt 0 ] || fail "beta's overlapping campaign recorded no dedup hits"
 
+# Mid-run observability: /metrics must serve Prometheus text with live
+# serve counters — admitted jobs and shared-cache dedup hits both nonzero.
+# metric NAME -> prints the (first) sample value for that family
+metric() {
+  grep "^$1" "$WORK/metrics.txt" | head -1 | awk '{print $2}' | cut -d. -f1
+}
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt" || fail "/metrics scrape failed"
+grep -q '^# TYPE tivapromi_jobs_admitted_total counter' "$WORK/metrics.txt" \
+  || fail "/metrics lacks the jobs_admitted family"
+ADMITTED=$(metric tivapromi_jobs_admitted_total)
+DEDUP=$(metric tivapromi_dedup_hits_total)
+echo "serve-smoke: /metrics: jobs_admitted=$ADMITTED dedup_hits=$DEDUP"
+[ "${ADMITTED:-0}" -gt 0 ] || fail "/metrics reports no admitted jobs after two completions"
+[ "${DEDUP:-0}" -gt 0 ] || fail "/metrics reports no dedup hits despite beta's cache hits"
+
+# Clean scrape once the work has drained: the queue/active gauges must be
+# back to zero and every exposition line well-formed (NAME VALUE pairs) —
+# one malformed line poisons a real Prometheus scrape.
+QD=$(metric tivapromi_queue_depth)
+ACTIVE=$(metric tivapromi_active_jobs)
+[ "${QD:-1}" -eq 0 ] || fail "queue_depth gauge is ${QD:-?} after all jobs completed, want 0"
+[ "${ACTIVE:-1}" -eq 0 ] || fail "active_jobs gauge is ${ACTIVE:-?} after all jobs completed, want 0"
+BAD=$(grep -v '^#' "$WORK/metrics.txt" | awk 'NF != 2 {print; exit}')
+[ -z "$BAD" ] || fail "malformed exposition line: $BAD"
+echo "serve-smoke: /metrics clean after drain (queue_depth=0, active_jobs=0)"
+
 STATS=$(curl -fsS "$BASE/v1/stats")
 SWEEP_HITS=$(jfield "$STATS" sweep_hits)
 PROBE_HITS=$(jfield "$STATS" probe_hits)

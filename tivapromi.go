@@ -32,6 +32,7 @@ package tivapromi
 
 import (
 	"context"
+	"io"
 
 	"tivapromi/internal/campaign"
 	"tivapromi/internal/core"
@@ -41,6 +42,7 @@ import (
 	"tivapromi/internal/memctrl"
 	"tivapromi/internal/mitigation"
 	_ "tivapromi/internal/mitigation/all" // register every technique
+	"tivapromi/internal/obs"
 	"tivapromi/internal/serve"
 	"tivapromi/internal/sim"
 	"tivapromi/internal/stats"
@@ -468,3 +470,65 @@ type (
 // shared cross-tenant result cache when ServeConfig.CheckpointPath is
 // set.
 func NewCampaignServer(cfg ServeConfig) (*CampaignServer, error) { return serve.New(cfg) }
+
+// Observability types: the dependency-free flight recorder (see
+// internal/obs and DESIGN.md §13). Metrics are process-wide atomics
+// rendered in Prometheus text exposition; spans record campaign cells,
+// run attempts, checkpoint flushes and serve jobs as Chrome trace-event
+// JSON. Instrumentation is strictly write-only — simulation results are
+// byte-identical with it on or off — and the hot activation path stays
+// allocation-free with metrics enabled (sampled flushes, no per-act
+// atomics).
+type (
+	// MetricsRegistry holds named counter/gauge/histogram families.
+	MetricsRegistry = obs.Registry
+	// MetricCounter is a monotonically increasing atomic counter.
+	MetricCounter = obs.Counter
+	// MetricGauge is an atomic instantaneous value.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket atomic histogram.
+	MetricHistogram = obs.Histogram
+	// Tracer records spans into a bounded in-memory buffer.
+	Tracer = obs.Tracer
+	// TraceSpan is one in-flight span; its zero value is a valid no-op.
+	TraceSpan = obs.Span
+)
+
+// DefaultMetrics returns the process-wide metric registry every
+// instrumented seam writes into; the serve layer exposes it at
+// GET /metrics and cmd/experiments dumps it with -metrics-out.
+func DefaultMetrics() *MetricsRegistry { return obs.Default }
+
+// WriteMetrics renders the default registry in Prometheus text
+// exposition format (version 0.0.4).
+func WriteMetrics(w io.Writer) error { return obs.Default.WritePrometheus(w) }
+
+// SetMetricsEnabled toggles the sampled hot-path metric flushes.
+// Disabling never changes simulation results — instrumentation is
+// write-only either way — it only silences the counters.
+func SetMetricsEnabled(on bool) { obs.SetMetricsEnabled(on) }
+
+// MetricsEnabled reports whether the sampled metric flushes are on.
+func MetricsEnabled() bool { return obs.MetricsEnabled() }
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// SetTracer installs t as the process-wide tracer (nil disables span
+// recording; spans become free no-ops).
+func SetTracer(t *Tracer) { obs.SetTracer(t) }
+
+// CurrentTracer returns the installed tracer, or nil when tracing is
+// off.
+func CurrentTracer() *Tracer { return obs.CurrentTracer() }
+
+// StartSpan opens a span on the installed tracer (a no-op Span when
+// tracing is off). End it to record the duration.
+func StartSpan(name, category string, kv ...string) TraceSpan {
+	return obs.StartSpan(name, category, kv...)
+}
+
+// SetObsEventSink directs the structured key=value event log
+// (retry/breaker/DEGRADED/quarantine transitions) to w; nil disables
+// it.
+func SetObsEventSink(w io.Writer) { obs.SetEventSink(w) }
