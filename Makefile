@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short test-debugasserts race check chaos bench bench-campaign bench-hotpath bench-scale experiments examples fig4 serve serve-smoke obs-smoke clean
+.PHONY: all build vet test test-short test-debugasserts race check chaos serve-chaos bench bench-campaign bench-hotpath bench-scale experiments examples fig4 serve serve-smoke obs-smoke clean
 
 all: build vet test
 
@@ -42,6 +42,16 @@ check: build vet test test-debugasserts race
 CHAOS_SEED ?= 1
 chaos:
 	$(GO) run ./cmd/experiments -chaos-seed $(CHAOS_SEED) -progress chaos
+
+# Crash-durability torture for the serving layer: a journaled server is
+# hard-killed at a seeded journal-commit ordinal, its journal tail torn,
+# then restarted — every accepted job must be re-admitted from the
+# write-ahead journal and re-rendered byte-identically, duplicate
+# Idempotency-Key POSTs answered with the original id and zero
+# re-executions, pre-crash SSE resume tokens refused with a snapshot,
+# and quarantine corpses bounded. CHAOS_SEED selects the kill placement.
+serve-chaos:
+	$(GO) run ./cmd/experiments -chaos-seed $(CHAOS_SEED) -progress serve-chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

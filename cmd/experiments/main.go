@@ -44,7 +44,19 @@
 //	                               fair queuing and admission control over one
 //	                               shared worker pool, SSE progress streams,
 //	                               cross-tenant dedup through the -checkpoint
-//	                               cache, graceful drain on SIGINT/SIGTERM
+//	                               cache, write-ahead job journal via -journal
+//	                               (idempotent submission, crash recovery),
+//	                               graceful drain on SIGINT/SIGTERM
+//	experiments serve-chaos      — crash-durability torture for the serving
+//	                               layer: a journaled server is hard-killed
+//	                               at a seeded journal-commit ordinal, its
+//	                               journal tail torn, then restarted — every
+//	                               accepted job must be re-admitted and
+//	                               re-rendered byte-identically, duplicate
+//	                               Idempotency-Key POSTs answered with the
+//	                               original id and zero re-executions, and
+//	                               pre-crash SSE resume tokens refused with
+//	                               a snapshot instead of silently aliased
 //
 // Every section is a campaign.Spec in the report.Sections registry; this
 // command only merges the selected specs, runs them through the campaign
@@ -110,6 +122,14 @@
 //	-max-tenants N    serve: distinct-tenant bound (default 64)
 //	-drain-timeout D  serve: grace given to in-flight jobs on shutdown
 //	                  before they are force-cancelled (default 30s)
+//	-journal PATH     serve: write-ahead job journal — every accepted
+//	                  submission and state change is fsync'd here, so a
+//	                  restarted server re-admits interrupted jobs and
+//	                  answers duplicate Idempotency-Key POSTs with the
+//	                  original job ("" = off)
+//	-recover          serve: with -journal, re-run jobs interrupted by a
+//	                  crash (default true; -recover=false fails them
+//	                  typed instead, keeping only the idempotency ledger)
 //	-profile-out PATH where `profile` writes its JSON report (default
 //	                  BENCH_hotpath.json)
 //	-perf-baseline PATH
@@ -164,6 +184,7 @@ import (
 	"tivapromi/internal/obs"
 	"tivapromi/internal/report"
 	"tivapromi/internal/serve"
+	"tivapromi/internal/servetest"
 	"tivapromi/internal/sim"
 )
 
@@ -199,6 +220,8 @@ var (
 	queueDep  = flag.Int("queue-depth", 8, "serve: per-tenant pending-job bound before 429s")
 	maxTen    = flag.Int("max-tenants", 64, "serve: distinct-tenant bound")
 	drainTO   = flag.Duration("drain-timeout", 30*time.Second, "serve: in-flight grace on shutdown before force-cancel")
+	journalF  = flag.String("journal", "", "serve: write-ahead job journal path for crash recovery and idempotent submission (\"\" = off)")
+	recoverF  = flag.Bool("recover", true, "serve: with -journal, re-run jobs interrupted by a crash (false = fail them typed)")
 	metricsF  = flag.String("metrics-out", "", "write the metric registry (Prometheus text) here at exit")
 	traceF    = flag.String("trace-out", "", "record spans and write Chrome trace-event JSON here at exit")
 	pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this side listener (e.g. localhost:6060)")
@@ -868,17 +891,29 @@ func main() {
 		err = a.profile(ctx, *profOut, *perfBase, *cpuProf, *memProf)
 	case "serve":
 		err = a.serveCmd(ctx, *addr, serve.Config{
-			Workers:        *workers,
-			QueueDepth:     *queueDep,
-			MaxTenants:     *maxTen,
-			RetryBudget:    *retryBudg,
-			BaseEval:       ev,
-			CheckpointPath: *ckptPath,
-			PerRunTimeout:  *timeout,
-			StallTimeout:   *stall,
-			DrainTimeout:   *drainTO,
-			Log:            os.Stderr,
+			Workers:         *workers,
+			QueueDepth:      *queueDep,
+			MaxTenants:      *maxTen,
+			RetryBudget:     *retryBudg,
+			BaseEval:        ev,
+			CheckpointPath:  *ckptPath,
+			JournalPath:     *journalF,
+			DisableRecovery: !*recoverF,
+			PerRunTimeout:   *timeout,
+			StallTimeout:    *stall,
+			DrainTimeout:    *drainTO,
+			Log:             os.Stderr,
 		})
+	case "serve-chaos":
+		cfg := servetest.ChaosConfig{
+			Seed:    *chSeed,
+			Workers: *workers,
+			Dir:     *chDir,
+		}
+		if *progress {
+			cfg.Log = os.Stderr
+		}
+		err = a.serveChaos(ctx, cfg)
 	default:
 		if _, ok := report.Section(cmd); !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", cmd)

@@ -16,6 +16,10 @@ var (
 	ErrInjectedIO = errors.New("iofault: injected I/O error")
 	// ErrInjectedNoSpace is the chaos stand-in for ENOSPC.
 	ErrInjectedNoSpace = errors.New("iofault: injected no space left on device")
+	// ErrPoweredOff is returned by every mutating operation after
+	// PowerOff: the moment the simulated machine died. Unsynced append
+	// tails vanish with it.
+	ErrPoweredOff = errors.New("iofault: powered off")
 )
 
 // ChaosConfig sets the per-operation fault probabilities of a Chaos FS.
@@ -61,6 +65,10 @@ type ChaosStats struct {
 	// Commits counts successful Renames — the durability boundaries a
 	// crash-consistency test kills at.
 	Commits int
+	// AppendCommits counts honest Syncs on append handles — the
+	// journal-entry durability boundaries the serve torture harness
+	// kills at.
+	AppendCommits int
 }
 
 // Total returns the number of injected faults (Commits excluded).
@@ -88,6 +96,28 @@ type Chaos struct {
 	// harness uses it to kill a campaign at a randomized flush
 	// boundary. Called without the Chaos lock held.
 	OnCommit func(path string, commit int)
+
+	// OnAppend, when non-nil, runs after every honest Sync on an append
+	// handle with the file's path and the 1-based append-commit
+	// ordinal. The serve torture harness uses it to power the machine
+	// off at a randomized journal-commit boundary. Called without the
+	// Chaos lock held.
+	OnAppend func(path string, commit int)
+
+	// off, once set by PowerOff, fails every mutating operation: the
+	// simulated machine is dead and nothing it attempts reaches disk.
+	off bool
+}
+
+// PowerOff kills the simulated machine: every subsequent Write, Sync,
+// Close, CreateTemp, OpenAppend, Rename, and Remove fails with
+// ErrPoweredOff, and append tails that were never honestly synced are
+// lost. A server sharing this FS can no longer journal its own death —
+// exactly the asymmetry a crash-recovery test needs.
+func (c *Chaos) PowerOff() {
+	c.mu.Lock()
+	c.off = true
+	c.mu.Unlock()
 }
 
 // NewChaos wraps inner (nil means OS{}) with fault injection.
@@ -128,8 +158,18 @@ func (c *Chaos) intn(n int) int {
 // behind, which is the realistic channel).
 func (c *Chaos) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
 
+// poweredOff reports whether PowerOff has fired.
+func (c *Chaos) poweredOff() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.off
+}
+
 // CreateTemp implements FS.
 func (c *Chaos) CreateTemp(dir, pattern string) (File, error) {
+	if c.poweredOff() {
+		return nil, ErrPoweredOff
+	}
 	f, err := c.inner.CreateTemp(dir, pattern)
 	if err != nil {
 		return nil, err
@@ -137,9 +177,32 @@ func (c *Chaos) CreateTemp(dir, pattern string) (File, error) {
 	return &chaosFile{fs: c, inner: f}, nil
 }
 
+// OpenAppend implements FS. Unlike CreateTemp's buffered handle, the
+// append handle keeps only the not-yet-synced tail in memory: an honest
+// Sync pushes it to the real file (and fires OnAppend), an fsync-loss
+// fault acknowledges without pushing, and PowerOff vaporizes whatever
+// was still pending — the crash semantics of a real write-ahead log.
+func (c *Chaos) OpenAppend(path string) (File, error) {
+	if c.poweredOff() {
+		return nil, ErrPoweredOff
+	}
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosAppendFile{fs: c, inner: f}, nil
+}
+
+// ReadDir implements FS (passed through unfaulted, like ReadFile).
+func (c *Chaos) ReadDir(dir string) ([]string, error) { return c.inner.ReadDir(dir) }
+
 // Rename implements FS.
 func (c *Chaos) Rename(oldpath, newpath string) error {
 	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return ErrPoweredOff
+	}
 	fail := c.roll(c.cfg.RenameFail)
 	if fail {
 		c.stats.RenameFails++
@@ -164,7 +227,12 @@ func (c *Chaos) Rename(oldpath, newpath string) error {
 }
 
 // Remove implements FS.
-func (c *Chaos) Remove(path string) error { return c.inner.Remove(path) }
+func (c *Chaos) Remove(path string) error {
+	if c.poweredOff() {
+		return ErrPoweredOff
+	}
+	return c.inner.Remove(path)
+}
 
 // MkdirAll implements FS (passed through unfaulted: directory creation
 // happens once per checkpoint, before any durability boundary worth
@@ -192,6 +260,10 @@ var shortWriteErr = errors.New("short write")
 func (f *chaosFile) Write(p []byte) (int, error) {
 	c := f.fs
 	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return 0, ErrPoweredOff
+	}
 	switch {
 	case c.roll(c.cfg.WriteErr):
 		c.stats.WriteErrs++
@@ -230,6 +302,10 @@ func (f *chaosFile) Write(p []byte) (int, error) {
 func (f *chaosFile) Sync() error {
 	c := f.fs
 	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return ErrPoweredOff
+	}
 	lost := c.roll(c.cfg.FsyncLoss)
 	if lost {
 		c.stats.FsyncLosses++
@@ -257,6 +333,11 @@ func (f *chaosFile) Close() error {
 	}
 	c := f.fs
 	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		f.inner.Close()
+		return ErrPoweredOff
+	}
 	if len(out) > 0 && c.roll(c.cfg.BitFlip) {
 		c.stats.BitFlips++
 		obs.ChaosInjection("bit_flip")
@@ -281,3 +362,148 @@ func (f *chaosFile) Close() error {
 
 // Name implements File.
 func (f *chaosFile) Name() string { return f.inner.Name() }
+
+// chaosAppendFile is the fault-injecting append handle. Writes land in
+// a pending buffer (after write-time faults); an honest Sync flushes
+// pending bytes to the real file, syncs it, and fires OnAppend; an
+// fsync-loss fault acknowledges the Sync while leaving the bytes
+// pending, so they survive only if a later honest Sync (or a clean
+// Close) happens before PowerOff.
+type chaosAppendFile struct {
+	fs      *Chaos
+	inner   File
+	mu      sync.Mutex
+	pending []byte
+	closed  bool
+}
+
+// Write implements io.Writer with injected write faults on the pending
+// tail.
+func (f *chaosAppendFile) Write(p []byte) (int, error) {
+	c := f.fs
+	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return 0, ErrPoweredOff
+	}
+	switch {
+	case c.roll(c.cfg.WriteErr):
+		c.stats.WriteErrs++
+		obs.ChaosInjection("write_err")
+		c.mu.Unlock()
+		return 0, fmt.Errorf("iofault: append %s: %w", f.inner.Name(), ErrInjectedIO)
+	case c.roll(c.cfg.NoSpace):
+		c.stats.NoSpaceErrs++
+		obs.ChaosInjection("no_space")
+		c.mu.Unlock()
+		return 0, fmt.Errorf("iofault: append %s: %w", f.inner.Name(), ErrInjectedNoSpace)
+	case c.roll(c.cfg.TornWrite):
+		c.stats.TornWrites++
+		obs.ChaosInjection("torn_write")
+		keep := c.intn(len(p))
+		c.mu.Unlock()
+		f.mu.Lock()
+		f.pending = append(f.pending, p[:keep]...)
+		f.mu.Unlock()
+		return len(p), nil
+	case c.roll(c.cfg.ShortWrite):
+		c.stats.ShortWrites++
+		obs.ChaosInjection("short_write")
+		keep := c.intn(len(p))
+		c.mu.Unlock()
+		f.mu.Lock()
+		f.pending = append(f.pending, p[:keep]...)
+		f.mu.Unlock()
+		return keep, shortWriteErr
+	case len(p) > 0 && c.roll(c.cfg.BitFlip):
+		// Append logs have no Close-time materialization, so silent
+		// media corruption strikes at write time instead.
+		c.stats.BitFlips++
+		obs.ChaosInjection("bit_flip")
+		pos := c.intn(len(p))
+		flip := byte(1) << uint(c.intn(8))
+		c.mu.Unlock()
+		mut := append([]byte(nil), p...)
+		mut[pos] ^= flip
+		f.mu.Lock()
+		f.pending = append(f.pending, mut...)
+		f.mu.Unlock()
+		return len(p), nil
+	}
+	c.mu.Unlock()
+	f.mu.Lock()
+	f.pending = append(f.pending, p...)
+	f.mu.Unlock()
+	return len(p), nil
+}
+
+// Sync implements File. An honest sync is the journal's commit point.
+func (f *chaosAppendFile) Sync() error {
+	c := f.fs
+	c.mu.Lock()
+	if c.off {
+		c.mu.Unlock()
+		return ErrPoweredOff
+	}
+	if c.roll(c.cfg.FsyncLoss) {
+		c.stats.FsyncLosses++
+		obs.ChaosInjection("fsync_loss")
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+	if err := f.flush(); err != nil {
+		return err
+	}
+	if err := f.inner.Sync(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.stats.AppendCommits++
+	n := c.stats.AppendCommits
+	hook := c.OnAppend
+	c.mu.Unlock()
+	if hook != nil {
+		hook(f.inner.Name(), n)
+	}
+	return nil
+}
+
+// flush pushes the pending tail into the real file.
+func (f *chaosAppendFile) flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.pending) == 0 {
+		return nil
+	}
+	if _, err := f.inner.Write(f.pending); err != nil {
+		return err
+	}
+	f.pending = nil
+	return nil
+}
+
+// Close implements File. A clean close lands the pending tail (the
+// page cache drains when the process exits normally); after PowerOff
+// the tail is gone.
+func (f *chaosAppendFile) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("iofault: file already closed")
+	}
+	f.closed = true
+	f.mu.Unlock()
+	if f.fs.poweredOff() {
+		f.inner.Close()
+		return ErrPoweredOff
+	}
+	if err := f.flush(); err != nil {
+		f.inner.Close()
+		return err
+	}
+	return f.inner.Close()
+}
+
+// Name implements File.
+func (f *chaosAppendFile) Name() string { return f.inner.Name() }

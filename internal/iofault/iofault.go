@@ -7,10 +7,12 @@
 // all seed-deterministically, so every torture run is reproducible from
 // its seed.
 //
-// The seam is deliberately small: exactly the operations an atomic
+// The seam is deliberately small: the operations an atomic
 // write-temp-then-rename checkpoint needs (ReadFile, CreateTemp,
-// Rename, Remove), plus the File handle operations (Write, Sync, Close,
-// Name). Passthrough (OS) adds nothing on top of the os package.
+// Rename, Remove), an append handle for the serving tier's write-ahead
+// job journal (OpenAppend), a directory listing for quarantine-corpse
+// pruning (ReadDir), plus the File handle operations (Write, Sync,
+// Close, Name). Passthrough (OS) adds nothing on top of the os package.
 package iofault
 
 import (
@@ -43,6 +45,16 @@ type FS interface {
 	// CreateTemp creates a new temporary file in dir (pattern as in
 	// os.CreateTemp).
 	CreateTemp(dir, pattern string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent. This
+	// is the write-ahead journal's durability path: each record is
+	// Written and then Synced through the returned handle, so the chaos
+	// implementation can tear, drop, or kill at exactly those
+	// per-record commit points.
+	OpenAppend(path string) (File, error)
+	// ReadDir lists the entry names in dir (quarantine pruning scans a
+	// checkpoint's directory for *.corrupt-<ts> siblings through the
+	// seam so tests can fault or observe the deletions).
+	ReadDir(dir string) ([]string, error)
 	// Rename atomically replaces newpath with oldpath.
 	Rename(oldpath, newpath string) error
 	// Remove deletes path.
@@ -66,6 +78,28 @@ func (OS) CreateTemp(dir, pattern string) (File, error) {
 		return nil, err
 	}
 	return f, nil
+}
+
+// OpenAppend implements FS.
+func (OS) OpenAppend(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ReadDir implements FS.
+func (OS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names, nil
 }
 
 // Rename implements FS.

@@ -33,6 +33,22 @@ var (
 		[]float64{0.01, 0.05, 0.25, 1, 5, 15, 60, 300})
 )
 
+// Serving durability: write-ahead job journal and crash recovery.
+var (
+	JobsRecovered = Default.Counter("tivapromi_jobs_recovered_total",
+		"Jobs re-admitted from the write-ahead journal after a restart.")
+	IdempotentHits = Default.Counter("tivapromi_idempotent_hits_total",
+		"Duplicate Idempotency-Key submissions answered with the original job.")
+	JournalAppends = Default.Counter("tivapromi_journal_appends_total",
+		"Records appended and fsynced to the write-ahead job journal.")
+	JournalAppendErrs = Default.Counter("tivapromi_journal_append_errors_total",
+		"Journal append attempts that failed (submission rejected or state record lost).")
+	JournalSalvages = Default.Counter("tivapromi_journal_salvages_total",
+		"Journal loads that salvaged verifiable records from a damaged log.")
+	JournalQuarantines = Default.Counter("tivapromi_journal_quarantines_total",
+		"Damaged journal files moved aside to *.corrupt-* for forensics.")
+)
+
 // Campaign engine: per-cell outcomes and retry machinery.
 var (
 	CellsCompleted = Default.Counter("tivapromi_cells_completed_total",

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"tivapromi/internal/obs"
@@ -86,7 +87,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenantName := tenantOf(r, req.Tenant)
-	j, rej := s.submit(tenantName, req)
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		req.IdempotencyKey = key
+	}
+	j, replayed, rej := s.submit(tenantName, req)
 	if rej != nil {
 		if rej.retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(rej.retryAfter))
@@ -95,6 +99,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if replayed {
+		// A duplicate Idempotency-Key submission: same 202 contract, the
+		// original job's status, and a header so clients can tell.
+		w.Header().Set("Idempotent-Replay", "true")
+	}
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, j.status())
 }
@@ -150,10 +159,18 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	w.Write(svg)
 }
 
-// handleEvents streams the job's Progress/ETA events as SSE: buffered
-// history first, then live events, then one terminal "done" event. The
-// stream ends when the job reaches a terminal state or the client goes
-// away; either way the subscription is detached and nothing leaks.
+// handleEvents streams the job's Progress/ETA events as SSE. Every
+// progress frame carries its monotonic sequence number as the SSE id,
+// so a disconnected client reconnects with Last-Event-ID and resumes
+// exactly where it left off when that id is still inside the bounded
+// replay ring. A stale or absent Last-Event-ID (too old for the ring,
+// or from a pre-restart incarnation of the job) cannot resume
+// gap-free; the stream then leads with one "snapshot" event carrying
+// the authoritative job status, followed by whatever history the ring
+// still holds and the live feed — the documented snapshot-then-live
+// fallback. The stream ends with one terminal "done" event when the
+// job settles, or when the client goes away; either way the
+// subscription is detached and nothing leaks.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobFor(w, r)
 	if !ok {
@@ -164,14 +181,21 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusNotImplemented, "streaming unsupported")
 		return
 	}
+	// An unparseable Last-Event-ID is treated as absent: snapshot-then-live.
+	afterEpoch, afterSeq := parseEventID(r.Header.Get("Last-Event-ID"))
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	ch, replay := j.subscribe()
+	ch, replay, snapshot := j.subscribe(afterEpoch, afterSeq)
 	defer j.unsubscribe(ch)
+	if snapshot {
+		if !writeSSE(w, "snapshot", "", j.status()) {
+			return
+		}
+	}
 	for _, ev := range replay {
-		if !writeSSE(w, "progress", ev) {
+		if !writeSSE(w, "progress", formatEventID(ev.Epoch, ev.Seq), ev) {
 			return
 		}
 	}
@@ -182,7 +206,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case ev := <-ch:
-			if !writeSSE(w, "progress", ev) {
+			if !writeSSE(w, "progress", formatEventID(ev.Epoch, ev.Seq), ev) {
 				return
 			}
 			flusher.Flush()
@@ -197,11 +221,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			for {
 				select {
 				case ev := <-ch:
-					if !writeSSE(w, "progress", ev) {
+					if !writeSSE(w, "progress", formatEventID(ev.Epoch, ev.Seq), ev) {
 						return
 					}
 				default:
-					writeSSE(w, "done", j.status())
+					writeSSE(w, "done", "", j.status())
 					flusher.Flush()
 					return
 				}
@@ -210,6 +234,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// formatEventID renders an SSE event id: the bare sequence number for a
+// job's first incarnation, "<epoch>.<seq>" once a journal recovery has
+// bumped the epoch. parseEventID inverts it; anything unparseable reads
+// as the absent id (0, 0), which subscribe answers with the
+// snapshot-then-live fallback.
+func formatEventID(epoch, seq uint64) string {
+	if epoch == 0 {
+		return strconv.FormatUint(seq, 10)
+	}
+	return strconv.FormatUint(epoch, 10) + "." + strconv.FormatUint(seq, 10)
+}
+
+// parseEventID parses a Last-Event-ID header value.
+func parseEventID(raw string) (epoch, seq uint64) {
+	if raw == "" {
+		return 0, 0
+	}
+	if dot := strings.IndexByte(raw, '.'); dot >= 0 {
+		epoch, _ = strconv.ParseUint(raw[:dot], 10, 64)
+		seq, _ = strconv.ParseUint(raw[dot+1:], 10, 64)
+		return epoch, seq
+	}
+	seq, _ = strconv.ParseUint(raw, 10, 64)
+	return 0, seq
 }
 
 // StatsReport is the /v1/stats document.
@@ -320,13 +370,17 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(ErrorEnvelope{Error: msg, Code: errorCode(status)})
 }
 
-// writeSSE writes one SSE event; it reports false when the client is
-// gone.
-func writeSSE(w io.Writer, event string, v any) bool {
+// writeSSE writes one SSE event (with an optional id line, the resume
+// cursor for Last-Event-ID); it reports false when the client is gone.
+func writeSSE(w io.Writer, event, id string, v any) bool {
 	raw, err := json.Marshal(v)
 	if err != nil {
 		return false
 	}
-	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+	if id != "" {
+		_, err = fmt.Fprintf(w, "event: %s\nid: %s\ndata: %s\n\n", event, id, raw)
+	} else {
+		_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw)
+	}
 	return err == nil
 }

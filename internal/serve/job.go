@@ -13,13 +13,18 @@ import (
 type JobState string
 
 // Job lifecycle: Queued (admitted, waiting for its tenant's turn) →
-// Running → exactly one of Done / Failed / Canceled.
+// Running → exactly one of Done / Failed / Canceled. A job replayed
+// from the write-ahead journal after a restart enters as Recovering
+// (queued for re-execution) and proceeds to Running like any other —
+// unless it exceeds the recovery budget first and fails with
+// ErrRecoveryTimeout.
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
-	StateCanceled JobState = "canceled"
+	StateQueued     JobState = "queued"
+	StateRecovering JobState = "recovering"
+	StateRunning    JobState = "running"
+	StateDone       JobState = "done"
+	StateFailed     JobState = "failed"
+	StateCanceled   JobState = "canceled"
 )
 
 // Terminal reports whether the state is final.
@@ -30,6 +35,16 @@ func (s JobState) Terminal() bool {
 // Event is one progress notification on a job's SSE stream — a wire
 // mirror of campaign.Progress plus the job identity.
 type Event struct {
+	// Seq is the job's monotonic event sequence number within its
+	// incarnation, carried (with Epoch) in the SSE "id:" line so a
+	// disconnected client can resume with Last-Event-ID.
+	Seq uint64 `json:"seq"`
+	// Epoch is the job's incarnation number: 0 for a job's first run,
+	// bumped on every journal recovery. A pre-crash Last-Event-ID
+	// carries the old epoch, so it can never silently alias into the
+	// re-run's event numbering — it reads as stale and the stream falls
+	// back to snapshot-then-live.
+	Epoch     uint64 `json:"epoch,omitempty"`
 	Job       string `json:"job"`
 	Tenant    string `json:"tenant"`
 	Cell      string `json:"cell,omitempty"`
@@ -58,21 +73,27 @@ const subBuffer = 64
 // history, and its outputs. All mutable fields are guarded by mu; done
 // closes exactly once, when the state turns terminal.
 type job struct {
-	ID      string
-	Tenant  string
-	Names   []string // requested sections, in output order
-	Spec    campaign.Spec
-	Eval    campaign.Eval
-	Timeout time.Duration // whole-job deadline (0 = none)
+	ID          string
+	Tenant      string
+	Names       []string // requested sections, in output order
+	Spec        campaign.Spec
+	Eval        campaign.Eval
+	Timeout     time.Duration // whole-job deadline (0 = none)
+	Fingerprint string        // content address of the request spec (idempotency)
+	IdemKey     string        // tenant-scoped Idempotency-Key ("" = none)
+	Recovered   bool          // re-admitted from the journal after a restart
 
 	mu        sync.Mutex
 	state     JobState
+	epoch     uint64 // incarnation number; bumped on journal recovery
+	nextSeq   uint64 // last assigned event sequence number (per incarnation)
 	events    []Event
 	subs      map[chan Event]struct{}
 	report    []byte
 	svg       []byte
 	err       error
 	cancel    context.CancelFunc // set while running; drain force-cancels through it
+	deadline  *time.Timer        // pre-run state deadline (queue/recovery budget)
 	created   time.Time
 	started   time.Time
 	finished  time.Time
@@ -101,6 +122,9 @@ func newJob(id, tenant string, names []string, spec campaign.Spec, ev campaign.E
 func (j *job) publish(ev Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.nextSeq++
+	ev.Seq = j.nextSeq
+	ev.Epoch = j.epoch
 	if len(j.events) >= eventBuffer {
 		j.events = append(j.events[:0], j.events[len(j.events)-eventBuffer/2:]...)
 	}
@@ -134,13 +158,42 @@ func (j *job) onProgress(p campaign.Progress) {
 }
 
 // subscribe registers a new event channel and returns it along with a
-// replay of the buffered history. The caller must unsubscribe.
-func (j *job) subscribe() (ch chan Event, replay []Event) {
+// replay of buffered history. The caller must unsubscribe.
+//
+// afterEpoch/afterSeq implement Last-Event-ID resume: when the caller
+// holds an id from this incarnation whose sequence number is still
+// covered by the bounded replay ring, the replay is exactly the events
+// after it — a gap-free continuation. When the id is absent (0/0),
+// from a previous incarnation (epoch mismatch after a crash-recovery
+// re-run), or stale (older than the ring's first event, or beyond the
+// current high-water), a gap-free resume is impossible; snapshot
+// reports true and the replay is the full ring, so the handler leads
+// with a state snapshot — the documented snapshot-then-live fallback.
+func (j *job) subscribe(afterEpoch, afterSeq uint64) (ch chan Event, replay []Event, snapshot bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	ch = make(chan Event, subBuffer)
 	j.subs[ch] = struct{}{}
-	return ch, append([]Event(nil), j.events...)
+	var resumable bool
+	switch {
+	case afterEpoch != j.epoch || afterSeq == 0 || afterSeq > j.nextSeq:
+		resumable = false
+	case len(j.events) == 0:
+		// Nothing buffered to prove continuity: only a client already
+		// fully caught up can continue gap-free.
+		resumable = afterSeq == j.nextSeq
+	default:
+		resumable = j.events[0].Seq <= afterSeq+1
+	}
+	if !resumable {
+		return ch, append([]Event(nil), j.events...), true
+	}
+	for i, ev := range j.events {
+		if ev.Seq > afterSeq {
+			return ch, append([]Event(nil), j.events[i:]...), false
+		}
+	}
+	return ch, nil, false
 }
 
 // unsubscribe detaches a channel. The channel is abandoned, never
@@ -151,13 +204,53 @@ func (j *job) unsubscribe(ch chan Event) {
 	delete(j.subs, ch)
 }
 
-// start flips the job to running and installs its cancel hook.
-func (j *job) start(cancel context.CancelFunc) {
+// start flips the job to running and installs its cancel hook,
+// reporting false if the job already settled (a pre-run deadline won
+// the race). The pre-run state deadline is disarmed: once running, the
+// job answers to the job timeout instead.
+func (j *job) start(cancel context.CancelFunc) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	if j.deadline != nil {
+		j.deadline.Stop()
+		j.deadline = nil
+	}
+	return true
+}
+
+// terminal reports whether the job has settled.
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+// armDeadline installs a pre-run state deadline: if the job is still in
+// `from` when d elapses, it fails with err. Used for the recovery
+// budget (a job stuck in recovering must fail typed, not wedge).
+func (j *job) armDeadline(from JobState, d time.Duration, err error, onExpire func(*job)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.deadline = time.AfterFunc(d, func() {
+		if j.failIfState(from, err) && onExpire != nil {
+			onExpire(j)
+		}
+	})
+}
+
+// failIfState moves the job to failed iff it still sits in `from`,
+// reporting whether the transition happened.
+func (j *job) failIfState(from JobState, err error) bool {
+	return j.finishIf(from, StateFailed, nil, nil, err)
 }
 
 // finish moves the job to a terminal state exactly once, recording the
@@ -165,10 +258,18 @@ func (j *job) start(cancel context.CancelFunc) {
 // (a drain cancel racing a natural completion resolves to whichever
 // came first).
 func (j *job) finish(state JobState, rep, svg []byte, err error) {
+	j.finishIf("", state, rep, svg, err)
+}
+
+// finishIf is finish gated on the current state: when from is non-empty
+// the transition applies only if the job still sits in from. Reports
+// whether this call performed the transition — the primitive the
+// pre-run deadline timers need to lose races against real completions.
+func (j *job) finishIf(from, state JobState, rep, svg []byte, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state.Terminal() {
-		return
+	if j.state.Terminal() || (from != "" && j.state != from) {
+		return false
 	}
 	j.state = state
 	j.report = rep
@@ -176,7 +277,21 @@ func (j *job) finish(state JobState, rep, svg []byte, err error) {
 	j.err = err
 	j.finished = time.Now()
 	j.cancel = nil
+	if j.deadline != nil {
+		j.deadline.Stop()
+		j.deadline = nil
+	}
 	close(j.done)
+	return true
+}
+
+// watermark returns the incarnation number and its last assigned event
+// sequence number — what a state record journals so a recovered
+// incarnation knows to bump the epoch past every id this one issued.
+func (j *job) watermark() (epoch, seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch, j.nextSeq
 }
 
 // forceCancel cancels a running job's context (no-op otherwise).
@@ -201,6 +316,15 @@ type Status struct {
 	Error     string   `json:"error,omitempty"`
 	CreatedAt string   `json:"created_at"`
 	ElapsedMs int64    `json:"elapsed_ms"`
+	// Recovered marks a job re-admitted from the write-ahead journal
+	// after a restart; its outputs are reproduced through the shared
+	// result cache.
+	Recovered bool `json:"recovered,omitempty"`
+	// Epoch and Seq are the job's incarnation number and SSE sequence
+	// high-water mark: together the largest event id a resuming
+	// Last-Event-ID could legitimately carry.
+	Epoch uint64 `json:"epoch,omitempty"`
+	Seq   uint64 `json:"seq,omitempty"`
 }
 
 // status snapshots the job.
@@ -213,6 +337,9 @@ func (j *job) status() Status {
 		DoneCells: j.doneCells, Total: j.total,
 		DedupHits: j.dedupHits,
 		CreatedAt: j.created.UTC().Format(time.RFC3339),
+		Recovered: j.Recovered,
+		Epoch:     j.epoch,
+		Seq:       j.nextSeq,
 	}
 	switch {
 	case j.state.Terminal():

@@ -86,10 +86,12 @@ func TestErrorEnvelope(t *testing.T) {
 	})
 	defer close(release)
 
-	// Fill alpha's queue: one running, one queued; the next submission 429s.
+	// Fill alpha's queue: one running, one queued; the next submission
+	// 429s. The queued job carries an Idempotency-Key so the conflict
+	// case can collide with it.
 	running := jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
 	waitState(t, hs.URL, "alpha", running, StateRunning)
-	jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+	jobID(t, doSubmitKey(t, hs.URL, "alpha", "env-key", submitBody("table2")))
 
 	oversized := bytes.Repeat([]byte{'x'}, int(DefaultLimits().MaxBodyBytes)+2)
 
@@ -137,6 +139,34 @@ func TestErrorEnvelope(t *testing.T) {
 			name:   "413 oversized body",
 			do:     func() *http.Response { return doSubmit(t, hs.URL, "alpha", oversized) },
 			status: http.StatusRequestEntityTooLarge, code: "payload_too_large",
+		},
+		{
+			// An Idempotency-Key reused with a different spec: the replay
+			// check resolves before admission, so even a full queue answers
+			// conflict, never a silent duplicate or a spurious 429.
+			name:   "409 idempotency conflict",
+			do:     func() *http.Response { return doSubmitKey(t, hs.URL, "alpha", "env-key", submitBody("table1")) },
+			status: http.StatusConflict, code: "conflict",
+		},
+		{
+			// Must run last: draining is one-way. A drain-phase submission
+			// is a 503 with Retry-After — retryable by contract, unlike the
+			// terminal 4xx family.
+			name: "503 draining",
+			do: func() *http.Response {
+				go s.Drain(context.Background())
+				deadline := time.Now().Add(5 * time.Second)
+				for !s.Draining() {
+					if time.Now().After(deadline) {
+						t.Fatal("server never entered drain")
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return doSubmit(t, hs.URL, "alpha", submitBody("table2"))
+			},
+			status:     http.StatusServiceUnavailable,
+			code:       "unavailable",
+			retryAfter: true,
 		},
 	}
 	for _, tc := range cases {

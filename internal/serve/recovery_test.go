@@ -1,0 +1,465 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tivapromi/internal/campaign"
+	"tivapromi/internal/obs"
+)
+
+// doSubmitKey is doSubmit with an Idempotency-Key header.
+func doSubmitKey(t *testing.T, url, tenant, key string, body []byte) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest("POST", url+"/v1/campaigns", bytes.NewReader(body))
+	req.Header.Set("X-Tenant", tenant)
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIdempotentResubmit: a duplicate POST with the same tenant-scoped
+// Idempotency-Key is answered with the original job — same id, an
+// Idempotent-Replay header, and zero additional executions — while the
+// same key with a different spec is a 409 conflict.
+func TestIdempotentResubmit(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	var runs atomic.Int64
+	s, hs := newTestServer(t, Config{Workers: 1, JournalPath: jpath})
+	s.SetRunCampaignForTest(func(ctx context.Context, spec campaign.Spec, opts campaign.Options) (*campaign.ResultSet, error) {
+		runs.Add(1)
+		return emptyRun(ctx, spec, opts)
+	})
+	hitsBefore := obs.IdempotentHits.Value()
+
+	r1 := doSubmitKey(t, hs.URL, "alpha", "key-A", submitBody("table2"))
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission: %d", r1.StatusCode)
+	}
+	id1 := jobID(t, r1)
+	waitState(t, hs.URL, "alpha", id1, StateDone)
+
+	r2 := doSubmitKey(t, hs.URL, "alpha", "key-A", submitBody("table2"))
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate submission: %d, want 202", r2.StatusCode)
+	}
+	if r2.Header.Get("Idempotent-Replay") != "true" {
+		t.Error("duplicate submission carries no Idempotent-Replay header")
+	}
+	if id2 := jobID(t, r2); id2 != id1 {
+		t.Fatalf("duplicate submission got job %s, want the original %s", id2, id1)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("campaign executed %d times for an idempotent duplicate, want 1", got)
+	}
+	if obs.IdempotentHits.Value() <= hitsBefore {
+		t.Error("idempotent_hits counter did not move")
+	}
+
+	// Same key, different spec: a conflict, never a silent second job.
+	r3 := doSubmitKey(t, hs.URL, "alpha", "key-A", submitBody("table1"))
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting reuse: %d, want 409", r3.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(r3.Body).Decode(&env); err != nil || env.Code != "conflict" {
+		t.Fatalf("conflict envelope: %+v (err %v)", env, err)
+	}
+
+	// Same key, different tenant: keys are tenant-scoped, so this is a
+	// fresh job, not a replay.
+	r4 := doSubmitKey(t, hs.URL, "beta", "key-A", submitBody("table2"))
+	if r4.StatusCode != http.StatusAccepted || r4.Header.Get("Idempotent-Replay") != "" {
+		t.Fatalf("foreign tenant's identical key replayed: %d %q", r4.StatusCode, r4.Header.Get("Idempotent-Replay"))
+	}
+	if id4 := jobID(t, r4); id4 == id1 {
+		t.Fatal("tenant beta was handed tenant alpha's job")
+	}
+}
+
+// TestJournalRecoveryEndToEnd is the tentpole round trip: a server runs
+// a journaled job to completion, "crashes" with the terminal record
+// lost, and its successor re-admits the job from the journal, re-renders
+// it from the shared checkpoint cache (dedup, not re-simulation), serves
+// byte-identical report bytes, and answers the idempotent re-POST with
+// the original id.
+func TestJournalRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation; skipped in -short")
+	}
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "jobs.journal")
+	ckpt := filepath.Join(dir, "cache.json")
+	recoveredBefore := obs.JobsRecovered.Value()
+
+	// Life A: run one real job to completion, then stop cleanly enough
+	// that the checkpoint is flushed.
+	sA, err := New(Config{Workers: 2, BaseEval: testEval(), JournalPath: jpath, CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "flooding" has real simulation cells (table2 alone is an empty
+	// campaign), so life B's re-render can prove it hit the cache.
+	req := Request{Sections: []string{"table2", "flooding"}, IdempotencyKey: "key-A"}
+	jA, replayed, rej := sA.submit("alpha", req)
+	if rej != nil || replayed {
+		t.Fatalf("life A submit: rej=%+v replayed=%v", rej, replayed)
+	}
+	select {
+	case <-jA.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("life A job never finished")
+	}
+	stateA, repA, _, errA := jA.snapshot()
+	if stateA != StateDone {
+		t.Fatalf("life A job: %s (%v)", stateA, errA)
+	}
+	if err := sA.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sA.Close()
+
+	// The crash: the journal's terminal "done" record never hit the disk.
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if last := lines[len(lines)-1]; !bytes.Contains(last, []byte(`"done"`)) {
+		t.Fatalf("journal's last line is not the done record: %s", last)
+	}
+	doctored := append(bytes.Join(lines[:len(lines)-1], []byte("\n")), '\n')
+	if err := os.WriteFile(jpath, doctored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Life B: recovery re-admits the interrupted job and re-renders it.
+	sB, err := New(Config{Workers: 2, BaseEval: testEval(), JournalPath: jpath, CheckpointPath: ckpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sB.Close()
+	jB, ok := sB.Job(jA.ID)
+	if !ok {
+		t.Fatalf("job %s did not survive the restart", jA.ID)
+	}
+	if !jB.Recovered {
+		t.Error("replayed job is not marked recovered")
+	}
+	select {
+	case <-jB.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("recovered job never finished")
+	}
+	stB := jB.status()
+	if stB.State != StateDone {
+		t.Fatalf("recovered job: %s (%s)", stB.State, stB.Error)
+	}
+	if !stB.Recovered {
+		t.Error("recovered job's status does not say so")
+	}
+	if stB.Epoch == 0 {
+		t.Error("recovered job kept epoch 0; pre-crash SSE ids could alias")
+	}
+	if stB.DedupHits == 0 {
+		t.Error("recovery re-simulated instead of re-rendering: zero cache hits")
+	}
+	_, repB, _, _ := jB.snapshot()
+	if !bytes.Equal(repA, repB) {
+		t.Fatalf("recovered report differs from the original (%d vs %d bytes)", len(repB), len(repA))
+	}
+	if obs.JobsRecovered.Value() <= recoveredBefore {
+		t.Error("jobs_recovered counter did not move")
+	}
+
+	// The idempotency ledger survived: the duplicate POST resolves to the
+	// recovered job, and a fresh submission draws an id past the old one.
+	jDup, replayed, rej := sB.submit("alpha", req)
+	if rej != nil || !replayed || jDup.ID != jA.ID {
+		t.Fatalf("idempotent re-POST after restart: rej=%+v replayed=%v id=%s want %s", rej, replayed, jDup.ID, jA.ID)
+	}
+	jNew, replayed, rej := sB.submit("alpha", Request{Sections: []string{"table2"}})
+	if rej != nil || replayed {
+		t.Fatalf("fresh submit after restart: rej=%+v replayed=%v", rej, replayed)
+	}
+	if jNew.ID <= jA.ID {
+		t.Fatalf("restarted server reissued id space: new %s vs old %s", jNew.ID, jA.ID)
+	}
+}
+
+// TestRecoveryDisabled: with -recover=false the journal still answers
+// idempotency, but interrupted jobs fail typed instead of re-running.
+func TestRecoveryDisabled(t *testing.T) {
+	jpath := journalPath(t)
+	writeJournal(t, jpath, func(j *Journal) {
+		if err := j.AppendSubmit(testSubmit("j000001", "alpha", "key-A")); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.AppendState(StateRecord{ID: "j000001", State: StateRunning}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	s, err := New(Config{Workers: 1, BaseEval: testEval(), JournalPath: jpath, DisableRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, ok := s.Job("j000001")
+	if !ok {
+		t.Fatal("journaled job missing after restart")
+	}
+	st := j.status()
+	if st.State != StateFailed || !strings.Contains(st.Error, "recovery is disabled") {
+		t.Fatalf("interrupted job with recovery off: %s (%q), want a typed failure", st.State, st.Error)
+	}
+	// The idempotency answer still works against the tombstone.
+	jDup, replayed, rej := s.submit("alpha", Request{Sections: []string{"table2"}, IdempotencyKey: "key-A"})
+	if rej != nil || !replayed || jDup.ID != "j000001" {
+		t.Fatalf("idempotent answer with recovery off: rej=%+v replayed=%v id=%v", rej, replayed, jDup)
+	}
+}
+
+// TestRecoveryTimeout: a re-admitted job that cannot reach the running
+// state inside the recovery budget fails with ErrRecoveryTimeout — the
+// per-state deadline that turns "wedged in recovering" into a typed,
+// observable failure.
+func TestRecoveryTimeout(t *testing.T) {
+	s, err := New(Config{Workers: 1, BaseEval: testEval(), RecoveryTimeout: 40 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	block := make(chan struct{})
+	s.SetRunCampaignForTest(func(ctx context.Context, spec campaign.Spec, opts campaign.Options) (*campaign.ResultSet, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return emptyRun(ctx, spec, opts)
+	})
+	// Feed the recovery path directly (white-box): job 1 occupies the
+	// tenant's single active slot; job 2 must wait in recovering past the
+	// budget. No journal file is needed — this is the ledger the journal
+	// would have produced.
+	replayed := []ReplayedJob{
+		{Submit: testSubmit("j000001", "alpha", ""), State: StateRunning},
+		{Submit: testSubmit("j000002", "alpha", ""), State: StateQueued},
+	}
+	s.mu.Lock()
+	s.recoverJobs(replayed)
+	s.mu.Unlock()
+
+	j2, ok := s.Job("j000002")
+	if !ok {
+		t.Fatal("job 2 missing")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := j2.status()
+		if st.State == StateFailed {
+			if !strings.Contains(st.Error, "recovery budget") {
+				t.Fatalf("job 2 failed with %q, want the typed recovery-timeout error", st.Error)
+			}
+			break
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job 2 reached %s, want failed via recovery timeout", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job 2 never timed out (state %s)", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if j1, _ := s.Job("j000001"); j1.terminal() {
+		t.Fatal("job 1 settled early; the test never exercised the queued wait")
+	}
+	close(block)
+	j1, _ := s.Job("j000001")
+	select {
+	case <-j1.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job 1 never finished after release")
+	}
+	waitNoServeGoroutines(t)
+}
+
+// sseFrame is one parsed SSE event.
+type sseFrame struct {
+	event string
+	id    string
+	data  string
+}
+
+// readFrame reads one SSE event from the stream, skipping keep-alive
+// comments.
+func readFrame(t *testing.T, br *bufio.Reader) sseFrame {
+	t.Helper()
+	var f sseFrame
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE stream ended mid-frame: %v (have %+v)", err, f)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && f.event != "":
+			return f
+		case line == "" || strings.HasPrefix(line, ":"):
+			continue
+		case strings.HasPrefix(line, "event: "):
+			f.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			f.id = line[len("id: "):]
+		case strings.HasPrefix(line, "data: "):
+			f.data = line[len("data: "):]
+		}
+	}
+}
+
+func openEvents(t *testing.T, url, tenant, id, lastEventID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, _ := http.NewRequest("GET", url+"/v1/campaigns/"+id+"/events", nil)
+	req.Header.Set("X-Tenant", tenant)
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream: %d", resp.StatusCode)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// TestSSEResume drives the reconnect protocol end to end: a first
+// connection (no Last-Event-ID) leads with a snapshot, a reconnect with
+// the last seen id resumes gap-free with no snapshot and no duplicates,
+// and a reconnect with an id beyond the high-water falls back to
+// snapshot-then-live.
+func TestSSEResume(t *testing.T) {
+	step := make(chan struct{})
+	s, hs := newTestServer(t, Config{Workers: 1})
+	s.SetRunCampaignForTest(func(ctx context.Context, spec campaign.Spec, opts campaign.Options) (*campaign.ResultSet, error) {
+		emit := func(n int) {
+			opts.OnProgress(campaign.Progress{Campaign: spec.Name, Tenant: opts.Tenant,
+				Cell: fmt.Sprintf("c%d", n), Done: n, Total: 4})
+		}
+		emit(1)
+		<-step
+		emit(2)
+		emit(3)
+		<-step
+		emit(4)
+		return emptyRun(ctx, spec, opts)
+	})
+	id := jobID(t, doSubmit(t, hs.URL, "alpha", submitBody("table2")))
+
+	// First connect, absent Last-Event-ID: documented snapshot-then-live.
+	resp1, br1 := openEvents(t, hs.URL, "alpha", id, "")
+	if f := readFrame(t, br1); f.event != "snapshot" {
+		t.Fatalf("first frame %q, want the snapshot", f.event)
+	}
+	f := readFrame(t, br1)
+	if f.event != "progress" || f.id != "1" {
+		t.Fatalf("first progress frame %+v, want id 1", f)
+	}
+	resp1.Body.Close()
+
+	// Events 2 and 3 land while no client is attached.
+	step <- struct{}{}
+	waitEvents := func(n uint64) {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if st := getStatus(t, hs.URL, "alpha", id); st.Seq >= n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job never reached seq %d", n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitEvents(3)
+
+	// Reconnect with the last id we saw: gap-free, no snapshot, no dups.
+	resp2, br2 := openEvents(t, hs.URL, "alpha", id, "1")
+	for want := 2; want <= 3; want++ {
+		f := readFrame(t, br2)
+		if f.event != "progress" || f.id != fmt.Sprint(want) {
+			t.Fatalf("resumed frame %+v, want progress id %d (no snapshot, no duplicates)", f, want)
+		}
+	}
+	step <- struct{}{}
+	if f := readFrame(t, br2); f.event != "progress" || f.id != "4" {
+		t.Fatalf("live frame after resume %+v, want progress id 4", f)
+	}
+	if f := readFrame(t, br2); f.event != "done" {
+		t.Fatalf("terminal frame %q, want done", f.event)
+	}
+	resp2.Body.Close()
+	waitState(t, hs.URL, "alpha", id, StateDone)
+
+	// A stale id beyond the high-water (e.g. from a pre-restart
+	// incarnation): snapshot-then-live, never an invented continuation.
+	resp3, br3 := openEvents(t, hs.URL, "alpha", id, "999")
+	if f := readFrame(t, br3); f.event != "snapshot" {
+		t.Fatalf("stale-id first frame %q, want snapshot", f.event)
+	}
+	resp3.Body.Close()
+
+	// A caught-up reconnect on the finished job: no snapshot, straight to
+	// the terminal frame.
+	resp4, br4 := openEvents(t, hs.URL, "alpha", id, "4")
+	if f := readFrame(t, br4); f.event != "done" {
+		t.Fatalf("caught-up reconnect first frame %q, want done", f.event)
+	}
+	resp4.Body.Close()
+
+	// Both disconnect paths must fold the handler goroutine.
+	deadline := time.Now().Add(5 * time.Second)
+	for eventsHandlerGoroutines() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("events handler goroutines leaked after reconnect cycle")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSubscribeRingEviction pins the ring-continuity rule: once the
+// bounded replay ring has evicted the requested resume point, subscribe
+// must refuse the gap-free resume and fall back to snapshot.
+func TestSubscribeRingEviction(t *testing.T) {
+	j := newJob("j1", "alpha", nil, campaign.Spec{}, campaign.Eval{}, 0)
+	total := eventBuffer + eventBuffer/2
+	for i := 0; i < total; i++ {
+		j.publish(Event{Job: "j1"})
+	}
+	if _, _, snapshot := j.subscribe(0, 1); !snapshot {
+		t.Fatal("resume from an evicted seq was allowed; the gap would be silent")
+	}
+	ch, replay, snapshot := j.subscribe(0, uint64(total)-1)
+	_ = ch
+	if snapshot || len(replay) != 1 || replay[0].Seq != uint64(total) {
+		t.Fatalf("in-ring resume: snapshot=%v replay=%d, want the single trailing event", snapshot, len(replay))
+	}
+	// An epoch mismatch is never resumable, even with a plausible seq.
+	if _, _, snapshot := j.subscribe(3, uint64(total)-1); !snapshot {
+		t.Fatal("cross-epoch resume was allowed; pre-crash ids would alias")
+	}
+}

@@ -23,6 +23,9 @@ package serve
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -39,6 +42,19 @@ import (
 
 // ErrDraining marks rejections issued while the server winds down.
 var ErrDraining = errors.New("serve: server is draining")
+
+// ErrRecoveryTimeout marks a journal-recovered job that sat in the
+// recovering state past Config.RecoveryTimeout — the per-state deadline
+// that turns "wedged forever" into a typed failure.
+var ErrRecoveryTimeout = errors.New("serve: recovery budget exhausted while waiting to re-run")
+
+// ErrRecoveryDisabled marks journal-replayed jobs failed at startup
+// because the operator booted with recovery off (-recover=false).
+var ErrRecoveryDisabled = errors.New("serve: interrupted by a restart and recovery is disabled")
+
+// ErrIdempotencyConflict marks a submission reusing an Idempotency-Key
+// with a different spec fingerprint — answered 409, never executed.
+var ErrIdempotencyConflict = errors.New("serve: idempotency key reused with a different spec")
 
 // Config tunes one Server.
 type Config struct {
@@ -89,6 +105,21 @@ type Config struct {
 	// force-cancelling them (completed cells are already checkpointed,
 	// so a force-cancelled job loses no finished work) (0 = 30s).
 	DrainTimeout time.Duration
+	// JournalPath, when non-empty, arms the write-ahead job journal:
+	// every accepted submission is fsynced to this log before its 202,
+	// and a restarted server replays it — re-admitting interrupted jobs
+	// and answering duplicate Idempotency-Key submissions with the
+	// original job id. Empty = journal off (no behavior change).
+	JournalPath string
+	// DisableRecovery boots with the journal armed but without
+	// re-admitting replayed jobs: anything interrupted is failed with
+	// ErrRecoveryDisabled instead of re-run. Idempotency-key answers
+	// still work.
+	DisableRecovery bool
+	// RecoveryTimeout is the per-state deadline for recovering jobs: a
+	// re-admitted job still waiting to re-run after this long fails
+	// with ErrRecoveryTimeout instead of wedging (0 = 5m).
+	RecoveryTimeout time.Duration
 	// Log, when non-nil, receives one-line operational narration.
 	Log io.Writer
 }
@@ -112,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = 5 * time.Minute
+	}
 	if c.BaseEval.SeedsPerPoint == 0 {
 		c.BaseEval = campaign.DefaultEval()
 	}
@@ -125,6 +159,7 @@ func (c Config) withDefaults() Config {
 type tenant struct {
 	name      string
 	queue     []*job
+	pending   int // reservations between journal append and enqueue
 	active    *job
 	budget    atomic.Int64 // shared across the tenant's jobs
 	fails     int          // consecutive failed jobs
@@ -151,9 +186,12 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
+	journal *Journal // nil when JournalPath is empty: every append no-ops
+
 	mu       sync.Mutex
 	tenants  map[string]*tenant
 	jobs     map[string]*job
+	idem     map[string]*job // tenant\x00key → job, rebuilt from the journal
 	nextID   int
 	draining bool
 
@@ -178,6 +216,7 @@ func New(cfg Config) (*Server, error) {
 		gate:        make(chan struct{}, workers),
 		tenants:     make(map[string]*tenant),
 		jobs:        make(map[string]*job),
+		idem:        make(map[string]*job),
 		runCampaign: campaign.Run,
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
@@ -191,7 +230,136 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.ck = ck
 	}
+	if cfg.JournalPath != "" {
+		journal, replayed, err := OpenJournal(cfg.JournalPath, cfg.FS)
+		if err != nil {
+			return nil, fmt.Errorf("serve: journal: %w", err)
+		}
+		s.journal = journal
+		if note := journal.LoadReport().Note(); note != "" {
+			s.logf("serve: %s", note)
+		}
+		s.recoverJobs(replayed)
+	}
 	return s, nil
+}
+
+// JournalReport returns what the journal load found on disk (the zero
+// report when the journal is off).
+func (s *Server) JournalReport() JournalLoadReport { return s.journal.LoadReport() }
+
+// recoverJobs rebuilds the job ledger from the replayed journal: every
+// job is re-registered (so status and idempotency answers survive the
+// restart), terminal jobs keep their recorded outcome as status-only
+// tombstones, and interrupted jobs — queued, recovering, running, or
+// done with outputs lost to the crash — are re-admitted in recovering
+// state. Their cells dedup against the shared checkpoint cache, so
+// recovery re-renders rather than re-simulates. Runs during New, before
+// any request or worker goroutine exists.
+func (s *Server) recoverJobs(replayed []ReplayedJob) {
+	recovered := 0
+	for _, rj := range replayed {
+		var n int
+		if _, err := fmt.Sscanf(rj.Submit.ID, "j%06d", &n); err == nil && n > s.nextID {
+			// Resume id allocation past every journaled id so a
+			// restarted server never reissues one.
+			s.nextID = n
+		}
+		t := s.tenants[rj.Submit.Tenant]
+		if t == nil {
+			// Recovery honors admissions from the previous boot even
+			// past MaxTenants — they were already accepted once.
+			t = &tenant{name: rj.Submit.Tenant}
+			t.budget.Store(int64(s.cfg.RetryBudget))
+			s.tenants[rj.Submit.Tenant] = t
+		}
+		req := rj.Submit.Request
+		timeout := time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout <= 0 {
+			timeout = s.cfg.JobTimeout
+		}
+		spec, ev, buildErr := BuildCampaign(req, s.cfg.BaseEval, s.cfg.Limits)
+		j := newJob(rj.Submit.ID, rj.Submit.Tenant, append([]string(nil), req.Sections...), spec, ev, timeout)
+		j.Fingerprint = rj.Submit.Fingerprint
+		j.IdemKey = rj.Submit.IdemKey
+		s.jobs[j.ID] = j
+		if j.IdemKey != "" {
+			s.idem[idemKey(j.Tenant, j.IdemKey)] = j
+		}
+		switch {
+		case rj.State == StateFailed || rj.State == StateCanceled:
+			// Tombstone: the outcome is known; only status survives.
+			err := errors.New(rj.Err)
+			if rj.Err == "" {
+				err = fmt.Errorf("serve: journaled as %s", rj.State)
+			}
+			j.finish(rj.State, nil, nil, err)
+		case buildErr != nil:
+			// The section registry or limits changed across the restart.
+			j.finish(StateFailed, nil, nil, fmt.Errorf("serve: recovery rebuild: %w", buildErr))
+			s.journalState(j, StateFailed)
+		case s.cfg.DisableRecovery:
+			j.finish(StateFailed, nil, nil, ErrRecoveryDisabled)
+			s.journalState(j, StateFailed)
+		default:
+			j.Recovered = true
+			j.mu.Lock()
+			j.state = StateRecovering
+			// New incarnation: every SSE id the previous life issued
+			// carries a smaller epoch, so it can never alias into this
+			// re-run's numbering.
+			j.epoch = rj.Epoch + 1
+			j.mu.Unlock()
+			t.queue = append(t.queue, j)
+			recovered++
+			obs.JobsRecovered.Inc()
+			obs.QueueDepth.Add(1)
+			s.journalState(j, StateRecovering)
+			j.armDeadline(StateRecovering, s.cfg.RecoveryTimeout, ErrRecoveryTimeout, s.onPreRunExpiry)
+			s.logf("serve: %s: job %s re-admitted from journal (was %s)", j.Tenant, j.ID, rj.State)
+		}
+	}
+	if recovered > 0 {
+		obs.Emit("journal-recovered", "jobs", fmt.Sprint(recovered))
+		s.logf("serve: recovered %d interrupted job(s) from the journal", recovered)
+	}
+	for _, t := range s.tenants {
+		s.dispatchLocked(t)
+	}
+}
+
+// onPreRunExpiry books a job failed by its pre-run state deadline. It
+// runs on the timer goroutine, after finishIf already settled the job.
+func (s *Server) onPreRunExpiry(j *job) {
+	s.counters.Failed.Add(1)
+	obs.JobsFailed.Inc()
+	obs.QueueDepth.Add(-1)
+	s.journalState(j, StateFailed)
+	obs.Emit("job-deadline", "job", j.ID, "tenant", j.Tenant)
+	s.logf("serve: %s: job %s failed: %v", j.Tenant, j.ID, ErrRecoveryTimeout)
+}
+
+// idemKey builds the tenant-scoped idempotency map key.
+func idemKey(tenant, key string) string { return tenant + "\x00" + key }
+
+// journalState appends one lifecycle transition to the journal,
+// best-effort: the submit record is the durable admission; a lost state
+// record only means the job replays from an earlier state and re-runs
+// against the result cache after a crash.
+func (s *Server) journalState(j *job, state JobState) {
+	if s.journal == nil {
+		return
+	}
+	rec := StateRecord{ID: j.ID, State: state}
+	rec.Epoch, rec.Seq = j.watermark()
+	j.mu.Lock()
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	j.mu.Unlock()
+	if err := s.journal.AppendState(rec); err != nil {
+		s.logf("serve: journal state %s for %s: %v", state, j.ID, err)
+	}
 }
 
 // SetRunCampaignForTest overrides the campaign entry point (nil
@@ -225,54 +393,139 @@ type rejection struct {
 // submit admits one decoded request into its tenant's queue, or
 // explains the refusal. Admission is O(1) and never blocks on running
 // work — load shedding must stay responsive precisely when the server
-// is busiest.
-func (s *Server) submit(tenantName string, req Request) (*job, *rejection) {
+// is busiest. With the journal armed, the submit record is fsynced
+// between reservation and enqueue (off the server lock: an fsync under
+// s.mu would serialize every status poll behind the disk), so the 202
+// never outruns durability. replayed reports an idempotent duplicate —
+// the returned job is the original, nothing was executed or journaled.
+func (s *Server) submit(tenantName string, req Request) (j *job, replayed bool, rej *rejection) {
 	spec, ev, err := BuildCampaign(req, s.cfg.BaseEval, s.cfg.Limits)
 	if err != nil {
-		return nil, &rejection{status: statusForSpecErr(err), retryAfter: 0, reason: err.Error()}
+		return nil, false, &rejection{status: statusForSpecErr(err), retryAfter: 0, reason: err.Error()}
 	}
 	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
 	if timeout <= 0 {
 		timeout = s.cfg.JobTimeout
 	}
+	fp := requestFingerprint(req)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Idempotent replay is a read: it resolves before the drain check so
+	// a client retrying its accepted submission during a drain still
+	// learns its job id instead of a useless 503.
+	if req.IdempotencyKey != "" {
+		if orig := s.idem[idemKey(tenantName, req.IdempotencyKey)]; orig != nil {
+			if orig.Fingerprint != fp {
+				defer s.mu.Unlock()
+				return nil, false, s.rejectLocked(tenantName, &rejection{
+					status: 409,
+					reason: fmt.Sprintf("%v (key %q is bound to job %s)", ErrIdempotencyConflict, req.IdempotencyKey, orig.ID),
+				})
+			}
+			s.mu.Unlock()
+			obs.IdempotentHits.Inc()
+			obs.Emit("idempotent-hit", "tenant", tenantName, "job", orig.ID, "key", req.IdempotencyKey)
+			return orig, true, nil
+		}
+	}
 	if s.draining {
-		return nil, s.rejectLocked(tenantName, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()})
+		defer s.mu.Unlock()
+		return nil, false, s.rejectLocked(tenantName, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()})
 	}
 	t := s.tenants[tenantName]
 	if t == nil {
 		if len(s.tenants) >= s.cfg.MaxTenants {
-			return nil, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 30, reason: "serve: tenant table full"})
+			defer s.mu.Unlock()
+			return nil, false, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 30, reason: "serve: tenant table full"})
 		}
 		t = &tenant{name: tenantName}
 		t.budget.Store(int64(s.cfg.RetryBudget))
 		s.tenants[tenantName] = t
 	}
 	if until := t.openUntil; time.Now().Before(until) {
-		return nil, s.rejectLocked(tenantName, &rejection{
+		defer s.mu.Unlock()
+		return nil, false, s.rejectLocked(tenantName, &rejection{
 			status:     429,
 			retryAfter: int(time.Until(until)/time.Second) + 1,
 			reason:     fmt.Sprintf("serve: tenant %q circuit breaker open after %d consecutive failed jobs", tenantName, t.fails),
 		})
 	}
-	if len(t.queue) >= s.cfg.QueueDepth {
+	if len(t.queue)+t.pending >= s.cfg.QueueDepth {
 		// Retry-After scales with the backlog: a deeper queue means a
-		// longer wait before a slot frees up.
-		return nil, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 2 * len(t.queue), reason: "serve: tenant queue full"})
+		// longer wait before a slot frees up. pending counts admissions
+		// between reservation and enqueue, so concurrent submissions
+		// cannot overshoot the depth through the journal-append window.
+		defer s.mu.Unlock()
+		return nil, false, s.rejectLocked(tenantName, &rejection{status: 429, retryAfter: 2 * (len(t.queue) + t.pending), reason: "serve: tenant queue full"})
 	}
 
 	s.nextID++
 	id := fmt.Sprintf("j%06d", s.nextID)
-	j := newJob(id, tenantName, append([]string(nil), req.Sections...), spec, ev, timeout)
+	j = newJob(id, tenantName, append([]string(nil), req.Sections...), spec, ev, timeout)
+	j.Fingerprint = fp
+	j.IdemKey = req.IdempotencyKey
 	s.jobs[id] = j
+	if j.IdemKey != "" {
+		s.idem[idemKey(tenantName, j.IdemKey)] = j
+	}
+	t.pending++
+	s.mu.Unlock()
+
+	// Write-ahead: the job becomes runnable only after its submit record
+	// is durable. On failure the reservation is rolled back and the
+	// client told to retry — accepting an unjournaled job would be a
+	// durability lie.
+	if s.journal != nil {
+		err := s.journal.AppendSubmit(SubmitRecord{
+			ID: id, Tenant: tenantName, IdemKey: j.IdemKey, Fingerprint: fp, Request: req,
+		})
+		if err != nil {
+			s.mu.Lock()
+			delete(s.jobs, id)
+			if j.IdemKey != "" {
+				delete(s.idem, idemKey(tenantName, j.IdemKey))
+			}
+			t.pending--
+			defer s.mu.Unlock()
+			s.logf("serve: %s: journal append failed, rejecting submission: %v", tenantName, err)
+			return nil, false, s.rejectLocked(tenantName, &rejection{status: 503, retryAfter: 5, reason: fmt.Sprintf("serve: journal append: %v", err)})
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.pending--
+	if s.draining {
+		// Drain began inside the journal-append window; the queued-job
+		// sweep already ran, so settle this one the same way here.
+		delete(s.jobs, id)
+		if j.IdemKey != "" {
+			delete(s.idem, idemKey(tenantName, j.IdemKey))
+		}
+		return nil, false, s.rejectLocked(tenantName, &rejection{status: 503, retryAfter: int(s.cfg.DrainTimeout/time.Second) + 1, reason: ErrDraining.Error()})
+	}
 	t.queue = append(t.queue, j)
 	s.counters.Admitted.Add(1)
 	obs.JobsAdmitted.Inc()
 	obs.QueueDepth.Add(1)
 	s.dispatchLocked(t)
-	return j, nil
+	return j, false, nil
+}
+
+// requestFingerprint content-addresses a submission for idempotency:
+// the SHA-256 of the request's canonical JSON with the scoping fields
+// (tenant, the key itself) cleared — two bodies asking for the same
+// work fingerprint identically regardless of which tenant or key
+// carries them.
+func requestFingerprint(req Request) string {
+	req.Tenant = ""
+	req.IdempotencyKey = ""
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return "unfingerprintable"
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
 }
 
 // rejectLocked books one shed submission in both accounting planes and
@@ -301,16 +554,24 @@ func statusForSpecErr(err error) int {
 // gate, so pool slots divide across tenants, not across backlogs.
 // Requires s.mu held.
 func (s *Server) dispatchLocked(t *tenant) {
-	if t.active != nil || len(t.queue) == 0 || s.draining {
+	if t.active != nil || s.draining {
 		return
 	}
-	j := t.queue[0]
-	t.queue = t.queue[1:]
-	t.active = j
-	obs.QueueDepth.Add(-1)
-	obs.ActiveJobs.Add(1)
-	s.wg.Add(1)
-	go s.runJob(t, j)
+	for len(t.queue) > 0 {
+		j := t.queue[0]
+		t.queue = t.queue[1:]
+		obs.QueueDepth.Add(-1)
+		if j.terminal() {
+			// Settled while queued (a recovery-budget expiry); already
+			// booked by whoever settled it. Keep popping.
+			continue
+		}
+		t.active = j
+		obs.ActiveJobs.Add(1)
+		s.wg.Add(1)
+		go s.runJob(t, j)
+		return
+	}
 }
 
 // runJob executes one admitted campaign end to end: context assembly
@@ -323,7 +584,10 @@ func (s *Server) runJob(t *tenant, j *job) {
 	defer s.wg.Done()
 	span := obs.StartSpan("job-run", "serve", "job", j.ID, "tenant", t.name)
 	state, rep, svg, jobErr := s.executeJob(t, j)
-	j.finish(state, rep, svg, jobErr)
+	settled := j.finishIf("", state, rep, svg, jobErr)
+	if settled {
+		s.journalState(j, state)
+	}
 	span.End("state", string(state))
 	s.logf("serve: %s: job %s %s", t.name, j.ID, state)
 
@@ -347,6 +611,12 @@ func (s *Server) runJob(t *tenant, j *job) {
 	defer s.mu.Unlock()
 	t.active = nil
 	obs.ActiveJobs.Add(-1)
+	if !settled {
+		// A pre-run deadline beat this goroutine to the terminal
+		// transition and booked the outcome itself.
+		s.dispatchLocked(t)
+		return
+	}
 	switch state {
 	case StateDone:
 		s.counters.Completed.Add(1)
@@ -394,7 +664,13 @@ func (s *Server) executeJob(t *tenant, j *job) (state JobState, rep, svg []byte,
 		ctx, cancel = context.WithCancel(s.baseCtx)
 	}
 	defer cancel()
-	j.start(cancel)
+	if !j.start(cancel) {
+		// Settled between dispatch and here (deadline race): report the
+		// terminal state as-is; runJob's conditional finish will no-op.
+		st, jrep, jsvg, jerr := j.snapshot()
+		return st, jrep, jsvg, jerr
+	}
+	s.journalState(j, StateRunning)
 	s.logf("serve: %s: job %s started (%d cells)", t.name, j.ID, len(j.Spec.Cells))
 
 	runner := sim.NewRunner()
@@ -494,21 +770,31 @@ func (s *Server) Drain(ctx context.Context) error {
 	already := s.draining
 	s.draining = true
 	var dropped []*job
+	cleared := 0
 	if !already {
 		for _, t := range s.tenants {
-			dropped = append(dropped, t.queue...)
+			cleared += len(t.queue)
+			for _, qj := range t.queue {
+				// Jobs already settled in the queue (recovery-budget
+				// expiries) were booked by whoever settled them.
+				if !qj.terminal() {
+					dropped = append(dropped, qj)
+				}
+			}
 			t.queue = nil
 		}
 	}
 	s.mu.Unlock()
 	span := obs.StartSpan("drain", "serve", "dropped", fmt.Sprint(len(dropped)))
 	defer span.End()
-	obs.QueueDepth.Add(-int64(len(dropped)))
+	obs.QueueDepth.Add(-int64(cleared))
 	obs.Emit("drain-start", "dropped", fmt.Sprint(len(dropped)))
 	for _, j := range dropped {
-		j.finish(StateCanceled, nil, nil, ErrDraining)
-		s.counters.Canceled.Add(1)
-		obs.JobsCanceled.Inc()
+		if j.finishIf("", StateCanceled, nil, nil, ErrDraining) {
+			s.journalState(j, StateCanceled)
+			s.counters.Canceled.Add(1)
+			obs.JobsCanceled.Inc()
+		}
 	}
 	s.logf("serve: draining: %d queued job(s) cancelled, waiting up to %s for in-flight work", len(dropped), s.cfg.DrainTimeout)
 
@@ -558,19 +844,33 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.draining = true
 	var dropped []*job
+	cleared := 0
 	for _, t := range s.tenants {
-		dropped = append(dropped, t.queue...)
+		cleared += len(t.queue)
+		for _, qj := range t.queue {
+			if !qj.terminal() {
+				dropped = append(dropped, qj)
+			}
+		}
 		t.queue = nil
 	}
 	s.mu.Unlock()
-	obs.QueueDepth.Add(-int64(len(dropped)))
+	obs.QueueDepth.Add(-int64(cleared))
 	for _, j := range dropped {
-		j.finish(StateCanceled, nil, nil, ErrDraining)
-		s.counters.Canceled.Add(1)
-		obs.JobsCanceled.Inc()
+		if j.finishIf("", StateCanceled, nil, nil, ErrDraining) {
+			s.journalState(j, StateCanceled)
+			s.counters.Canceled.Add(1)
+			obs.JobsCanceled.Inc()
+		}
 	}
 	s.stop()
 	s.wg.Wait()
+	// The journal closes after the last job goroutine has appended its
+	// terminal record; a poweroff-style kill (chaos harness) makes these
+	// appends fail instead, which is exactly the point.
+	if err := s.journal.Close(); err != nil {
+		s.logf("serve: journal close: %v", err)
+	}
 	return nil
 }
 

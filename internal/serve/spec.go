@@ -50,6 +50,12 @@ type Request struct {
 	// Tenant optionally names the submitting tenant in the body; the
 	// X-Tenant header, when present, wins.
 	Tenant string `json:"tenant,omitempty"`
+	// IdempotencyKey optionally makes the submission safe to retry: a
+	// duplicate POST with the same tenant-scoped key is answered with
+	// the original job instead of executing again, and the same key
+	// with a different spec is a 409. The Idempotency-Key header, when
+	// present, wins.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 	// Sections names the report sections to compute, in output order
 	// (the report.Sections registry is the vocabulary).
 	Sections []string `json:"sections"`

@@ -283,6 +283,8 @@ func LoadCheckpointFS(path string, fs iofault.FS) (*Checkpoint, error) {
 		if renameErr := fs.Rename(path, q); renameErr == nil {
 			rep.Quarantined = q
 			obs.CheckpointQuarantines.Inc()
+			// Best-effort: bound the forensic corpses this path accumulates.
+			PruneQuarantine(fs, path, QuarantineKeep)
 		}
 		if rep.Entries > 0 {
 			obs.CheckpointSalvages.Inc()

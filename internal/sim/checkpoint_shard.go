@@ -104,6 +104,7 @@ func LoadShardedCheckpointFS(dir string, shards int, fsys iofault.FS) (*Checkpoi
 			if renameErr := fsys.Rename(p, q); renameErr == nil {
 				quarantined = append(quarantined, q)
 				obs.CheckpointQuarantines.Inc()
+				PruneQuarantine(fsys, p, QuarantineKeep)
 			}
 			obs.CheckpointSalvages.Inc()
 			obs.Emit("checkpoint-quarantine",

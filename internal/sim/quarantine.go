@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tivapromi/internal/iofault"
+)
+
+// QuarantineKeep is the default number of *.corrupt-<ts> forensic
+// corpses retained per quarantined path. Salvage used to leave every
+// corpse behind forever; a server that crashes in a loop would slowly
+// fill its data directory with them, so after each quarantine the
+// newest K are kept and older ones are deleted through the FS seam.
+const QuarantineKeep = 3
+
+// EntrySum is the checkpoint-v2 per-entry checksum, exported so the
+// serving tier's write-ahead job journal shares one codec with the
+// checkpoint: SHA-256 over kind, the identity fields and the payload
+// bytes, NUL-separated, hex-encoded. A flipped bit anywhere in an entry
+// — key or data — fails verification, so a damaged entry can never be
+// resurrected under the wrong identity.
+func EntrySum(kind, id1, id2 string, data []byte) string {
+	return entrySum(kind, id1, id2, data)
+}
+
+// SplitLine returns the first line of b (without the newline), the
+// remainder, and whether a line (possibly empty) was available.
+func SplitLine(b []byte) (line, rest []byte, ok bool) {
+	return splitLine(b)
+}
+
+// AtomicWriteFS writes raw to path with the checkpoint's
+// crash-consistent dance (temp file in path's directory, write, fsync,
+// close, rename over the target), through the given FS seam (nil means
+// the passthrough iofault.OS). The journal uses it to rewrite a
+// salvaged log before reopening it for append.
+func AtomicWriteFS(fsys iofault.FS, path string, raw []byte) error {
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	return atomicWrite(fsys, filepath.Dir(path), path, raw)
+}
+
+// PruneQuarantine bounds the quarantine corpses for path: among the
+// sibling files named <base(path)>.corrupt-<ts>, the keep newest (by
+// the timestamp suffix) survive and the rest are removed through the
+// FS seam. keep <= 0 means QuarantineKeep. Returns how many corpses
+// were deleted. Errors are returned but callers treat pruning as
+// best-effort — a failed deletion must never turn a successful salvage
+// into a load failure.
+func PruneQuarantine(fsys iofault.FS, path string, keep int) (int, error) {
+	if fsys == nil {
+		fsys = iofault.OS{}
+	}
+	if keep <= 0 {
+		keep = QuarantineKeep
+	}
+	dir := filepath.Dir(path)
+	prefix := filepath.Base(path) + ".corrupt-"
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("sim: prune quarantine: %w", err)
+	}
+	type corpse struct {
+		name string
+		ts   int64
+	}
+	var corpses []corpse
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		ts, err := strconv.ParseInt(name[len(prefix):], 10, 64)
+		if err != nil {
+			// Not one of ours (e.g. a corpse of a corpse); leave it alone.
+			continue
+		}
+		corpses = append(corpses, corpse{name: name, ts: ts})
+	}
+	if len(corpses) <= keep {
+		return 0, nil
+	}
+	sort.Slice(corpses, func(i, j int) bool { return corpses[i].ts > corpses[j].ts })
+	removed := 0
+	var firstErr error
+	for _, c := range corpses[keep:] {
+		if err := fsys.Remove(filepath.Join(dir, c.name)); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sim: prune quarantine %s: %w", c.name, err)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}

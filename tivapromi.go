@@ -452,23 +452,32 @@ func DefaultCampaignEval() CampaignEval { return campaign.DefaultEval() }
 // Serving-layer types: run campaigns as a long-running multi-tenant
 // HTTP service — per-tenant fair queuing over one shared worker pool,
 // admission control with 429 + Retry-After load shedding, cross-tenant
-// dedup through the shared checkpoint cache, SSE progress streams, and
-// graceful drain (see internal/serve and DESIGN.md §11).
+// dedup through the shared checkpoint cache, SSE progress streams with
+// crash-safe resume, idempotent submission and restart recovery through
+// a write-ahead job journal, and graceful drain (see internal/serve and
+// DESIGN.md §11 and §14).
 type (
 	// CampaignServer is the multi-tenant campaign server. Mount
 	// Handler() on an http.Server; call Drain then Close on shutdown.
 	CampaignServer = serve.Server
-	// ServeConfig tunes one CampaignServer.
+	// ServeConfig tunes one CampaignServer. JournalPath arms the
+	// write-ahead job journal: accepted submissions are fsync'd before
+	// the 202 answers, duplicate Idempotency-Key POSTs replay the
+	// original job, and a restarted server re-admits interrupted jobs.
 	ServeConfig = serve.Config
 	// ServeLimits bounds what one campaign submission may ask for.
 	ServeLimits = serve.Limits
 	// ServeRequest is the wire form of one campaign submission.
 	ServeRequest = serve.Request
+	// ServeJournalReport summarizes a journal replay: entries kept,
+	// unverifiable records dropped, orphans ignored, quarantined files.
+	ServeJournalReport = serve.JournalLoadReport
 )
 
 // NewCampaignServer builds a CampaignServer, loading (or creating) the
 // shared cross-tenant result cache when ServeConfig.CheckpointPath is
-// set.
+// set and replaying the write-ahead job journal when
+// ServeConfig.JournalPath is set.
 func NewCampaignServer(cfg ServeConfig) (*CampaignServer, error) { return serve.New(cfg) }
 
 // Observability types: the dependency-free flight recorder (see
